@@ -1,0 +1,78 @@
+//! Fig 2: mean time between faults in different channels vs DRAM fault
+//! rate, for an eight-channel system with four ranks per channel and nine
+//! chips per rank, assuming exponential failure times.
+//!
+//! Analytically, faults arrive over the whole system as a Poisson process
+//! of rate `Λ = chips · FIT · 1e-9` per hour. From any fault, the wait
+//! until the next fault *in a different channel* is exponential with rate
+//! `Λ · (C-1)/C` (each arrival lands in a different channel with
+//! probability `(C-1)/C`), giving mean `C / (Λ · (C-1))`.
+
+use mem_faults::{FitTable, LifetimeSim, SystemGeometry};
+
+/// Closed-form mean time (hours) between faults in different channels.
+pub fn analytic_mtbf_hours(geo: &SystemGeometry, fit_per_chip: f64) -> f64 {
+    let lambda = geo.total_chips() as f64 * fit_per_chip * 1e-9;
+    let c = geo.channels as f64;
+    c / (lambda * (c - 1.0))
+}
+
+/// One Fig 2 point: FIT rate → (analytic days, Monte Carlo days).
+pub fn fig2_point(geo: &SystemGeometry, fit_per_chip: f64, trials: usize, seed: u64) -> (f64, f64) {
+    let analytic_days = analytic_mtbf_hours(geo, fit_per_chip) / 24.0;
+    let sim = LifetimeSim::new(*geo, FitTable::DDR3_AVERAGE.scaled_to(fit_per_chip));
+    let mc_days = sim.mean_time_between_channel_faults(trials, seed) / 24.0;
+    (analytic_days, mc_days)
+}
+
+/// The Fig 2 series over a FIT sweep. Returns (fit, analytic_days, mc_days).
+pub fn fig2_series(fits: &[f64], trials: usize, seed: u64) -> Vec<(f64, f64, f64)> {
+    let geo = SystemGeometry::paper_reliability();
+    fits.iter()
+        .map(|&f| {
+            let (a, m) = fig2_point(&geo, f, trials, seed);
+            (f, a, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_matches_hand_calculation() {
+        // 288 chips at 44 FIT: Λ = 1.267e-5 /h; mean between-channel gap
+        // = 8/(7Λ) = 90,164 h ≈ 3,757 days — "order of 100's of days" holds
+        // as rates climb toward the figure's upper range.
+        let geo = SystemGeometry::paper_reliability();
+        let h = analytic_mtbf_hours(&geo, 44.0);
+        assert!((h - 90_164.0).abs() / 90_164.0 < 0.01, "got {h}");
+    }
+
+    #[test]
+    fn mtbf_scales_inversely_with_fit() {
+        let geo = SystemGeometry::paper_reliability();
+        let a = analytic_mtbf_hours(&geo, 50.0);
+        let b = analytic_mtbf_hours(&geo, 200.0);
+        assert!((a / b - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let geo = SystemGeometry::paper_reliability();
+        // High rate so the MC converges quickly.
+        let (analytic, mc) = fig2_point(&geo, 400.0, 300, 42);
+        let rel = (mc - analytic).abs() / analytic;
+        assert!(rel < 0.15, "analytic {analytic} vs MC {mc} ({rel:.2} rel)");
+    }
+
+    #[test]
+    fn more_channels_shorten_the_between_channel_gap() {
+        let g8 = SystemGeometry::paper_reliability();
+        let g2 = g8.with_channels(2);
+        // Same per-channel composition: the 8-channel system has 4x the
+        // chips AND a higher different-channel probability.
+        assert!(analytic_mtbf_hours(&g8, 44.0) < analytic_mtbf_hours(&g2, 44.0));
+    }
+}

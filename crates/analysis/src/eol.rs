@@ -1,0 +1,133 @@
+//! Fig 8: what fraction of memory ends up with its ECC correction bits
+//! stored in memory (i.e., in migrated bank pairs) after seven years.
+//!
+//! Monte Carlo over system lifetimes: each sampled fault history is pushed
+//! through the paper's health policy — large faults (column/bank/
+//! multi-bank/multi-rank) saturate their bank-pair counters and mark pairs
+//! faulty; small faults only retire pages. The statistic is the faulty-pair
+//! capacity fraction at end of life: the solid bars report the mean, the
+//! horizontal lines the 99.9th percentile.
+
+use mem_faults::{FaultEvent, FitTable, LifetimeSim, SystemGeometry};
+use std::collections::HashSet;
+
+/// One bar of Fig 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Point {
+    pub channels: usize,
+    /// Mean fraction of memory in migrated pairs after 7 years.
+    pub mean_fraction: f64,
+    /// 99.9th-percentile fraction.
+    pub p999_fraction: f64,
+    /// Mean count of retired pages (small-fault absorption).
+    pub mean_retired_pages: f64,
+}
+
+/// Faulty-pair fraction for one fault history.
+pub fn faulty_fraction_of_history(geo: &SystemGeometry, events: &[FaultEvent]) -> f64 {
+    let mut marked: HashSet<(usize, usize, usize)> = HashSet::new(); // (chan, rank, pair)
+    for e in events {
+        let pairs = e.fault.mode.bank_pairs_marked(geo.banks_per_chip);
+        if pairs == 0 {
+            continue;
+        }
+        let ch = e.fault.chip.channel;
+        let rank = e.fault.chip.rank;
+        let anchor_pair = (e.fault.bank as usize) / 2;
+        let pairs_per_rank = geo.banks_per_chip / 2;
+        for k in 0..pairs {
+            // Spread across the fault's rank first, then the next rank
+            // (multi-rank faults span the ranks sharing the device's I/O).
+            let rank_off = k / pairs_per_rank;
+            let p = (anchor_pair + k) % pairs_per_rank;
+            let r = (rank + rank_off) % geo.ranks_per_channel;
+            marked.insert((ch, r, p));
+        }
+    }
+    marked.len() as f64 / (geo.channels * geo.ranks_per_channel * geo.banks_per_chip / 2) as f64
+}
+
+/// Retired pages for one history (small faults retire `channels - 1` pages
+/// each: the page plus its parity-sharing peers, §III-E).
+pub fn retired_pages_of_history(geo: &SystemGeometry, events: &[FaultEvent]) -> u64 {
+    events
+        .iter()
+        .filter(|e| !e.fault.mode.is_large())
+        .map(|_| (geo.channels - 1) as u64)
+        .sum()
+}
+
+/// Compute one Fig 8 bar.
+pub fn fig8_point(channels: usize, trials: usize, seed: u64) -> Fig8Point {
+    let geo = SystemGeometry::paper_reliability().with_channels(channels);
+    let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE);
+    let mut samples: Vec<(f64, u64)> = sim
+        .run_trials(trials, seed, |events| {
+            (
+                faulty_fraction_of_history(&geo, events),
+                retired_pages_of_history(&geo, events),
+            )
+        });
+    let mean = samples.iter().map(|s| s.0).sum::<f64>() / trials as f64;
+    let mean_retired = samples.iter().map(|s| s.1 as f64).sum::<f64>() / trials as f64;
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let idx = ((trials as f64) * 0.999).floor() as usize;
+    let p999 = samples[idx.min(trials - 1)].0;
+    Fig8Point {
+        channels,
+        mean_fraction: mean,
+        p999_fraction: p999,
+        mean_retired_pages: mean_retired,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_fraction_lands_near_papers_0_4_percent() {
+        let p = fig8_point(8, 4000, 7);
+        assert!(
+            p.mean_fraction > 0.001 && p.mean_fraction < 0.01,
+            "mean faulty fraction {} should be a few tenths of a percent",
+            p.mean_fraction
+        );
+    }
+
+    #[test]
+    fn p999_exceeds_mean() {
+        let p = fig8_point(8, 2000, 11);
+        assert!(p.p999_fraction >= p.mean_fraction);
+        assert!(p.p999_fraction < 0.5, "even the tail is a small fraction");
+    }
+
+    #[test]
+    fn retired_pages_are_negligible_fraction() {
+        // §III-E: retired pages are "a negligible fraction out of the
+        // 100,000's of pages in a pair of memory banks".
+        let p = fig8_point(8, 2000, 13);
+        assert!(p.mean_retired_pages < 100.0);
+    }
+
+    #[test]
+    fn fraction_roughly_scale_free_in_channels() {
+        // More channels = more chips but also proportionally more pairs;
+        // the per-system fraction stays the same order of magnitude.
+        let p2 = fig8_point(2, 2000, 17);
+        let p16 = fig8_point(16, 2000, 17);
+        assert!(p2.mean_fraction > 0.0 && p16.mean_fraction > 0.0);
+        let ratio = p2.mean_fraction / p16.mean_fraction;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "fractions should be same order: {ratio}"
+        );
+    }
+
+    #[test]
+    fn empty_history_marks_nothing() {
+        let geo = SystemGeometry::paper_reliability();
+        assert_eq!(faulty_fraction_of_history(&geo, &[]), 0.0);
+        assert_eq!(retired_pages_of_history(&geo, &[]), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! §VI-B: system-level stall estimate for an HPC machine using ECC Parity.
+//!
+//! When a large (column/bank/multi-bank/multi-rank) fault occurs in a node,
+//! the threads of that node migrate to a spare and the faulty regions' ECC
+//! correction bits are reconstructed; the whole machine stalls meanwhile.
+//! The paper's example: 2 PB of memory, 128 GB/node, 1 GB/s NIC → stalled
+//! ~0.35% of the time.
+
+use mem_faults::FitTable;
+
+/// Parameters of the estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HpcConfig {
+    /// Total system memory, bytes.
+    pub total_memory_bytes: f64,
+    /// Memory per node, bytes.
+    pub node_memory_bytes: f64,
+    /// NIC bandwidth per node, bytes/s (migration speed).
+    pub nic_bytes_per_sec: f64,
+    /// Node-local memory bandwidth used for reconstructing ECC correction
+    /// bits (reading the node's memory once), bytes/s.
+    pub reconstruct_bytes_per_sec: f64,
+    /// DRAM device capacity, bytes.
+    pub chip_bytes: f64,
+    pub fit: FitTable,
+}
+
+impl HpcConfig {
+    /// The paper's example machine (2Gb devices).
+    pub fn paper() -> HpcConfig {
+        HpcConfig {
+            total_memory_bytes: 2.0e15,
+            node_memory_bytes: 128.0e9,
+            nic_bytes_per_sec: 1.0e9,
+            reconstruct_bytes_per_sec: 10.0e9,
+            chip_bytes: 2.0e9 / 8.0 * 1.0, // 2 Gbit = 256 MB
+            fit: FitTable::DDR3_AVERAGE,
+        }
+    }
+
+    pub fn nodes(&self) -> f64 {
+        self.total_memory_bytes / self.node_memory_bytes
+    }
+
+    pub fn chips_per_node(&self) -> f64 {
+        self.node_memory_bytes / self.chip_bytes
+    }
+
+    /// Per-event stall: migrate the node's memory over the NIC plus one
+    /// full read of it to reconstruct correction bits.
+    pub fn stall_seconds_per_event(&self) -> f64 {
+        self.node_memory_bytes / self.nic_bytes_per_sec
+            + self.node_memory_bytes / self.reconstruct_bytes_per_sec
+    }
+
+    /// Large-fault events per second across the machine.
+    pub fn large_events_per_sec(&self) -> f64 {
+        let chips = self.nodes() * self.chips_per_node();
+        chips * self.fit.large_total() * 1e-9 / 3600.0
+    }
+}
+
+/// The stalled-time fraction of the whole machine (closed form; assumes
+/// stalls never overlap — exact in the rare-event regime).
+pub fn hpc_stall_fraction(cfg: &HpcConfig) -> f64 {
+    cfg.large_events_per_sec() * cfg.stall_seconds_per_event()
+}
+
+/// Monte Carlo stall fraction over `trials` seven-year machine lifetimes:
+/// samples large-fault arrivals as a Poisson process and merges overlapping
+/// stall windows (the closed form double-counts those, so the MC result
+/// saturates correctly as event rates climb).
+pub fn simulate_stall_fraction(cfg: &HpcConfig, trials: usize, seed: u64) -> f64 {
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rayon::prelude::*;
+
+    let lifetime_s = crate::scrub_years_to_seconds();
+    let mean_events = cfg.large_events_per_sec() * lifetime_s;
+    let stall = cfg.stall_seconds_per_event();
+    let total: f64 = (0..trials)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            let n = mem_faults::montecarlo::poisson(&mut rng, mean_events);
+            let mut starts: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..lifetime_s)).collect();
+            starts.sort_by(|a, b| a.total_cmp(b));
+            // merge overlapping [t, t+stall) windows
+            let mut stalled = 0.0;
+            let mut covered_until = 0.0f64;
+            for t in starts {
+                let end = t + stall;
+                if t >= covered_until {
+                    stalled += stall;
+                } else if end > covered_until {
+                    stalled += end - covered_until;
+                }
+                covered_until = covered_until.max(end);
+            }
+            stalled / lifetime_s
+        })
+        .sum();
+    total / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let c = HpcConfig::paper();
+        assert!((c.nodes() - 15625.0).abs() < 1.0);
+        assert!((c.chips_per_node() - 512.0).abs() < 1.0);
+        // 128 GB over 1 GB/s NIC + a 10 GB/s reconstruction pass
+        assert!((c.stall_seconds_per_event() - 140.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn stall_fraction_matches_papers_order() {
+        // Paper reports 0.35%; our FIT split gives the same order.
+        let f = hpc_stall_fraction(&HpcConfig::paper());
+        assert!(
+            (0.001..0.01).contains(&f),
+            "stall fraction {f} should be a fraction of a percent"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form_in_rare_regime() {
+        let cfg = HpcConfig::paper();
+        let analytic = hpc_stall_fraction(&cfg);
+        let mc = simulate_stall_fraction(&cfg, 600, 17);
+        assert!(
+            (mc - analytic).abs() < 0.15 * analytic,
+             "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_saturates_when_stalls_overlap() {
+        // Make individual stalls enormous (a 1000x slower NIC) so windows
+        // overlap: the closed form exceeds 1 (it double-counts), the MC
+        // stays a proper fraction below 1.
+        let mut cfg = HpcConfig::paper();
+        cfg.nic_bytes_per_sec /= 1000.0;
+        let analytic = hpc_stall_fraction(&cfg);
+        assert!(analytic > 1.0, "closed form breaks: {analytic}");
+        let mc = simulate_stall_fraction(&cfg, 300, 23);
+        assert!(mc < 1.0 && mc > 0.5, "MC saturates properly: {mc}");
+    }
+
+    #[test]
+    fn faster_nic_reduces_stall() {
+        let mut c = HpcConfig::paper();
+        let slow = hpc_stall_fraction(&c);
+        c.nic_bytes_per_sec *= 10.0;
+        let fast = hpc_stall_fraction(&c);
+        assert!(fast < slow);
+    }
+}

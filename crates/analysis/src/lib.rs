@@ -1,0 +1,43 @@
+//! # resilience-analysis — reliability and capacity analysis
+//!
+//! The closed-form and Monte Carlo analyses behind the paper's analytic
+//! figures and discussion sections:
+//!
+//! * [`capacity`] — Fig 1 (detection/correction overhead split) and
+//!   Table III (static + end-of-life capacity overheads).
+//! * [`channel_mtbf`] — Fig 2: mean time between faults in *different*
+//!   channels vs per-chip FIT rate (analytic + Monte Carlo).
+//! * [`eol`] — Fig 8: fraction of memory whose ECC correction bits end up
+//!   stored in memory after seven years (average and 99.9th percentile),
+//!   by channel count.
+//! * [`scrub`] — Fig 18: probability of faults in more than one channel
+//!   within any single scrub window over the system lifetime, and the
+//!   §VI-C uncorrectable-rate interpretation.
+//! * [`hpc`] — §VI-B: expected stall fraction of a large HPC system from
+//!   migration + ECC-bit reconstruction on large faults.
+//! * [`mixed_ranks`] — §VI-A: mixed narrow/wide-rank channels with hot-page
+//!   placement (maximum-capacity mitigation).
+//! * [`undetect`] — §VI-D: undetectable-error-rate estimate for the
+//!   RS-based LOT-ECC5+Parity encoding under a pessimistic
+//!   all-address-faults model.
+
+pub mod capacity;
+pub mod channel_mtbf;
+pub mod eol;
+pub mod hpc;
+pub mod mixed_ranks;
+pub mod scrub;
+pub mod undetect;
+
+pub use capacity::{table3_rows, Table3Row};
+pub use channel_mtbf::{analytic_mtbf_hours, fig2_series};
+pub use eol::{fig8_point, Fig8Point};
+pub use hpc::{hpc_stall_fraction, HpcConfig};
+pub use mixed_ranks::{evaluate as evaluate_mixed_ranks, MixedRankDesign, MixedRankOutcome};
+pub use scrub::{analytic_window_probability, fig18_series, scrub_bandwidth_fraction, years_per_extra_uncorrectable};
+pub use undetect::undetectable_years_estimate;
+
+/// Seconds in the paper's seven-year lifetime (shared by the §VI analyses).
+pub fn scrub_years_to_seconds() -> f64 {
+    mem_faults::LIFETIME_YEARS * mem_faults::HOURS_PER_YEAR * 3600.0
+}

@@ -1,0 +1,147 @@
+//! Fig 18 and §VI-C: scrub-interval sensitivity of the uncorrectable rate.
+//!
+//! ECC parities cannot correct faults that accumulate in two channels at
+//! the same relative location before the scrubber reacts. The exposure is
+//! bounded by the probability that two or more channels develop faults
+//! within one *detection window* (the scrub interval) at least once during
+//! the seven-year lifetime.
+//!
+//! Analytic form: per window of length `w`, each channel independently
+//! faults with probability `p = 1 - exp(-λ_c w)` (λ_c = per-channel fault
+//! rate); the chance of ≥2 channels in one window is
+//! `q = 1 - (1-p)^C - C·p·(1-p)^(C-1)`, and over `n = T/w` windows the
+//! lifetime probability is `1 - (1-q)^n`.
+
+use mem_faults::{FitTable, LifetimeSim, SystemGeometry, HOURS_PER_YEAR, LIFETIME_YEARS};
+
+/// Closed-form lifetime probability of a ≥2-channel coincidence within one
+/// window (see module docs).
+pub fn analytic_window_probability(
+    geo: &SystemGeometry,
+    fit_per_chip: f64,
+    window_hours: f64,
+) -> f64 {
+    let lifetime = LIFETIME_YEARS * HOURS_PER_YEAR;
+    let lambda_c = geo.chips_per_channel() as f64 * fit_per_chip * 1e-9;
+    let p = 1.0 - (-lambda_c * window_hours).exp();
+    let c = geo.channels as f64;
+    let none = (1.0 - p).powf(c);
+    let one = c * p * (1.0 - p).powf(c - 1.0);
+    let q = (1.0 - none - one).max(0.0);
+    let windows = lifetime / window_hours;
+    1.0 - (1.0 - q).powf(windows)
+}
+
+/// The Fig 18 series: for each window length (hours) and each FIT rate,
+/// the lifetime coincidence probability. Returns rows of
+/// `(window_hours, fit, analytic, monte_carlo)`; MC is skipped (NaN) when
+/// `mc_trials == 0`.
+pub fn fig18_series(
+    windows_hours: &[f64],
+    fits: &[f64],
+    mc_trials: usize,
+    seed: u64,
+) -> Vec<(f64, f64, f64, f64)> {
+    let geo = SystemGeometry::paper_reliability();
+    let mut out = vec![];
+    for &w in windows_hours {
+        for &fit in fits {
+            let analytic = analytic_window_probability(&geo, fit, w);
+            let mc = if mc_trials > 0 {
+                let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(fit));
+                sim.multi_channel_window_probability(w, mc_trials, seed)
+            } else {
+                f64::NAN
+            };
+            out.push((w, fit, analytic, mc));
+        }
+    }
+    out
+}
+
+/// Memory-bandwidth cost of scrubbing: one full read of `capacity_bytes`
+/// per `interval_hours`, as a fraction of `peak_bytes_per_sec`. The paper's
+/// premise that scrubbing "too frequently can lead to high memory power and
+/// performance overheads" quantified: at the 8-hour operating point even a
+/// 512GB system spends ~0.01% of its bandwidth scrubbing.
+pub fn scrub_bandwidth_fraction(
+    capacity_bytes: f64,
+    interval_hours: f64,
+    peak_bytes_per_sec: f64,
+) -> f64 {
+    let scrub_rate = capacity_bytes / (interval_hours * 3600.0);
+    scrub_rate / peak_bytes_per_sec
+}
+
+/// §VI-C interpretation: with probability `p` of one extra uncorrectable
+/// event per lifetime, the extra uncorrectable rate is one per
+/// `LIFETIME_YEARS / p` years.
+pub fn years_per_extra_uncorrectable(probability_per_lifetime: f64) -> f64 {
+    LIFETIME_YEARS / probability_per_lifetime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_point_eight_hours_100_fit() {
+        // Fig 18 / §VI-C: 8-hour window at 100 FIT/chip → ~2e-4 over seven
+        // years.
+        let geo = SystemGeometry::paper_reliability();
+        let p = analytic_window_probability(&geo, 100.0, 8.0);
+        assert!(
+            (1e-4..4e-4).contains(&p),
+            "expected ~2e-4 as in the paper, got {p:.2e}"
+        );
+        // And the §VI-C translation: ≈ 35,000 years per extra uncorrectable.
+        let years = years_per_extra_uncorrectable(p);
+        assert!(
+            (20_000.0..70_000.0).contains(&years),
+            "expected ~35,000 years, got {years:.0}"
+        );
+    }
+
+    #[test]
+    fn probability_increases_with_window_and_fit() {
+        let geo = SystemGeometry::paper_reliability();
+        let p1 = analytic_window_probability(&geo, 44.0, 1.0);
+        let p8 = analytic_window_probability(&geo, 44.0, 8.0);
+        let p168 = analytic_window_probability(&geo, 44.0, 168.0);
+        assert!(p1 < p8 && p8 < p168);
+        let hi = analytic_window_probability(&geo, 200.0, 8.0);
+        assert!(hi > p8);
+    }
+
+    #[test]
+    fn monte_carlo_tracks_analytic_at_high_rate() {
+        // Inflate rates so MC gets enough coincidences to resolve.
+        let geo = SystemGeometry::paper_reliability();
+        let fit = 20_000.0;
+        let w = 24.0;
+        let analytic = analytic_window_probability(&geo, fit, w);
+        let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(fit));
+        let mc = sim.multi_channel_window_probability(w, 1500, 3);
+        assert!(
+            (mc - analytic).abs() < 0.1 * analytic.max(0.05),
+            "MC {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn scrub_bandwidth_negligible_at_paper_operating_point() {
+        // 512GB system, 8-hour scrub, 8 channels x 16GB/s peak.
+        let f = scrub_bandwidth_fraction(512e9, 8.0, 8.0 * 16e9);
+        assert!(f < 2e-4, "got {f}");
+        // Scrubbing every minute starts to matter.
+        let f = scrub_bandwidth_fraction(512e9, 1.0 / 60.0, 8.0 * 16e9);
+        assert!(f > 0.05);
+    }
+
+    #[test]
+    fn vanishing_window_vanishing_probability() {
+        let geo = SystemGeometry::paper_reliability();
+        let p = analytic_window_probability(&geo, 44.0, 0.01);
+        assert!(p < 1e-6);
+    }
+}

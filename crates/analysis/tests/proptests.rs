@@ -1,0 +1,86 @@
+//! Property-based tests of the reliability/capacity analyses.
+
+use mem_faults::SystemGeometry;
+use proptest::prelude::*;
+use resilience_analysis::capacity::table3_rows;
+use resilience_analysis::scrub::{analytic_window_probability, scrub_bandwidth_fraction};
+use resilience_analysis::{analytic_mtbf_hours, hpc_stall_fraction, HpcConfig};
+use ecc_codes::OverheadModel;
+
+proptest! {
+    #[test]
+    fn window_probability_is_a_probability_and_monotone(
+        fit in 1.0f64..5_000.0,
+        w1 in 0.1f64..100.0,
+        w2 in 0.1f64..100.0,
+    ) {
+        let geo = SystemGeometry::paper_reliability();
+        let p1 = analytic_window_probability(&geo, fit, w1.min(w2));
+        let p2 = analytic_window_probability(&geo, fit, w1.max(w2));
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!((0.0..=1.0).contains(&p2));
+        prop_assert!(p1 <= p2 + 1e-12, "longer windows catch more: {p1} vs {p2}");
+    }
+
+    #[test]
+    fn mtbf_monotone_decreasing_in_fit(fa in 1.0f64..1_000.0, fb in 1.0f64..1_000.0) {
+        let geo = SystemGeometry::paper_reliability();
+        let lo = analytic_mtbf_hours(&geo, fa.min(fb));
+        let hi = analytic_mtbf_hours(&geo, fa.max(fb));
+        prop_assert!(hi <= lo + 1e-9);
+    }
+
+    #[test]
+    fn parity_overhead_decreases_with_channels_and_increases_with_r(
+        r in 0.05f64..1.0,
+        n1 in 2usize..16,
+        n2 in 2usize..16,
+    ) {
+        let lo = OverheadModel::ecc_parity(r, n1.max(n2)).total();
+        let hi = OverheadModel::ecc_parity(r, n1.min(n2)).total();
+        prop_assert!(lo <= hi + 1e-12, "more channels, less overhead");
+        let a = OverheadModel::ecc_parity(r * 0.5, 8).total();
+        let b = OverheadModel::ecc_parity(r, 8).total();
+        prop_assert!(a <= b + 1e-12, "bigger R, more overhead");
+    }
+
+    #[test]
+    fn eol_overhead_never_below_static(
+        r in 0.05f64..1.0,
+        n in 2usize..16,
+        frac in 0.0f64..0.2,
+    ) {
+        let s = OverheadModel::ecc_parity(r, n).total();
+        let e = OverheadModel::ecc_parity_eol(r, n, frac).total();
+        prop_assert!(e + 1e-12 >= s);
+    }
+
+    #[test]
+    fn scrub_bandwidth_scales_linearly(cap in 1e9f64..1e13, hours in 0.1f64..200.0) {
+        let f1 = scrub_bandwidth_fraction(cap, hours, 1e11);
+        let f2 = scrub_bandwidth_fraction(2.0 * cap, hours, 1e11);
+        prop_assert!((f2 / f1 - 2.0).abs() < 1e-9);
+        let f3 = scrub_bandwidth_fraction(cap, 2.0 * hours, 1e11);
+        prop_assert!((f1 / f3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpc_stall_fraction_bounded_and_monotone_in_nic(nic in 1e8f64..1e11) {
+        let mut cfg = HpcConfig::paper();
+        cfg.nic_bytes_per_sec = nic;
+        let f = hpc_stall_fraction(&cfg);
+        prop_assert!((0.0..1.0).contains(&f));
+        cfg.nic_bytes_per_sec = nic * 2.0;
+        prop_assert!(hpc_stall_fraction(&cfg) <= f);
+    }
+}
+
+#[test]
+fn table3_rows_are_internally_consistent() {
+    for row in table3_rows(0, 0) {
+        assert!(row.static_overhead > 0.0 && row.static_overhead < 0.5);
+        if let Some(eol) = row.eol_avg {
+            assert!(eol >= row.static_overhead);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmark of the DRAM channel scheduler: requests per second
+//! through the timestamp-algebra model under random and streaming traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dram_sim::{DeviceKind, MemRequest, MemoryConfig, MemorySystem, RankConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_channel");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("random_requests", |b| {
+        b.iter(|| {
+            let cfg = MemoryConfig::new(8, 4, RankConfig::lotecc5(), 64);
+            let mut sys = MemorySystem::new(cfg);
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut t = 0u64;
+            for _ in 0..n {
+                t += rng.gen_range(0..8);
+                black_box(sys.submit(MemRequest {
+                    line_addr: rng.gen_range(0..1_000_000),
+                    is_write: rng.gen_bool(0.3),
+                    arrival: t,
+                }));
+            }
+        })
+    });
+    g.bench_function("streaming_requests", |b| {
+        b.iter(|| {
+            let cfg = MemoryConfig::new(4, 1, RankConfig::uniform(DeviceKind::X4, 36), 128);
+            let mut sys = MemorySystem::new(cfg);
+            for i in 0..n {
+                black_box(sys.submit(MemRequest {
+                    line_addr: i,
+                    is_write: false,
+                    arrival: i * 4,
+                }));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(dram, benches);
+criterion_main!(dram);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the functional ECC codecs: encode,
+//! on-the-fly detection, and correction throughput per scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ecc_codes::{Chipkill18, Chipkill36, LotEcc, MemoryEcc, Raim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_codec(c: &mut Criterion, name: &str, ecc: &dyn MemoryEcc) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u8> = (0..ecc.data_bytes()).map(|_| rng.gen()).collect();
+    let cw = ecc.encode(&data);
+
+    let mut g = c.benchmark_group(name);
+    g.throughput(Throughput::Bytes(ecc.data_bytes() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(ecc.encode(black_box(&data))))
+    });
+    g.bench_function("detect_clean", |b| {
+        b.iter(|| black_box(ecc.detect(black_box(&cw.data), black_box(&cw.detection))))
+    });
+    // single corrupted chip -> correction path
+    let mut noisy = cw.data.clone();
+    let layout = ecc.chip_layout();
+    for span in &layout[0] {
+        if span.region == ecc_codes::traits::Region::Data {
+            for b in &mut noisy[span.start..span.start + span.len] {
+                *b ^= 0x5a;
+            }
+        }
+    }
+    g.bench_function("correct_one_chip", |b| {
+        b.iter(|| {
+            let mut d = noisy.clone();
+            let _ = black_box(ecc.correct(&mut d, &cw.detection, &cw.correction, None));
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_codec(c, "chipkill36", &Chipkill36::new());
+    bench_codec(c, "chipkill18", &Chipkill18::new());
+    bench_codec(c, "lotecc5", &LotEcc::five());
+    bench_codec(c, "lotecc9", &LotEcc::nine());
+    bench_codec(c, "raim", &Raim::new());
+}
+
+criterion_group!(codecs, benches);
+criterion_main!(codecs);

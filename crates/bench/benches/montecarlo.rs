@@ -1,0 +1,31 @@
+//! Criterion benchmark of the reliability Monte Carlo: sampled lifetimes
+//! per second (this is what bounds the precision of Figs 2/8/18).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mem_faults::{FitTable, LifetimeSim, SystemGeometry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo");
+    let sim = LifetimeSim::new(SystemGeometry::paper_reliability(), FitTable::DDR3_AVERAGE);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sample_lifetime", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(sim.sample(&mut rng)))
+    });
+    g.bench_function("trials_100_with_fraction_reduction", |b| {
+        b.iter(|| {
+            black_box(sim.run_trials(100, 1, |ev| {
+                resilience_analysis::eol::faulty_fraction_of_history(
+                    &SystemGeometry::paper_reliability(),
+                    ev,
+                )
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(mc, benches);
+criterion_main!(mc);

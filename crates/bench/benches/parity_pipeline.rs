@@ -1,0 +1,98 @@
+//! Criterion benchmark of the ECC Parity functional pipeline: healthy
+//! writes (parity update, equation (1)), healthy reads, and the expensive
+//! reconstruction path (Fig 6 step C).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ecc_codes::lotecc::LotEcc;
+use ecc_parity::layout::LineLoc;
+use ecc_parity::memory::{ParityConfig, ParityMemory};
+use mem_faults::{ChipLocation, FaultInstance, FaultMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mem8() -> ParityMemory<LotEcc> {
+    ParityMemory::new(LotEcc::five(), ParityConfig::small(8))
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parity_pipeline");
+    g.throughput(Throughput::Bytes(64));
+
+    g.bench_function("write_healthy", |b| {
+        let mut m = mem8();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let mut i = 0u32;
+        b.iter(|| {
+            let loc = LineLoc {
+                bank: (i % 4) as usize,
+                row: (i / 4) % m.config().data_rows,
+                line: i % m.config().lines_per_row,
+            };
+            m.write((i % 8) as usize, loc, black_box(&data)).unwrap();
+            i = i.wrapping_add(1);
+        })
+    });
+
+    g.bench_function("read_clean", |b| {
+        let mut m = mem8();
+        let data = vec![7u8; 64];
+        let loc = LineLoc { bank: 1, row: 2, line: 3 };
+        m.write(2, loc, &data).unwrap();
+        b.iter(|| black_box(m.read(2, loc).unwrap()))
+    });
+
+    g.bench_function("read_corrected_degraded", |b| {
+        // Steady-state faulty-bank reads (Fig 6 step B): the pair is
+        // migrated, every read detects the permanent fault and corrects
+        // through the stored ECC line.
+        let mut m = mem8();
+        let mut rng = StdRng::seed_from_u64(6);
+        let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        for row in 0..m.config().data_rows {
+            for line in 0..m.config().lines_per_row {
+                m.write(3, LineLoc { bank: 2, row, line }, &data).unwrap();
+            }
+        }
+        m.inject_fault(FaultInstance {
+            chip: ChipLocation { channel: 3, rank: 0, chip: 1 },
+            mode: FaultMode::SingleBank,
+            bank: 2,
+            row: 0,
+            line: 0,
+            pattern_seed: 9,
+        });
+        m.migrate_pair(3, 1); // banks 2,3
+        let rows = m.config().data_rows;
+        let lines = m.config().lines_per_row;
+        let mut i = 0u32;
+        b.iter(|| {
+            let loc = LineLoc {
+                bank: 2,
+                row: i % rows,
+                line: (i / rows) % lines,
+            };
+            i = i.wrapping_add(1);
+            black_box(m.read(3, loc).unwrap())
+        })
+    });
+
+    g.bench_function("parity_reconstruction_primitive", |b| {
+        // The step-C cost: rebuilding one group's parity from member data
+        // (reads N-1 lines and recomputes their correction bits).
+        let mut m = mem8();
+        let mut rng = StdRng::seed_from_u64(7);
+        for c in 0..8 {
+            for bank in 0..4 {
+                let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+                m.write(c, LineLoc { bank, row: 0, line: 0 }, &data).unwrap();
+            }
+        }
+        let g0 = m.layout().group_of(0, &LineLoc { bank: 0, row: 0, line: 0 });
+        b.iter(|| black_box(m.compute_parity_from_scratch(&g0)))
+    });
+    g.finish();
+}
+
+criterion_group!(parity, benches);
+criterion_main!(parity);

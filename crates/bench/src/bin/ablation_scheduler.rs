@@ -1,0 +1,52 @@
+//! Ablation: memory-controller reordering. The paper uses DRAMsim's
+//! Most-Pending policy; this model's equivalent is gap-filled bus/activate
+//! ledgers (a younger, ready request may run before an older, blocked one).
+//! Degrading to strict submission-order FIFO shows what the reordering
+//! buys — and why deferred ECC-parity writes are harmless in a real
+//! controller but poisonous under FIFO (head-of-line blocking).
+
+use eccparity_bench::{cell_config, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use rayon::prelude::*;
+
+fn main() {
+    let cells: Vec<(&str, SchemeId)> = vec![
+        ("milc/LOT5+P", SchemeId::Lot5Parity),
+        ("milc/36-dev", SchemeId::Ck36),
+        ("milc/18-dev", SchemeId::Ck18),
+        ("lbm/LOT5+P", SchemeId::Lot5Parity),
+    ];
+    let rows: Vec<Vec<String>> = cells
+        .par_iter()
+        .map(|(label, id)| {
+            let wname = label.split('/').next().unwrap();
+            let w = WorkloadSpec::by_name(wname).unwrap();
+            let run = |strict| {
+                let mut scheme = SchemeConfig::build(*id, SystemScale::QuadEquivalent);
+                scheme.mem.strict_fifo = strict;
+                SimRunner::new(cell_config(scheme, w)).run()
+            };
+            let reorder = run(false);
+            let fifo = run(true);
+            vec![
+                label.to_string(),
+                format!("{}", reorder.cycles),
+                format!("{}", fifo.cycles),
+                format!("{:+.1}%", (fifo.cycles as f64 / reorder.cycles as f64 - 1.0) * 100.0),
+                format!("{:.0} / {:.0}", reorder.avg_mem_latency, fifo.avg_mem_latency),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — controller reordering vs strict FIFO (quad-equivalent)",
+        &["cell", "reorder cycles", "FIFO cycles", "FIFO slowdown", "avg latency (re/fifo)"],
+        &rows,
+    );
+    println!(
+        "\nwithout reordering, any blocked request (a bank conflict in the \
+         single-rank commercial organizations, a deferred parity write in \
+         the ECC Parity schemes) stalls every younger demand read behind it; \
+         the one-rank 36-device organization suffers most, and all of the \
+         paper's comparative results presume a reordering controller."
+    );
+}

@@ -1,0 +1,157 @@
+//! Fault-injection coverage campaign: the reproduction's validation
+//! experiment. Thousands of randomized single- and double-fault trials
+//! against the functional ECC Parity memory, classifying every outcome.
+//!
+//! The contract being validated:
+//! * any single-channel fault is survivable (corrected via parity
+//!   reconstruction, page retirement, or migration + stored ECC lines);
+//! * multi-channel faults either correct (different relative locations, or
+//!   one already migrated) or are **detected** uncorrectable;
+//! * silent corruption — a read returning wrong data as if clean — never
+//!   happens.
+
+use ecc_codes::lotecc::LotEcc;
+use ecc_parity::layout::LineLoc;
+use ecc_parity::memory::{MemError, ParityConfig, ParityMemory};
+use eccparity_bench::{fast_mode, print_table};
+use mem_faults::{ChipLocation, FaultInstance, FaultMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    trials: u64,
+    clean_reads: u64,
+    corrected_reads: u64,
+    retired_pages: u64,
+    migrations: u64,
+    uncorrectable: u64,
+    silent: u64,
+}
+
+fn random_fault(rng: &mut StdRng, cfg: &ParityConfig, mode: FaultMode, channel: usize) -> FaultInstance {
+    FaultInstance {
+        chip: ChipLocation {
+            channel,
+            rank: 0,
+            chip: rng.gen_range(0..5),
+        },
+        mode,
+        bank: rng.gen_range(0..cfg.banks_per_channel as u32),
+        row: rng.gen_range(0..cfg.data_rows),
+        line: rng.gen_range(0..cfg.lines_per_row),
+        pattern_seed: rng.gen(),
+    }
+}
+
+fn run_trial(seed: u64, mode: FaultMode, double: bool) -> Tally {
+    let cfg = ParityConfig::small(4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mem = ParityMemory::new(LotEcc::five(), cfg);
+    let mut shadow = vec![];
+    for c in 0..cfg.channels {
+        for bank in 0..cfg.banks_per_channel {
+            for row in 0..cfg.data_rows {
+                for line in 0..cfg.lines_per_row {
+                    let d: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+                    let loc = LineLoc { bank, row, line };
+                    mem.write(c, loc, &d).unwrap();
+                    shadow.push((c, loc, d));
+                }
+            }
+        }
+    }
+    let c1 = rng.gen_range(0..cfg.channels);
+    mem.inject_fault(random_fault(&mut rng, &cfg, mode, c1));
+    if double {
+        let mut c2 = rng.gen_range(0..cfg.channels);
+        while c2 == c1 {
+            c2 = rng.gen_range(0..cfg.channels);
+        }
+        mem.inject_fault(random_fault(&mut rng, &cfg, mode, c2));
+    }
+    // Scrub twice (detection + post-migration steady state), then audit.
+    let rep1 = mem.scrub();
+    let rep2 = mem.scrub();
+    let mut t = Tally {
+        trials: 1,
+        migrations: rep1.pairs_migrated + rep2.pairs_migrated,
+        uncorrectable: rep1.uncorrectable + rep2.uncorrectable,
+        ..Default::default()
+    };
+    t.retired_pages = mem.health().retired_count() as u64;
+    let before_errors = mem.stats().detected_errors;
+    for (c, loc, d) in &shadow {
+        if mem.health().is_retired(*c, loc.bank, loc.row) {
+            continue;
+        }
+        match mem.read(*c, *loc) {
+            Ok(got) => {
+                if &got == d {
+                    t.clean_reads += 1;
+                } else {
+                    t.silent += 1; // must never happen
+                }
+            }
+            Err(MemError::Uncorrectable) => t.uncorrectable += 1,
+            Err(MemError::RetiredPage) => {}
+        }
+    }
+    t.corrected_reads = mem.stats().detected_errors - before_errors;
+    t
+}
+
+fn main() {
+    let trials: u64 = if fast_mode() { 40 } else { 150 };
+    let mut rows = vec![];
+    let mut total_silent = 0u64;
+    for double in [false, true] {
+        for mode in FaultMode::ALL {
+            let tally: Tally = (0..trials)
+                .into_par_iter()
+                .map(|i| run_trial(i * 31 + mode as u64 * 7 + double as u64, mode, double))
+                .reduce(Tally::default, |a, b| Tally {
+                    trials: a.trials + b.trials,
+                    clean_reads: a.clean_reads + b.clean_reads,
+                    corrected_reads: a.corrected_reads + b.corrected_reads,
+                    retired_pages: a.retired_pages + b.retired_pages,
+                    migrations: a.migrations + b.migrations,
+                    uncorrectable: a.uncorrectable + b.uncorrectable,
+                    silent: a.silent + b.silent,
+                });
+            total_silent += tally.silent;
+            rows.push(vec![
+                format!("{mode:?}{}", if double { " x2ch" } else { "" }),
+                tally.trials.to_string(),
+                tally.clean_reads.to_string(),
+                tally.corrected_reads.to_string(),
+                tally.retired_pages.to_string(),
+                tally.migrations.to_string(),
+                tally.uncorrectable.to_string(),
+                tally.silent.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fault-injection campaign (4-channel LOT-ECC5 + ECC Parity)",
+        &[
+            "fault",
+            "trials",
+            "clean",
+            "corrected",
+            "retired",
+            "migrations",
+            "uncorrectable",
+            "SILENT",
+        ],
+        &rows,
+    );
+    println!(
+        "\nsingle-channel rows must show zero uncorrectable; double-channel \
+         rows may show detected-uncorrectable (the paper's accumulation \
+         window) but the SILENT column must be zero everywhere."
+    );
+    assert_eq!(total_silent, 0, "silent corruption detected!");
+    println!("campaign PASSED: no silent corruption in any trial.");
+}

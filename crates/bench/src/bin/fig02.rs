@@ -1,0 +1,32 @@
+//! Fig 2: mean time between faults in *different* channels vs the per-chip
+//! DRAM fault rate (8 channels x 4 ranks x 9 chips, exponential failures).
+
+use eccparity_bench::{fast_mode, print_table};
+use resilience_analysis::fig2_series;
+
+fn main() {
+    let fits = [10.0, 25.0, 44.0, 100.0, 200.0, 400.0, 800.0];
+    let trials = if fast_mode() { 100 } else { 400 };
+    let series = fig2_series(&fits, trials, 2024);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(fit, analytic, mc)| {
+            vec![
+                format!("{fit:.0}"),
+                format!("{analytic:.0}"),
+                format!("{mc:.0}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 2 — mean time between faults in different channels (days)",
+        &["FIT/chip", "analytic", "Monte Carlo"],
+        &rows,
+    );
+    println!(
+        "\npaper anchor: [21] reports ~44 FIT/chip; the gap is 'on the order \
+         of 100's of days' across the figure's rate range (ours: {:.0} days at \
+         44 FIT, falling toward 100s of days as rates climb).",
+        series.iter().find(|r| r.0 == 44.0).unwrap().1
+    );
+}

@@ -1,0 +1,17 @@
+//! Fig 12: reduction in memory *dynamic* energy per instruction (activate +
+//! read + write commands) over the baselines, quad-channel-equivalent.
+
+use eccparity_bench::{comparison_figure, Metric};
+use mem_sim::SystemScale;
+
+fn main() {
+    comparison_figure(
+        "Fig 12 — dynamic EPI reduction, quad-channel-equivalent systems",
+        SystemScale::QuadEquivalent,
+        Metric::DynamicEpi,
+    );
+    println!(
+        "\nmechanism (paper §V-A): fewer chips read/written per memory \
+         request due to the smaller rank size."
+    );
+}

@@ -1,0 +1,17 @@
+//! Fig 13: reduction in memory *background* energy per instruction over the
+//! baselines, quad-channel-equivalent.
+
+use eccparity_bench::{comparison_figure, Metric};
+use mem_sim::SystemScale;
+
+fn main() {
+    comparison_figure(
+        "Fig 13 — background EPI reduction, quad-channel-equivalent systems",
+        SystemScale::QuadEquivalent,
+        Metric::BackgroundEpi,
+    );
+    println!(
+        "\nmechanism (paper §V-A): fewer chips switch to active mode per \
+         request, so chips put into sleep mode stay asleep longer."
+    );
+}

@@ -1,0 +1,13 @@
+//! Fig 15: performance normalized to each baseline, dual-channel-equivalent
+//! systems (paper: similar behavior to Fig 14).
+
+use eccparity_bench::{comparison_figure, Metric};
+use mem_sim::SystemScale;
+
+fn main() {
+    comparison_figure(
+        "Fig 15 — performance normalized to baselines, dual-channel-equivalent",
+        SystemScale::DualEquivalent,
+        Metric::Perf,
+    );
+}

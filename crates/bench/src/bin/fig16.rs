@@ -1,0 +1,27 @@
+//! Fig 16: memory accesses per instruction (each 64B read or written counts
+//! as one access) normalized to each baseline, quad-channel-equivalent.
+//! Lower is better.
+
+use eccparity_bench::{comparison_figure, paper, Metric};
+use mem_sim::SystemScale;
+
+fn main() {
+    let sums = comparison_figure(
+        "Fig 16 — 64B accesses per instruction normalized, quad-channel-equivalent",
+        SystemScale::QuadEquivalent,
+        Metric::Units,
+    );
+    let all18 = (sums[1].0 + sums[1].1) / 2.0;
+    let all36 = (sums[0].0 + sums[0].1) / 2.0;
+    println!(
+        "\npaper anchors: +{:.1}% vs 18-dev (ECC-update overhead), {:.0}% vs \
+         36-dev (128B lines overfetch for low-locality workloads).",
+        paper::FIG16_VS_CK18_PCT,
+        paper::FIG16_VS_CK36_PCT
+    );
+    println!(
+        "ours: {:+.1}% vs 18-dev, {:+.1}% vs 36-dev",
+        (all18 - 1.0) * 100.0,
+        (all36 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,21 @@
+//! Fig 17: memory accesses per instruction normalized to each baseline,
+//! dual-channel-equivalent. Paper: overheads are *higher* than Fig 16
+//! because each ECC parity (and thus each XOR cacheline) is shared across
+//! fewer channels, raising the XOR-cacheline miss rate.
+
+use eccparity_bench::{comparison_figure, Metric};
+use mem_sim::SystemScale;
+
+fn main() {
+    let sums = comparison_figure(
+        "Fig 17 — 64B accesses per instruction normalized, dual-channel-equivalent",
+        SystemScale::DualEquivalent,
+        Metric::Units,
+    );
+    let all18 = (sums[1].0 + sums[1].1) / 2.0;
+    println!(
+        "\nours vs 18-dev: {:+.1}% (must exceed the quad-equivalent figure's \
+         overhead — run fig16 to compare).",
+        (all18 - 1.0) * 100.0
+    );
+}

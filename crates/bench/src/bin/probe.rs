@@ -1,0 +1,70 @@
+//! Calibration probe: prints the key shape metrics for a few cells so the
+//! model can be tuned against the paper's anchors without running the full
+//! figure suite.
+
+use eccparity_bench::*;
+use mem_sim::{SchemeId, SystemScale, WorkloadSpec};
+
+fn main() {
+    let schemes = [
+        SchemeId::Ck36,
+        SchemeId::Ck18,
+        SchemeId::Lot9,
+        SchemeId::MultiEcc,
+        SchemeId::Lot5,
+        SchemeId::Lot5Parity,
+        SchemeId::Raim,
+        SchemeId::RaimParity,
+    ];
+    let ws: Vec<WorkloadSpec> = ["milc", "lbm", "streamcluster", "sjeng", "omnetpp"]
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let m = run_matrix(SystemScale::QuadEquivalent, &schemes, &ws);
+
+    let mut rows = vec![];
+    for w in &ws {
+        for s in schemes {
+            let r = &m[&(s, w.name)];
+            rows.push(vec![
+                w.name.to_string(),
+                r.scheme_name.to_string(),
+                format!("{:.1}", r.epi_pj()),
+                format!("{:.1}", r.dynamic_epi_pj()),
+                format!("{:.1}", r.background_epi_pj()),
+                format!("{:.4}", r.units_per_instruction()),
+                format!("{}", r.cycles),
+                format!("{:.2}", r.bandwidth_gbs()),
+            ]);
+        }
+    }
+    print_table(
+        "probe (quad-equivalent)",
+        &["workload", "scheme", "EPI pJ", "dynEPI", "bgEPI", "units/instr", "cycles", "GB/s"],
+        &rows,
+    );
+
+    // Headline ratios for milc (a Bin2 workload)
+    for w in ["milc", "sjeng"] {
+        let p = &m[&(SchemeId::Lot5Parity, w)];
+        println!("\n-- {w} --");
+        for s in [SchemeId::Ck36, SchemeId::Ck18, SchemeId::Lot9, SchemeId::MultiEcc, SchemeId::Lot5] {
+            let b = &m[&(s, w)];
+            println!(
+                "LOT5+Parity vs {:<12?}: EPI {:+.1}%  units {:+.1}%  perf {:+.1}%",
+                s,
+                reduction_pct(b.epi_pj(), p.epi_pj()),
+                (p.units_per_instruction() / b.units_per_instruction() - 1.0) * 100.0,
+                (b.cycles as f64 / p.cycles as f64 - 1.0) * 100.0,
+            );
+        }
+        let rp = &m[&(SchemeId::RaimParity, w)];
+        let rb = &m[&(SchemeId::Raim, w)];
+        println!(
+            "RAIM+Parity vs RAIM      : EPI {:+.1}%  units {:+.1}%  perf {:+.1}%",
+            reduction_pct(rb.epi_pj(), rp.epi_pj()),
+            (rp.units_per_instruction() / rb.units_per_instruction() - 1.0) * 100.0,
+            (rb.cycles as f64 / rp.cycles as f64 - 1.0) * 100.0,
+        );
+    }
+}

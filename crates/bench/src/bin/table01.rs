@@ -1,0 +1,22 @@
+//! Table I: the modeled processor microarchitecture.
+
+use eccparity_bench::print_table;
+use mem_sim::CoreConfig;
+
+fn main() {
+    let c = CoreConfig::default();
+    let rows = vec![
+        vec!["Issue width".into(), c.issue_width.to_string()],
+        vec!["Type".into(), "OoO (bounded-MLP model)".into()],
+        vec!["LSQ size".into(), format!("{}LQ/{}SQ", c.lq_size, c.sq_size)],
+        vec!["ROB size".into(), c.rob_size.to_string()],
+        vec!["L1 line size".into(), "64B".into()],
+        vec!["L1 D$, I$".into(), format!("{} KB", c.l1_bytes / 1024)],
+        vec!["L2 size".into(), format!("{} MB", c.l2_bytes / 1024 / 1024)],
+        vec!["L2 assoc.".into(), format!("{} ways", c.l2_ways)],
+        vec!["L2 latency".into(), format!("{} cycles", c.l2_latency)],
+        vec!["Clock".into(), format!("{} GHz", c.freq_ghz)],
+        vec!["MLP window".into(), format!("{} fills", c.mlp)],
+    ];
+    print_table("Table I — processor microarchitecture", &["parameter", "value"], &rows);
+}

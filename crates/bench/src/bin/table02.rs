@@ -1,0 +1,26 @@
+//! Table II: the evaluated ECC organizations (rank configuration, line
+//! size, ranks/channel, logical channels, total I/O pins) at both scales.
+
+use eccparity_bench::print_table;
+use mem_sim::{SchemeConfig, SchemeId, SystemScale};
+
+fn main() {
+    let mut rows = vec![];
+    for id in SchemeId::ALL {
+        let q = SchemeConfig::build(id, SystemScale::QuadEquivalent);
+        let d = SchemeConfig::build(id, SystemScale::DualEquivalent);
+        rows.push(vec![
+            q.name.to_string(),
+            format!("{} chips", q.mem.rank.chips()),
+            format!("{}B", q.mem.line_bytes),
+            q.mem.ranks_per_channel.to_string(),
+            format!("{}, {}", d.mem.channels, q.mem.channels),
+            format!("{}, {}", d.mem.total_pins(), q.mem.total_pins()),
+        ]);
+    }
+    print_table(
+        "Table II — evaluated ECC organizations (dual-, quad-equivalent)",
+        &["scheme", "rank", "line", "ranks/chan", "logical channels", "total pins"],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Table III: memory capacity overheads, including Monte Carlo end-of-life
+//! averages for the ECC Parity rows.
+
+use eccparity_bench::{fast_mode, print_table};
+use resilience_analysis::table3_rows;
+
+fn main() {
+    let trials = if fast_mode() { 4_000 } else { 25_000 };
+    let rows: Vec<Vec<String>> = table3_rows(trials, 33)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.1}%", r.static_overhead * 100.0),
+                r.eol_avg
+                    .map(|e| format!("{:.1}%", e * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.1}%", r.paper_value * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III — capacity overheads (EOL = end of life, 7-year MC)",
+        &["scheme", "static", "EOL avg", "paper"],
+        &rows,
+    );
+}

@@ -1,0 +1,110 @@
+//! Trace utility: record synthetic reference streams to JSON-lines, inspect
+//! them, and replay them through any Table II organization.
+//!
+//! ```text
+//! trace_tool record --workload milc --cores 8 --refs 50000 --out milc.jsonl
+//! trace_tool inspect --trace milc.jsonl
+//! trace_tool replay --trace milc.jsonl --scheme lot5p [--scale dual|quad]
+//! ```
+//!
+//! Replay accepts traces produced elsewhere too: one JSON object per line,
+//! `{"core":0,"line":123,"is_write":false,"gap_instr":25}`.
+
+use mem_sim::{
+    RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, Trace, WorkloadSpec,
+};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if let Some(k) = args[i].strip_prefix("--") {
+            out.insert(k.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let f = flags(args.get(1..).unwrap_or(&[]));
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let wname = f.get("workload").map(String::as_str).unwrap_or("milc");
+            let Some(spec) = WorkloadSpec::by_name(wname) else {
+                eprintln!("unknown workload {wname}");
+                return ExitCode::FAILURE;
+            };
+            let cores: usize = f.get("cores").and_then(|v| v.parse().ok()).unwrap_or(8);
+            let refs: usize = f.get("refs").and_then(|v| v.parse().ok()).unwrap_or(50_000);
+            let out = f.get("out").cloned().unwrap_or_else(|| format!("{wname}.jsonl"));
+            let t = Trace::record(spec, cores, refs, 0xECC_9A817);
+            t.save_jsonl(Path::new(&out)).expect("write trace");
+            println!("recorded {} refs ({} cores) to {out}", t.total_refs(), t.cores());
+        }
+        Some("inspect") => {
+            let path = f.get("trace").expect("--trace <file>");
+            let t = Trace::load_jsonl(Path::new(path)).expect("read trace");
+            println!("{path}: {} cores, {} refs", t.cores(), t.total_refs());
+            for (c, refs) in t.per_core.iter().enumerate() {
+                let writes = refs.iter().filter(|r| r.is_write).count();
+                let instr: u64 = refs.iter().map(|r| r.gap_instr as u64).sum();
+                let seq = refs
+                    .windows(2)
+                    .filter(|p| p[1].line == p[0].line + 1)
+                    .count();
+                println!(
+                    "  core {c}: {} refs, {:.1}% writes, {:.1} instr/ref, {:.1}% sequential",
+                    refs.len(),
+                    writes as f64 / refs.len() as f64 * 100.0,
+                    instr as f64 / refs.len() as f64,
+                    seq as f64 / (refs.len() - 1).max(1) as f64 * 100.0
+                );
+            }
+        }
+        Some("replay") => {
+            let path = f.get("trace").expect("--trace <file>");
+            let t = Trace::load_jsonl(Path::new(path)).expect("read trace");
+            let scheme = match f.get("scheme").map(String::as_str) {
+                Some("ck36") => SchemeId::Ck36,
+                Some("ck18") => SchemeId::Ck18,
+                Some("lot5") => SchemeId::Lot5,
+                Some("lot9") => SchemeId::Lot9,
+                Some("multi") => SchemeId::MultiEcc,
+                Some("raim") => SchemeId::Raim,
+                Some("raimp") => SchemeId::RaimParity,
+                _ => SchemeId::Lot5Parity,
+            };
+            let scale = match f.get("scale").map(String::as_str) {
+                Some("dual") => SystemScale::DualEquivalent,
+                _ => SystemScale::QuadEquivalent,
+            };
+            let cores = t.cores();
+            let per_core = t.per_core[0].len();
+            let mut cfg = RunConfig::paper(
+                SchemeConfig::build(scheme, scale),
+                WorkloadSpec::all()[0],
+            );
+            cfg.cores = cores;
+            cfg.warmup_per_core = (per_core / 3).min(50_000);
+            cfg.accesses_per_core = (per_core - cfg.warmup_per_core).min(100_000);
+            cfg.trace = Some(t);
+            let r = SimRunner::new(cfg).run();
+            println!("scheme   : {}", r.scheme_name);
+            println!("EPI      : {:.1} pJ/instr", r.epi_pj());
+            println!("traffic  : {:.4} units/instr", r.units_per_instruction());
+            println!("runtime  : {} cycles, {:.2} GB/s", r.cycles, r.bandwidth_gbs());
+        }
+        _ => {
+            eprintln!("usage: trace_tool <record|inspect|replay> [--flags]");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,252 @@
+//! Shared harness: matrix runner, aggregation, and table rendering.
+
+use mem_sim::{RunConfig, RunResult, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Simulation effort knob: `ECC_PARITY_FAST=1` shrinks runs ~8x for smoke
+/// testing; figures default to paper-shaped runs.
+pub fn fast_mode() -> bool {
+    std::env::var("ECC_PARITY_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Build the run configuration for one (scheme, workload) cell.
+pub fn cell_config(scheme: SchemeConfig, workload: WorkloadSpec) -> RunConfig {
+    let mut cfg = RunConfig::paper(scheme, workload);
+    if fast_mode() {
+        cfg.warmup_per_core = 6_000;
+        cfg.accesses_per_core = 12_000;
+    }
+    cfg
+}
+
+/// Key for matrix lookups.
+pub type Cell = (SchemeId, &'static str);
+
+/// If `ECC_PARITY_JSON_DIR` is set, dump every matrix's raw per-cell
+/// results there as JSON (one file per invocation title) for external
+/// plotting tools.
+pub fn json_dir() -> Option<PathBuf> {
+    std::env::var("ECC_PARITY_JSON_DIR").ok().map(PathBuf::from)
+}
+
+/// Write the raw results of a matrix as pretty JSON.
+pub fn dump_matrix_json(name: &str, matrix: &HashMap<Cell, RunResult>) {
+    let Some(dir) = json_dir() else { return };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut entries: Vec<_> = matrix
+        .iter()
+        .map(|((scheme, workload), r)| {
+            serde_json::json!({
+                "scheme": format!("{scheme:?}"),
+                "workload": workload,
+                "epi_pj": r.epi_pj(),
+                "dynamic_epi_pj": r.dynamic_epi_pj(),
+                "background_epi_pj": r.background_epi_pj(),
+                "units_per_instruction": r.units_per_instruction(),
+                "cycles": r.cycles,
+                "instructions": r.instructions,
+                "bandwidth_gbs": r.bandwidth_gbs(),
+                "avg_mem_latency": r.avg_mem_latency,
+            })
+        })
+        .collect();
+    entries.sort_by_key(|v| {
+        (
+            v["scheme"].as_str().unwrap_or("").to_string(),
+            v["workload"].as_str().unwrap_or("").to_string(),
+        )
+    });
+    let path = dir.join(format!("{}.json", name.replace([' ', '/'], "_")));
+    let _ = std::fs::write(
+        path,
+        serde_json::to_string_pretty(&serde_json::Value::Array(entries)).unwrap(),
+    );
+}
+
+/// Run the full matrix of `schemes x workloads` in parallel; deterministic
+/// regardless of thread schedule.
+pub fn run_matrix(
+    scale: SystemScale,
+    schemes: &[SchemeId],
+    workloads: &[WorkloadSpec],
+) -> HashMap<Cell, RunResult> {
+    let jobs: Vec<(SchemeId, WorkloadSpec)> = schemes
+        .iter()
+        .flat_map(|&s| workloads.iter().map(move |&w| (s, w)))
+        .collect();
+    jobs.into_par_iter()
+        .map(|(s, w)| {
+            let cfg = cell_config(SchemeConfig::build(s, scale), w);
+            let r = SimRunner::new(cfg).run();
+            ((s, w.name), r)
+        })
+        .collect()
+}
+
+/// All sixteen paper workloads.
+pub fn workloads() -> Vec<WorkloadSpec> {
+    WorkloadSpec::all()
+}
+
+/// Mean of `f` over the workloads of one bin.
+pub fn bin_mean(
+    matrix: &HashMap<Cell, RunResult>,
+    scheme: SchemeId,
+    bin: u8,
+    f: impl Fn(&RunResult) -> f64,
+) -> f64 {
+    let ws: Vec<&WorkloadSpec> = Box::leak(Box::new(WorkloadSpec::all()))
+        .iter()
+        .filter(|w| w.bin == bin)
+        .collect();
+    let sum: f64 = ws.iter().map(|w| f(&matrix[&(scheme, w.name)])).sum();
+    sum / ws.len() as f64
+}
+
+/// Percentage-reduction helper: how much smaller `ours` is than `base`.
+pub fn reduction_pct(base: f64, ours: f64) -> f64 {
+    (1.0 - ours / base) * 100.0
+}
+
+/// Render an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Format a ratio.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// The paper's reported averages used in comparisons (EXPERIMENTS.md).
+pub mod paper {
+    /// Fig 10 (quad-equivalent) EPI reductions of LOT-ECC5+Parity, (bin1, bin2).
+    pub const FIG10_VS_CK36: (f64, f64) = (46.0, 59.5);
+    pub const FIG10_VS_CK18: (f64, f64) = (34.6, 48.9);
+    pub const FIG10_VS_LOT9: (f64, f64) = (12.8, 23.1);
+    pub const FIG10_VS_MULTI: (f64, f64) = (11.3, 20.5);
+    /// RAIM+Parity vs RAIM (bin1, bin2), quad-equivalent.
+    pub const FIG10_RAIM: (f64, f64) = (18.5, 22.6);
+    /// Fig 16: LOT5+Parity accesses/instr vs 18-dev (+13.3%) and vs 36-dev (-20%).
+    pub const FIG16_VS_CK18_PCT: f64 = 13.3;
+    pub const FIG16_VS_CK36_PCT: f64 = -20.0;
+}
+
+/// Which quantity a comparison figure reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fig 10/11: memory EPI reduction (%) over the baseline.
+    TotalEpi,
+    /// Fig 12: dynamic EPI reduction (%).
+    DynamicEpi,
+    /// Fig 13: background EPI reduction (%).
+    BackgroundEpi,
+    /// Fig 14/15: performance normalized to the baseline (>1 = faster).
+    Perf,
+    /// Fig 16/17: 64B accesses per instruction normalized to the baseline.
+    Units,
+}
+
+impl Metric {
+    fn value(self, base: &RunResult, ours: &RunResult) -> f64 {
+        match self {
+            Metric::TotalEpi => reduction_pct(base.epi_pj(), ours.epi_pj()),
+            Metric::DynamicEpi => reduction_pct(base.dynamic_epi_pj(), ours.dynamic_epi_pj()),
+            Metric::BackgroundEpi => {
+                reduction_pct(base.background_epi_pj(), ours.background_epi_pj())
+            }
+            Metric::Perf => base.cycles as f64 / ours.cycles as f64,
+            Metric::Units => ours.units_per_instruction() / base.units_per_instruction(),
+        }
+    }
+
+    fn fmt(self, v: f64) -> String {
+        match self {
+            Metric::TotalEpi | Metric::DynamicEpi | Metric::BackgroundEpi => format!("{v:+.1}%"),
+            Metric::Perf | Metric::Units => format!("{v:.3}"),
+        }
+    }
+}
+
+/// The comparison pairs of Figs 10-17: LOT-ECC5+Parity against each chipkill
+/// baseline, and RAIM+Parity against RAIM.
+pub const COMPARISONS: [(&str, SchemeId, SchemeId); 6] = [
+    ("LOT5+P vs 36-dev", SchemeId::Lot5Parity, SchemeId::Ck36),
+    ("LOT5+P vs 18-dev", SchemeId::Lot5Parity, SchemeId::Ck18),
+    ("LOT5+P vs LOT-ECC9", SchemeId::Lot5Parity, SchemeId::Lot9),
+    ("LOT5+P vs Multi-ECC", SchemeId::Lot5Parity, SchemeId::MultiEcc),
+    ("LOT5+P vs LOT-ECC5", SchemeId::Lot5Parity, SchemeId::Lot5),
+    ("RAIM+P vs RAIM", SchemeId::RaimParity, SchemeId::Raim),
+];
+
+/// Run the full matrix and print one comparison figure. Returns
+/// (bin1 averages, bin2 averages) per comparison for EXPERIMENTS.md checks.
+pub fn comparison_figure(title: &str, scale: SystemScale, metric: Metric) -> Vec<(f64, f64)> {
+    let matrix = run_matrix(scale, &SchemeId::ALL, &workloads());
+    dump_matrix_json(title, &matrix);
+    let mut rows: Vec<Vec<String>> = vec![];
+    for w in workloads() {
+        let mut row = vec![w.name.to_string(), format!("Bin{}", w.bin)];
+        for (_, ours_id, base_id) in COMPARISONS {
+            let ours = &matrix[&(ours_id, w.name)];
+            let base = &matrix[&(base_id, w.name)];
+            row.push(metric.fmt(metric.value(base, ours)));
+        }
+        rows.push(row);
+    }
+    let mut summaries = vec![];
+    for bin in [1u8, 2] {
+        let mut row = vec![format!("Bin{bin} avg"), String::new()];
+        for (_, ours_id, base_id) in COMPARISONS {
+            let vals: Vec<f64> = workloads()
+                .iter()
+                .filter(|w| w.bin == bin)
+                .map(|w| {
+                    metric.value(&matrix[&(base_id, w.name)], &matrix[&(ours_id, w.name)])
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            row.push(metric.fmt(mean));
+            summaries.push(mean);
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["workload", "bin"];
+    headers.extend(COMPARISONS.iter().map(|c| c.0));
+    print_table(title, &headers, &rows);
+    // reshape: per comparison (bin1, bin2)
+    (0..COMPARISONS.len())
+        .map(|i| (summaries[i], summaries[COMPARISONS.len() + i]))
+        .collect()
+}

@@ -1,0 +1,11 @@
+//! # eccparity-bench — the paper-reproduction harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index); this library holds the shared machinery: running the full
+//! scheme x workload simulation matrix in parallel, aggregating per-bin
+//! statistics, and rendering aligned text tables with the paper's reported
+//! values alongside ours.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,155 @@
+//! Event log: a bounded record of every resilience action the memory takes
+//! (detections, corrections, retirements, migrations, uncorrectables).
+//!
+//! Real RAS stacks expose exactly this (e.g. via machine-check telemetry);
+//! operators use it to correlate error storms with devices and to audit
+//! that the policy engine (§III-C) behaved. The log is a ring buffer so a
+//! pathological error storm cannot exhaust memory.
+
+use crate::layout::LineLoc;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How a detected error was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrectionPath {
+    /// Reconstructed correction bits from the ECC parity (Fig 6 step C).
+    ParityReconstruction,
+    /// Used the stored ECC line of a migrated pair (step B).
+    StoredEccLine,
+    /// Could not be corrected.
+    Failed,
+}
+
+/// One logged resilience event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemEvent {
+    ErrorDetected {
+        channel: usize,
+        loc: LineLoc,
+        resolved: CorrectionPath,
+    },
+    PageRetired {
+        channel: usize,
+        bank: usize,
+        row: u32,
+    },
+    PairMigrated {
+        channel: usize,
+        pair: usize,
+    },
+    Uncorrectable {
+        channel: usize,
+        loc: LineLoc,
+    },
+}
+
+/// Bounded event log (ring buffer with a monotone sequence counter).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventLog {
+    capacity: usize,
+    next_seq: u64,
+    events: VecDeque<(u64, MemEvent)>,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> EventLog {
+        assert!(capacity >= 1);
+        EventLog {
+            capacity,
+            next_seq: 0,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full. Returns its sequence
+    /// number.
+    pub fn push(&mut self, event: MemEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back((seq, event));
+        seq
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, MemEvent)> {
+        self.events.iter()
+    }
+
+    /// Total events ever logged (including evicted ones).
+    pub fn total_logged(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events dropped by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.events.len() as u64
+    }
+
+    /// Count retained events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&MemEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+impl Default for EventLog {
+    /// A generous default bound: plenty for tests and simulations, finite
+    /// under error storms.
+    fn default() -> Self {
+        EventLog::new(64 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(row: u32) -> MemEvent {
+        MemEvent::PageRetired {
+            channel: 0,
+            bank: 1,
+            row,
+        }
+    }
+
+    #[test]
+    fn sequences_are_monotone_and_retained_in_order() {
+        let mut log = EventLog::new(8);
+        for i in 0..5 {
+            assert_eq!(log.push(ev(i)), i as u64);
+        }
+        let seqs: Vec<u64> = log.events().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for i in 0..10 {
+            log.push(ev(i));
+        }
+        let seqs: Vec<u64> = log.events().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(log.total_logged(), 10);
+        assert_eq!(log.dropped(), 7);
+    }
+
+    #[test]
+    fn count_filters_by_kind() {
+        let mut log = EventLog::new(16);
+        log.push(ev(1));
+        log.push(MemEvent::PairMigrated { channel: 2, pair: 0 });
+        log.push(ev(2));
+        assert_eq!(
+            log.count(|e| matches!(e, MemEvent::PageRetired { .. })),
+            2
+        );
+        assert_eq!(
+            log.count(|e| matches!(e, MemEvent::PairMigrated { .. })),
+            1
+        );
+    }
+}

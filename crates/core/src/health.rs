@@ -1,0 +1,236 @@
+//! Bank-pair health tracking (paper §III-B, §III-C).
+//!
+//! Tracking the kind of correction resource (parity vs stored ECC bits) per
+//! line would be prohibitive, so the paper tracks it per **pair of banks in
+//! the same channel**. Each pair has a small saturating error counter:
+//!
+//! * a detected error increments the pair's counter and retires the
+//!   physical page containing it (plus every page sharing its parities —
+//!   the caller handles that set, since it needs the layout);
+//! * when the counter reaches the threshold (default 4), the pair is marked
+//!   **faulty**: the caller must migrate the pair's correction bits into
+//!   memory and stop using parities for it.
+//!
+//! The on-chip cost is half a byte per pair: 512 B of SRAM covers a 512 GB
+//! system with 1024 banks (§III-E).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A bank pair within one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PairId {
+    pub channel: usize,
+    /// Pair index: banks `2*pair` and `2*pair + 1`.
+    pub pair: usize,
+}
+
+/// What the caller must do after recording an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthAction {
+    /// Retire the error's page (and its parity-sharing peers).
+    RetirePage,
+    /// Counter just saturated: migrate the pair to stored ECC bits.
+    MigratePair,
+    /// Pair already migrated; nothing further.
+    AlreadyFaulty,
+}
+
+/// The health table: counters + faulty markings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthTable {
+    channels: usize,
+    pairs_per_channel: usize,
+    threshold: u8,
+    counters: Vec<u8>,
+    faulty: Vec<bool>,
+    /// Retired physical pages: (channel, bank, row).
+    retired: HashSet<(usize, usize, u32)>,
+}
+
+impl HealthTable {
+    pub fn new(channels: usize, banks_per_channel: usize, threshold: u8) -> Self {
+        assert!(banks_per_channel.is_multiple_of(2));
+        assert!(threshold >= 1);
+        let pairs_per_channel = banks_per_channel / 2;
+        HealthTable {
+            channels,
+            pairs_per_channel,
+            threshold,
+            counters: vec![0; channels * pairs_per_channel],
+            faulty: vec![false; channels * pairs_per_channel],
+            retired: HashSet::new(),
+        }
+    }
+
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    fn idx(&self, p: PairId) -> usize {
+        assert!(p.channel < self.channels && p.pair < self.pairs_per_channel);
+        p.channel * self.pairs_per_channel + p.pair
+    }
+
+    /// Pair of a bank.
+    pub fn pair_of(&self, channel: usize, bank: usize) -> PairId {
+        PairId {
+            channel,
+            pair: bank / 2,
+        }
+    }
+
+    /// Step A1/A2 of Fig 6: is the bank's pair recorded faulty? (On real
+    /// hardware this is the on-chip SRAM lookup done in parallel with the
+    /// memory access.)
+    pub fn is_faulty(&self, channel: usize, bank: usize) -> bool {
+        self.faulty[self.idx(self.pair_of(channel, bank))]
+    }
+
+    /// Record a detected error in `bank` of `channel`. Returns the action
+    /// the memory controller / OS must take.
+    pub fn record_error(&mut self, channel: usize, bank: usize) -> HealthAction {
+        let id = self.idx(self.pair_of(channel, bank));
+        if self.faulty[id] {
+            return HealthAction::AlreadyFaulty;
+        }
+        self.counters[id] = self.counters[id].saturating_add(1);
+        if self.counters[id] >= self.threshold {
+            self.faulty[id] = true;
+            HealthAction::MigratePair
+        } else {
+            HealthAction::RetirePage
+        }
+    }
+
+    /// Directly mark a pair faulty (used when external diagnosis, e.g. a
+    /// scrub sweep classifying a whole-bank fault, bypasses the counter).
+    pub fn mark_faulty(&mut self, p: PairId) {
+        let id = self.idx(p);
+        self.faulty[id] = true;
+        self.counters[id] = self.threshold;
+    }
+
+    pub fn counter(&self, p: PairId) -> u8 {
+        self.counters[self.idx(p)]
+    }
+
+    /// Retire one physical page.
+    pub fn retire_page(&mut self, channel: usize, bank: usize, row: u32) {
+        self.retired.insert((channel, bank, row));
+    }
+
+    pub fn is_retired(&self, channel: usize, bank: usize, row: u32) -> bool {
+        self.retired.contains(&(channel, bank, row))
+    }
+
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// All faulty pairs.
+    pub fn faulty_pairs(&self) -> Vec<PairId> {
+        let mut out = vec![];
+        for channel in 0..self.channels {
+            for pair in 0..self.pairs_per_channel {
+                let p = PairId { channel, pair };
+                if self.faulty[self.idx(p)] {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of system capacity in faulty pairs (the Fig 8 statistic).
+    pub fn faulty_fraction(&self) -> f64 {
+        let total = (self.channels * self.pairs_per_channel) as f64;
+        self.faulty_pairs().len() as f64 / total
+    }
+
+    /// On-chip SRAM bytes this table needs (§III-E: 0.5 B per pair).
+    pub fn sram_bytes(&self) -> usize {
+        (self.channels * self.pairs_per_channel).div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_reaches_threshold_then_migrates() {
+        let mut h = HealthTable::new(4, 8, 4);
+        for i in 0..3 {
+            assert_eq!(
+                h.record_error(1, 4),
+                HealthAction::RetirePage,
+                "error {i} below threshold retires a page"
+            );
+            assert!(!h.is_faulty(1, 4));
+        }
+        assert_eq!(h.record_error(1, 4), HealthAction::MigratePair);
+        assert!(h.is_faulty(1, 4));
+        assert!(h.is_faulty(1, 5), "partner bank shares the pair state");
+        assert!(!h.is_faulty(1, 6));
+        assert_eq!(h.record_error(1, 5), HealthAction::AlreadyFaulty);
+    }
+
+    #[test]
+    fn errors_in_different_banks_of_a_pair_share_the_counter() {
+        // Paper: "the combined number of errors encountered in a pair of
+        // banks in the same channel".
+        let mut h = HealthTable::new(2, 4, 4);
+        h.record_error(0, 2);
+        h.record_error(0, 3);
+        h.record_error(0, 2);
+        assert_eq!(h.record_error(0, 3), HealthAction::MigratePair);
+    }
+
+    #[test]
+    fn counters_are_per_pair_and_per_channel() {
+        let mut h = HealthTable::new(2, 4, 2);
+        h.record_error(0, 0);
+        h.record_error(1, 0);
+        assert_eq!(h.counter(PairId { channel: 0, pair: 0 }), 1);
+        assert_eq!(h.counter(PairId { channel: 1, pair: 0 }), 1);
+        assert_eq!(h.counter(PairId { channel: 0, pair: 1 }), 0);
+    }
+
+    #[test]
+    fn page_retirement_bookkeeping() {
+        let mut h = HealthTable::new(2, 4, 4);
+        assert!(!h.is_retired(0, 1, 7));
+        h.retire_page(0, 1, 7);
+        assert!(h.is_retired(0, 1, 7));
+        assert_eq!(h.retired_count(), 1);
+        h.retire_page(0, 1, 7); // idempotent
+        assert_eq!(h.retired_count(), 1);
+    }
+
+    #[test]
+    fn faulty_fraction_counts_pairs() {
+        let mut h = HealthTable::new(4, 8, 1);
+        assert_eq!(h.faulty_fraction(), 0.0);
+        h.record_error(2, 6); // threshold 1: immediate migration
+        assert_eq!(h.faulty_pairs(), vec![PairId { channel: 2, pair: 3 }]);
+        assert!((h.faulty_fraction() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sram_budget_matches_paper() {
+        // §III-E: 1024 banks -> 512 pairs... the paper says 0.5B per *pair
+        // of banks* and 512B for 1024 banks; with 8 channels x 128 banks:
+        let h = HealthTable::new(8, 128, 4);
+        assert_eq!(h.sram_bytes(), 256); // 512 pairs * 0.5B
+    }
+
+    #[test]
+    fn mark_faulty_bypasses_counter() {
+        let mut h = HealthTable::new(2, 4, 4);
+        h.mark_faulty(PairId { channel: 1, pair: 1 });
+        assert!(h.is_faulty(1, 2));
+        assert!(h.is_faulty(1, 3));
+        assert_eq!(h.record_error(1, 2), HealthAction::AlreadyFaulty);
+    }
+}

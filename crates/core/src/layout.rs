@@ -1,0 +1,384 @@
+//! ECC parity group construction and physical layout (paper §III-A, Figs 3–5).
+//!
+//! ## Grouping
+//!
+//! With `N` channels, data rows are organized in blocks of `N-1` consecutive
+//! rows. Within one block (and one bank and one line-offset), the `N·(N-1)`
+//! lines — `N-1` rows in each of `N` channels — partition into `N` groups of
+//! `N-1` lines such that:
+//!
+//! * every group has **at most one line per channel** (a single-channel
+//!   fault touches at most one member), and
+//! * group `g`'s parity is stored in channel `g`, which contributes **no
+//!   member** to the group (so the parity does not share a failure domain
+//!   with any member).
+//!
+//! The assignment is the classic "skip own channel" bijection: the line at
+//! block-row `j` of channel `c` belongs to group `g = j + (j >= c) as usize`,
+//! and conversely group `g` takes from each channel `c != g` its block-row
+//! `j = g - (c < g) as usize`. Members sit in the *same relative location*
+//! up to a row within the block, preserving the paper's failure semantics:
+//! two channels failing at the same relative location defeat the parity.
+//!
+//! ## Placement
+//!
+//! Parities are packed into rows reserved at the top of every bank
+//! (`Fig 4`): each parity is `R` of a line, so one reserved row holds
+//! parities for `(N-1)/R` data rows, and the reserved share of each bank is
+//! `R/(N-1)` of its data rows. After a bank pair is marked faulty, its ECC
+//! correction bits are stored cross-bank within the pair (`Fig 5`): bank
+//! `2k`'s ECC lines live in bank `2k+1` and vice versa, letting a data read
+//! and its ECC-line read overlap in time.
+
+use serde::{Deserialize, Serialize};
+
+/// A line location within one channel: bank, row, line-within-row.
+/// (Ranks are folded into the bank index: the health table and layout care
+/// about *banks of a channel*, however they spread over ranks.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LineLoc {
+    pub bank: usize,
+    pub row: u32,
+    pub line: u32,
+}
+
+/// Identifies one parity group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId {
+    pub bank: usize,
+    /// Row-block index (blocks of N-1 rows).
+    pub block: u32,
+    pub line: u32,
+    /// Group index within the block == the channel storing the parity.
+    pub g: usize,
+}
+
+/// Layout calculator for one machine shape.
+///
+/// ```
+/// use ecc_parity::layout::{LineLoc, ParityLayout};
+///
+/// // 8 channels, LOT-ECC5's R = 1/4
+/// let layout = ParityLayout::new(8, 8, 28, 64, 1, 4);
+/// let loc = LineLoc { bank: 0, row: 3, line: 5 };
+/// let group = layout.group_of(2, &loc);
+/// // a line never shares a group with the channel storing its parity
+/// assert_ne!(group.g, 2);
+/// // and the group has one member per other channel
+/// assert_eq!(layout.members(&group).len(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityLayout {
+    pub channels: usize,
+    pub banks: usize,
+    /// Data rows per bank (excluding reserved parity rows).
+    pub data_rows: u32,
+    pub lines_per_row: u32,
+    /// Correction-bit size as a fraction of the line size, the paper's `R`
+    /// expressed as (numerator, denominator) to keep address math exact
+    /// (e.g. (1,4) for LOT-ECC5, (1,2) for RAIM).
+    pub r_num: u32,
+    pub r_den: u32,
+}
+
+impl ParityLayout {
+    pub fn new(
+        channels: usize,
+        banks: usize,
+        data_rows: u32,
+        lines_per_row: u32,
+        r_num: u32,
+        r_den: u32,
+    ) -> Self {
+        assert!(channels >= 2, "ECC parity requires at least 2 channels");
+        assert!(banks >= 2 && banks.is_multiple_of(2), "banks must pair up");
+        assert!(r_num > 0 && r_den > 0 && r_num <= r_den);
+        Self {
+            channels,
+            banks,
+            data_rows,
+            lines_per_row,
+            r_num,
+            r_den,
+        }
+    }
+
+    /// Rows per block: one block spans N-1 data rows.
+    pub fn block_rows(&self) -> u32 {
+        (self.channels - 1) as u32
+    }
+
+    /// Number of complete blocks per bank (trailing partial blocks are
+    /// covered by padding the block with absent members).
+    pub fn blocks_per_bank(&self) -> u32 {
+        self.data_rows.div_ceil(self.block_rows())
+    }
+
+    /// The parity group of a data line in channel `channel`.
+    pub fn group_of(&self, channel: usize, loc: &LineLoc) -> GroupId {
+        assert!(channel < self.channels);
+        assert!(loc.bank < self.banks);
+        assert!(loc.row < self.data_rows);
+        let block = loc.row / self.block_rows();
+        let j = (loc.row % self.block_rows()) as usize;
+        let g = if j >= channel { j + 1 } else { j };
+        GroupId {
+            bank: loc.bank,
+            block,
+            line: loc.line,
+            g,
+        }
+    }
+
+    /// The channel that stores a group's parity.
+    pub fn parity_channel(&self, group: &GroupId) -> usize {
+        group.g
+    }
+
+    /// Members of a group: `(channel, loc)` for every channel except the
+    /// parity channel. Rows past the end of a partial trailing block are
+    /// omitted.
+    pub fn members(&self, group: &GroupId) -> Vec<(usize, LineLoc)> {
+        let mut out = Vec::with_capacity(self.channels - 1);
+        for c in 0..self.channels {
+            if c == group.g {
+                continue;
+            }
+            let j = if c < group.g { group.g - 1 } else { group.g } as u32;
+            let row = group.block * self.block_rows() + j;
+            if row >= self.data_rows {
+                continue;
+            }
+            out.push((
+                c,
+                LineLoc {
+                    bank: group.bank,
+                    row,
+                    line: group.line,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Reserved parity rows needed per bank in the parity-storing channel:
+    /// each reserved row packs parities for `(N-1)/R` data rows.
+    /// (Paper: "Each row of ECC parities protects (N-1)/R rows of data".)
+    pub fn parity_rows_per_bank(&self) -> u32 {
+        // groups stored per channel per bank per line-offset:
+        // blocks_per_bank (each block contributes one group to each channel)
+        let groups = self.blocks_per_bank() as u64 * self.lines_per_row as u64;
+        // parities per parity line: 1/R
+        let per_line = (self.r_den / self.r_num) as u64;
+        let parity_lines = groups.div_ceil(per_line);
+        parity_lines.div_ceil(self.lines_per_row as u64) as u32
+    }
+
+    /// Static parity capacity overhead implied by the layout (should track
+    /// the closed form `R/(N-1)` up to rounding).
+    pub fn parity_capacity_overhead(&self) -> f64 {
+        self.parity_rows_per_bank() as f64 / self.data_rows as f64
+    }
+
+    /// Where a group's parity physically lives in channel `g`:
+    /// `(bank, reserved_row_index, line_in_row, byte_offset)`.
+    /// Reserved rows sit above the data rows of the *same bank* the group
+    /// protects; parities pack `1/R` to a line.
+    pub fn parity_address(&self, group: &GroupId) -> (usize, u32, u32, usize) {
+        let per_line = (self.r_den / self.r_num) as u64;
+        // Order parities by (block, line): consecutive blocks of one line
+        // offset share parity lines.
+        let idx = group.block as u64 * self.lines_per_row as u64 + group.line as u64;
+        let parity_line_idx = idx / per_line;
+        let slot = (idx % per_line) as usize;
+        let row = self.data_rows + (parity_line_idx / self.lines_per_row as u64) as u32;
+        let line = (parity_line_idx % self.lines_per_row as u64) as u32;
+        (group.bank, row, line, slot)
+    }
+
+    /// Fig 5 cross-bank ECC-line placement: the ECC correction bits of a
+    /// line in a migrated bank are stored in the *partner* bank of the pair,
+    /// at the same row/line coordinates (correction bits are allocated a
+    /// full line's footprint — the paper's 2R rule is capacity accounting,
+    /// placement is line-for-line).
+    pub fn ecc_line_home(&self, loc: &LineLoc) -> LineLoc {
+        LineLoc {
+            bank: loc.bank ^ 1,
+            row: loc.row,
+            line: loc.line,
+        }
+    }
+
+    /// The bank pair of a bank (paper granularity: adjacent even/odd banks
+    /// of one channel).
+    pub fn pair_of(&self, bank: usize) -> usize {
+        bank / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn layout(n: usize) -> ParityLayout {
+        ParityLayout::new(n, 4, 28, 4, 1, 4)
+    }
+
+    #[test]
+    fn every_line_in_exactly_one_group() {
+        for n in [2, 3, 4, 8] {
+            let l = layout(n);
+            let mut seen: HashMap<GroupId, HashSet<usize>> = HashMap::new();
+            for c in 0..n {
+                for bank in 0..l.banks {
+                    for row in 0..l.data_rows {
+                        for line in 0..l.lines_per_row {
+                            let loc = LineLoc { bank, row, line };
+                            let g = l.group_of(c, &loc);
+                            assert_ne!(g.g, c, "a line never joins its parity channel's group");
+                            assert!(
+                                seen.entry(g).or_default().insert(c),
+                                "channel {c} appears twice in {g:?}"
+                            );
+                        }
+                    }
+                }
+            }
+            for (g, chans) in &seen {
+                assert!(
+                    chans.len() < n,
+                    "group {g:?} has {} members, max {}",
+                    chans.len(),
+                    n - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_inverse_of_group_of() {
+        for n in [2, 3, 5, 8] {
+            let l = layout(n);
+            for bank in 0..l.banks {
+                for block in 0..l.blocks_per_bank() {
+                    for line in 0..l.lines_per_row {
+                        for g in 0..n {
+                            let gid = GroupId {
+                                bank,
+                                block,
+                                line,
+                                g,
+                            };
+                            for (c, loc) in l.members(&gid) {
+                                assert_eq!(
+                                    l.group_of(c, &loc),
+                                    gid,
+                                    "member ({c},{loc:?}) maps back to its group"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_blocks_have_n_minus_1_members() {
+        let l = ParityLayout::new(8, 4, 28, 4, 1, 4); // 28 = 4 blocks of 7
+        for g in 0..8 {
+            let gid = GroupId {
+                bank: 0,
+                block: 0,
+                line: 0,
+                g,
+            };
+            assert_eq!(l.members(&gid).len(), 7);
+        }
+    }
+
+    #[test]
+    fn partial_trailing_block_members_are_clipped() {
+        let l = ParityLayout::new(4, 2, 7, 4, 1, 4); // blocks of 3: 3+3+1
+        let gid = GroupId {
+            bank: 0,
+            block: 2,
+            line: 0,
+            g: 3,
+        };
+        for (_, loc) in l.members(&gid) {
+            assert!(loc.row < l.data_rows);
+        }
+    }
+
+    #[test]
+    fn parity_rows_track_closed_form() {
+        // R/(N-1) for LOT-ECC5 at 8 channels: 0.25/7 = 3.57%
+        let l = ParityLayout::new(8, 8, 2800, 64, 1, 4);
+        let measured = l.parity_capacity_overhead();
+        let closed = 0.25 / 7.0;
+        assert!(
+            (measured - closed).abs() < 0.01,
+            "measured {measured}, closed form {closed}"
+        );
+        // RAIM R=0.5 at 10 channels: 0.5/9 = 5.6%
+        let l = ParityLayout::new(10, 8, 2700, 64, 1, 2);
+        assert!((l.parity_capacity_overhead() - 0.5 / 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn parity_addresses_do_not_collide() {
+        let l = ParityLayout::new(4, 4, 27, 4, 1, 4);
+        let mut used: HashSet<(usize, usize, u32, u32, usize)> = HashSet::new();
+        for bank in 0..l.banks {
+            for block in 0..l.blocks_per_bank() {
+                for line in 0..l.lines_per_row {
+                    for g in 0..l.channels {
+                        let gid = GroupId {
+                            bank,
+                            block,
+                            line,
+                            g,
+                        };
+                        let (b, row, ln, slot) = l.parity_address(&gid);
+                        assert!(row >= l.data_rows, "parity lives in reserved rows");
+                        assert!(
+                            used.insert((g, b, row, ln, slot)),
+                            "parity slot collision for {gid:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecc_line_home_is_partner_bank() {
+        let l = layout(4);
+        let loc = LineLoc {
+            bank: 2,
+            row: 5,
+            line: 1,
+        };
+        let home = l.ecc_line_home(&loc);
+        assert_eq!(home.bank, 3);
+        assert_eq!(l.pair_of(loc.bank), l.pair_of(home.bank));
+        // involution
+        assert_eq!(l.ecc_line_home(&home), loc);
+    }
+
+    #[test]
+    fn two_channel_layout_degenerates_to_mirrored_parity() {
+        // N=2: blocks of one row; each group has a single member, parity in
+        // the other channel — ECC parity degenerates to storing the full
+        // correction bits (overhead R/(N-1) = R), as the paper's formula says.
+        let l = ParityLayout::new(2, 2, 8, 2, 1, 4);
+        for row in 0..8 {
+            let loc = LineLoc { bank: 0, row, line: 0 };
+            let g0 = l.group_of(0, &loc);
+            assert_eq!(g0.g, 1);
+            assert_eq!(l.members(&g0).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! A functional multi-channel memory protected by ECC Parity.
+//!
+//! This model stores real bytes and runs the real codes end to end:
+//!
+//! * each channel stores, per line, the **data** and its inline **detection
+//!   bits** (computed by the underlying ECC at write time);
+//! * **correction bits are not stored** — only the per-group XOR of them
+//!   (the ECC parity), packed in the reserved region described by
+//!   [`crate::layout::ParityLayout`];
+//! * faults (from `mem-faults`) are *overlays*: reads through a faulty
+//!   device return deterministically corrupted bytes for exactly the byte
+//!   spans that device owns, while the underlying true values persist —
+//!   matching real stuck-at device faults;
+//! * the read path implements Fig 6 steps A1/B/C, the write path A2/D/E
+//!   with parity update equation (1), and the scrubber drives the
+//!   bank-pair error counters: page retirement below the threshold,
+//!   migration of the pair to stored ECC lines at the threshold.
+//!
+//! Migrated pairs keep their corrupted devices, but every read corrects
+//! through the stored ECC lines; their contribution is XORed out of every
+//! parity group so the remaining channels retain single-channel protection
+//! (the paper's defense against fault accumulation across channels).
+
+use crate::events::{CorrectionPath, EventLog, MemEvent};
+use crate::health::{HealthAction, HealthTable};
+use crate::layout::{GroupId, LineLoc, ParityLayout};
+use ecc_codes::traits::{CorrectionSplit, DetectOutcome, Region};
+use mem_faults::FaultInstance;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Shape and policy knobs of a [`ParityMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityConfig {
+    pub channels: usize,
+    /// Banks per channel (even; paired for health tracking).
+    pub banks_per_channel: usize,
+    /// Data rows per bank (a row models a 4KB physical page).
+    pub data_rows: u32,
+    pub lines_per_row: u32,
+    /// Bank-pair error-counter threshold (paper default: 4).
+    pub threshold: u8,
+}
+
+impl ParityConfig {
+    /// A small functional-test configuration.
+    pub fn small(channels: usize) -> ParityConfig {
+        ParityConfig {
+            channels,
+            banks_per_channel: 4,
+            data_rows: 2 * (channels as u32 - 1).max(1),
+            lines_per_row: 4,
+            threshold: 4,
+        }
+    }
+
+    pub fn lines_per_bank(&self) -> u64 {
+        self.data_rows as u64 * self.lines_per_row as u64
+    }
+
+    pub fn lines_per_channel(&self) -> u64 {
+        self.banks_per_channel as u64 * self.lines_per_bank()
+    }
+}
+
+/// Errors surfaced by memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The page was retired by the OS; software must not touch it.
+    RetiredPage,
+    /// Detected error beyond correction capability (e.g. faults in two
+    /// channels at the same relative location while only parities exist).
+    Uncorrectable,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::RetiredPage => write!(f, "access to a retired page"),
+            MemError::Uncorrectable => write!(f, "uncorrectable memory error"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Outcome of one scrub sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    pub lines_scanned: u64,
+    pub errors_detected: u64,
+    pub pages_retired: u64,
+    pub pairs_migrated: u64,
+    pub uncorrectable: u64,
+}
+
+/// Operation counters (drive the traffic/energy accounting upstream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub detected_errors: u64,
+    /// Corrections that reconstructed correction bits from the parity
+    /// (Fig 6 step C) — each costs N-2 extra member reads plus the parity.
+    pub parity_reconstructions: u64,
+    /// Extra line reads performed for reconstructions.
+    pub reconstruction_reads: u64,
+    /// Corrections served by stored ECC lines (step B path).
+    pub ecc_line_corrections: u64,
+    /// Parity read-modify-writes on the write path (step E).
+    pub parity_updates: u64,
+    /// ECC-line writes on the write path to faulty banks (step D).
+    pub ecc_line_updates: u64,
+    pub pairs_migrated: u64,
+    pub uncorrectable: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StoredLine {
+    data: Vec<u8>,
+    detection: Vec<u8>,
+}
+
+/// The functional ECC-Parity memory (see module docs).
+pub struct ParityMemory<S: CorrectionSplit> {
+    ecc: S,
+    cfg: ParityConfig,
+    layout: ParityLayout,
+    health: HealthTable,
+    /// True stored contents per channel, flat-indexed by line.
+    store: Vec<Vec<StoredLine>>,
+    /// Parity per group, length = correction_bytes. Lazily materialized.
+    parities: HashMap<GroupId, Vec<u8>>,
+    /// Stored ECC correction bits of migrated pairs.
+    ecc_lines: HashMap<(usize, LineLoc), Vec<u8>>,
+    faults: Vec<FaultInstance>,
+    stats: MemStats,
+    log: EventLog,
+}
+
+impl<S: CorrectionSplit> ParityMemory<S> {
+    pub fn new(ecc: S, cfg: ParityConfig) -> Self {
+        // R as an exact fraction from the code's byte counts.
+        let r_num = ecc.correction_bytes() as u32;
+        let r_den = ecc.data_bytes() as u32;
+        let layout = ParityLayout::new(
+            cfg.channels,
+            cfg.banks_per_channel,
+            cfg.data_rows,
+            cfg.lines_per_row,
+            r_num,
+            r_den,
+        );
+        let zero = vec![0u8; ecc.data_bytes()];
+        let det0 = ecc.detection_of(&zero);
+        let line = StoredLine {
+            data: zero,
+            detection: det0,
+        };
+        let per_channel = cfg.lines_per_channel() as usize;
+        let store = (0..cfg.channels)
+            .map(|_| vec![line.clone(); per_channel])
+            .collect();
+        ParityMemory {
+            health: HealthTable::new(cfg.channels, cfg.banks_per_channel, cfg.threshold),
+            ecc,
+            cfg,
+            layout,
+            store,
+            parities: HashMap::new(),
+            ecc_lines: HashMap::new(),
+            faults: vec![],
+            stats: MemStats::default(),
+            log: EventLog::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ParityConfig {
+        &self.cfg
+    }
+
+    pub fn layout(&self) -> &ParityLayout {
+        &self.layout
+    }
+
+    pub fn health(&self) -> &HealthTable {
+        &self.health
+    }
+
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    pub fn ecc(&self) -> &S {
+        &self.ecc
+    }
+
+    /// The RAS event log (detections, retirements, migrations, ...).
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    fn idx(&self, loc: &LineLoc) -> usize {
+        assert!(loc.bank < self.cfg.banks_per_channel);
+        assert!(loc.row < self.cfg.data_rows);
+        assert!(loc.line < self.cfg.lines_per_row);
+        ((loc.bank as u64 * self.cfg.data_rows as u64 + loc.row as u64)
+            * self.cfg.lines_per_row as u64
+            + loc.line as u64) as usize
+    }
+
+    /// Inject a *permanent* device fault: an overlay that corrupts every
+    /// subsequent read whose coordinates it covers (stuck-at semantics).
+    pub fn inject_fault(&mut self, fault: FaultInstance) {
+        assert!(fault.chip.channel < self.cfg.channels, "fault channel out of range");
+        self.faults.push(fault);
+    }
+
+    /// Inject a *transient* fault (e.g. a particle strike): the covered
+    /// lines' stored bytes are corrupted once, in place. Unlike a permanent
+    /// fault, a scrub sweep repairs the damage for good (the corrected data
+    /// is written back), so transients never accumulate toward migration
+    /// beyond their first detection.
+    pub fn inject_transient(&mut self, fault: FaultInstance) {
+        assert!(fault.chip.channel < self.cfg.channels, "fault channel out of range");
+        let chips = self.ecc.chips_per_rank();
+        let layout = self.ecc.chip_layout();
+        let chip = fault.chip.chip % chips;
+        for bank in 0..self.cfg.banks_per_channel {
+            for row in 0..self.cfg.data_rows {
+                for line in 0..self.cfg.lines_per_row {
+                    if !fault.affects(fault.chip.rank, bank as u32, row, line) {
+                        continue;
+                    }
+                    let idx = self.idx(&LineLoc { bank, row, line });
+                    let stored = &mut self.store[fault.chip.channel][idx];
+                    for span in &layout[chip] {
+                        let buf: &mut [u8] = match span.region {
+                            Region::Data => &mut stored.data[span.start..span.start + span.len],
+                            Region::Detection => {
+                                &mut stored.detection[span.start..span.start + span.len]
+                            }
+                            Region::Correction => continue,
+                        };
+                        fault.corrupt(buf, bank as u32, row, line ^ ((span.start as u32) << 8));
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn faults(&self) -> &[FaultInstance] {
+        &self.faults
+    }
+
+    /// Raw device read: true contents plus fault-overlay corruption of the
+    /// byte spans owned by faulty devices.
+    fn read_raw(&self, channel: usize, loc: &LineLoc) -> (Vec<u8>, Vec<u8>) {
+        let s = &self.store[channel][self.idx(loc)];
+        let mut data = s.data.clone();
+        let mut det = s.detection.clone();
+        let chips = self.ecc.chips_per_rank();
+        let layout = self.ecc.chip_layout();
+        for f in &self.faults {
+            if f.chip.channel != channel {
+                continue;
+            }
+            if !f.affects(f.chip.rank, loc.bank as u32, loc.row, loc.line) {
+                continue;
+            }
+            let chip = f.chip.chip % chips;
+            for span in &layout[chip] {
+                let buf: &mut [u8] = match span.region {
+                    Region::Data => &mut data[span.start..span.start + span.len],
+                    Region::Detection => &mut det[span.start..span.start + span.len],
+                    // Correction bits are not stored inline under ECC Parity.
+                    Region::Correction => continue,
+                };
+                f.corrupt(buf, loc.bank as u32, loc.row, loc.line ^ ((span.start as u32) << 8));
+            }
+        }
+        (data, det)
+    }
+
+    /// Current parity of a group (materializing it from member contents on
+    /// first touch).
+    fn parity(&mut self, group: GroupId) -> &mut Vec<u8> {
+        if !self.parities.contains_key(&group) {
+            let fresh = self.compute_parity_from_scratch(&group);
+            self.parities.insert(group, fresh);
+        }
+        self.parities.get_mut(&group).unwrap()
+    }
+
+    /// Recompute a group parity from the true stored contents of its
+    /// non-migrated members (ground truth; the incremental write-path
+    /// updates must always agree — see the property tests).
+    pub fn compute_parity_from_scratch(&self, group: &GroupId) -> Vec<u8> {
+        let mut p = vec![0u8; self.ecc.correction_bytes()];
+        for (mc, mloc) in self.layout.members(group) {
+            if self.health.is_faulty(mc, mloc.bank) {
+                continue; // migrated: contribution removed
+            }
+            let corr = self
+                .ecc
+                .correction_of(&self.store[mc][self.idx(&mloc)].data);
+            for (a, b) in p.iter_mut().zip(&corr) {
+                *a ^= b;
+            }
+        }
+        p
+    }
+
+    /// Fig 6 step C: rebuild the correction bits of `(channel, loc)` from
+    /// its group parity plus the correction bits of the other members,
+    /// which are recomputed from their (verified-clean) data.
+    fn reconstruct_correction(&mut self, channel: usize, loc: &LineLoc) -> Result<Vec<u8>, MemError> {
+        let group = self.layout.group_of(channel, loc);
+        let mut corr = self.parity(group).clone();
+        let members = self.layout.members(&group);
+        for (mc, mloc) in members {
+            if mc == channel && mloc == *loc {
+                continue;
+            }
+            if self.health.is_faulty(mc, mloc.bank) {
+                continue; // already out of the parity
+            }
+            let (mdata, mdet) = self.read_raw(mc, &mloc);
+            self.stats.reconstruction_reads += 1;
+            if self.ecc.detect(&mdata, &mdet) != DetectOutcome::Clean {
+                // Two channels faulty at the same relative location and the
+                // second not yet migrated: the parity cannot help.
+                return Err(MemError::Uncorrectable);
+            }
+            let mcorr = self.ecc.correction_of(&mdata);
+            for (a, b) in corr.iter_mut().zip(&mcorr) {
+                *a ^= b;
+            }
+        }
+        self.stats.parity_reconstructions += 1;
+        Ok(corr)
+    }
+
+    /// Record a detected error per §III-C: increment the pair counter,
+    /// retire the page (and its parity-sharing peer pages) below the
+    /// threshold, migrate the pair at the threshold. Returns pages retired.
+    fn note_error(&mut self, channel: usize, loc: &LineLoc) -> (u64, bool) {
+        match self.health.record_error(channel, loc.bank) {
+            HealthAction::RetirePage => {
+                let mut retired = 0u64;
+                // The page itself plus every page sharing its parities: the
+                // member pages of this page's parity group.
+                let group = self.layout.group_of(channel, loc);
+                for (mc, mloc) in self.layout.members(&group) {
+                    if !self.health.is_retired(mc, mloc.bank, mloc.row) {
+                        self.health.retire_page(mc, mloc.bank, mloc.row);
+                        self.log.push(MemEvent::PageRetired {
+                            channel: mc,
+                            bank: mloc.bank,
+                            row: mloc.row,
+                        });
+                        retired += 1;
+                    }
+                }
+                (retired, false)
+            }
+            HealthAction::MigratePair => {
+                self.migrate_pair(channel, loc.bank / 2);
+                (0, true)
+            }
+            HealthAction::AlreadyFaulty => (0, false),
+        }
+    }
+
+    /// §III-B: store the actual ECC correction bits of both banks of a pair
+    /// and strike their contributions from every parity group. ECC lines
+    /// live cross-bank within the pair (Fig 5) with a 2R capacity charge and
+    /// their own ECC protection (we model them as reliable storage).
+    pub fn migrate_pair(&mut self, channel: usize, pair: usize) {
+        let banks = [2 * pair, 2 * pair + 1];
+        // Mark first so parity materialization during the sweep excludes us.
+        self.health.mark_faulty(crate::health::PairId { channel, pair });
+        for &bank in &banks {
+            for row in 0..self.cfg.data_rows {
+                for line in 0..self.cfg.lines_per_row {
+                    let loc = LineLoc { bank, row, line };
+                    // True stored data is the reconstruction target; the
+                    // hardware obtains it by correcting through parities
+                    // (the read path proves that works).
+                    let true_data = self.store[channel][self.idx(&loc)].data.clone();
+                    let corr = self.ecc.correction_of(&true_data);
+                    // Remove this line's contribution from its group parity
+                    // (skip if the parity was never materialized AND compute-
+                    // from-scratch already excludes us via the faulty mark).
+                    let group = self.layout.group_of(channel, &loc);
+                    if let Some(p) = self.parities.get_mut(&group) {
+                        for (a, b) in p.iter_mut().zip(&corr) {
+                            *a ^= b;
+                        }
+                    }
+                    self.ecc_lines.insert((channel, loc), corr);
+                }
+            }
+        }
+        self.stats.pairs_migrated += 1;
+        self.log.push(MemEvent::PairMigrated { channel, pair });
+    }
+
+    /// Application read (Fig 6 left half).
+    pub fn read(&mut self, channel: usize, loc: LineLoc) -> Result<Vec<u8>, MemError> {
+        if self.health.is_retired(channel, loc.bank, loc.row) {
+            return Err(MemError::RetiredPage);
+        }
+        self.stats.reads += 1;
+        let (mut data, det) = self.read_raw(channel, &loc);
+        let faulty = self.health.is_faulty(channel, loc.bank); // step A1
+        if self.ecc.detect(&data, &det) == DetectOutcome::Clean {
+            return Ok(data);
+        }
+        self.stats.detected_errors += 1;
+        let corr = if faulty {
+            // Step B: the ECC line was read in parallel.
+            self.stats.ecc_line_corrections += 1;
+            self.ecc_lines
+                .get(&(channel, loc))
+                .cloned()
+                .unwrap_or_else(|| vec![0u8; self.ecc.correction_bytes()])
+        } else {
+            // Step C: reconstruct from the parity.
+            match self.reconstruct_correction(channel, &loc) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.stats.uncorrectable += 1;
+                    self.log.push(MemEvent::Uncorrectable { channel, loc });
+                    self.note_error(channel, &loc);
+                    return Err(e);
+                }
+            }
+        };
+        match self.ecc.correct(&mut data, &det, &corr, None) {
+            Ok(_) => {
+                self.log.push(MemEvent::ErrorDetected {
+                    channel,
+                    loc,
+                    resolved: if faulty {
+                        CorrectionPath::StoredEccLine
+                    } else {
+                        CorrectionPath::ParityReconstruction
+                    },
+                });
+                if !faulty {
+                    self.note_error(channel, &loc);
+                }
+                Ok(data)
+            }
+            Err(_) => {
+                self.stats.uncorrectable += 1;
+                self.log.push(MemEvent::Uncorrectable { channel, loc });
+                if !faulty {
+                    self.note_error(channel, &loc);
+                }
+                Err(MemError::Uncorrectable)
+            }
+        }
+    }
+
+    /// Application write (Fig 6 right half).
+    pub fn write(&mut self, channel: usize, loc: LineLoc, new_data: &[u8]) -> Result<(), MemError> {
+        assert_eq!(new_data.len(), self.ecc.data_bytes());
+        if self.health.is_retired(channel, loc.bank, loc.row) {
+            return Err(MemError::RetiredPage);
+        }
+        self.stats.writes += 1;
+        let faulty = self.health.is_faulty(channel, loc.bank); // step A2
+        let idx = self.idx(&loc);
+        let new_corr = self.ecc.correction_of(new_data);
+        if faulty {
+            // Step D: write the ECC line alongside the data.
+            self.ecc_lines.insert((channel, loc), new_corr);
+            self.stats.ecc_line_updates += 1;
+        } else {
+            // Step E, equation (1): ECCP_new = ECCP_old ^ ECC_old ^ ECC_new.
+            // ECC_old comes from the line's old value — on hardware, the
+            // inclusive LLC holds it (Fig 7); here, the true stored value.
+            let old_corr = self.ecc.correction_of(&self.store[channel][idx].data);
+            let group = self.layout.group_of(channel, &loc);
+            let p = self.parity(group);
+            for ((a, o), n) in p.iter_mut().zip(&old_corr).zip(&new_corr) {
+                *a ^= o ^ n;
+            }
+            self.stats.parity_updates += 1;
+        }
+        let det = self.ecc.detection_of(new_data);
+        self.store[channel][idx] = StoredLine {
+            data: new_data.to_vec(),
+            detection: det,
+        };
+        Ok(())
+    }
+
+    /// One full scrub sweep over every non-retired line of every channel
+    /// (§III-C: periodic scanning bounds the window in which a second
+    /// channel can fail before a first fault is reacted to).
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for channel in 0..self.cfg.channels {
+            for bank in 0..self.cfg.banks_per_channel {
+                for row in 0..self.cfg.data_rows {
+                    if self.health.is_retired(channel, bank, row) {
+                        continue;
+                    }
+                    for line in 0..self.cfg.lines_per_row {
+                        // Re-check retirement: an earlier error in this very
+                        // sweep may have retired the page.
+                        if self.health.is_retired(channel, bank, row) {
+                            break;
+                        }
+                        let loc = LineLoc { bank, row, line };
+                        report.lines_scanned += 1;
+                        let (data, det) = self.read_raw(channel, &loc);
+                        if self.ecc.detect(&data, &det) == DetectOutcome::Clean {
+                            continue;
+                        }
+                        report.errors_detected += 1;
+                        if self.health.is_faulty(channel, bank) {
+                            continue; // already migrated; reads use ECC lines
+                        }
+                        // Verify correctability through the parity path, then
+                        // act on the counter.
+                        let correctable = {
+                            match self.reconstruct_correction(channel, &loc) {
+                                Ok(corr) => {
+                                    let mut d = data.clone();
+                                    match self.ecc.correct(&mut d, &det, &corr, None) {
+                                        Ok(_) => {
+                                            // Scrub repair: write the
+                                            // corrected value back. Heals
+                                            // transient damage in place;
+                                            // permanent faults re-corrupt on
+                                            // the next read (overlay).
+                                            let idx = self.idx(&loc);
+                                            let fixed_det = self.ecc.detection_of(&d);
+                                            // Keep parity consistent via the
+                                            // standard write-path identity.
+                                            let old_corr = self.ecc.correction_of(
+                                                &self.store[channel][idx].data,
+                                            );
+                                            let new_corr = self.ecc.correction_of(&d);
+                                            let group = self.layout.group_of(channel, &loc);
+                                            let p = self.parity(group);
+                                            for ((a, o), n) in
+                                                p.iter_mut().zip(&old_corr).zip(&new_corr)
+                                            {
+                                                *a ^= o ^ n;
+                                            }
+                                            self.store[channel][idx] = StoredLine {
+                                                data: d,
+                                                detection: fixed_det,
+                                            };
+                                            true
+                                        }
+                                        Err(_) => false,
+                                    }
+                                }
+                                Err(_) => false,
+                            }
+                        };
+                        if !correctable {
+                            report.uncorrectable += 1;
+                            self.stats.uncorrectable += 1;
+                        }
+                        let (retired, migrated) = self.note_error(channel, &loc);
+                        report.pages_retired += retired;
+                        if migrated {
+                            report.pairs_migrated += 1;
+                            break; // bank now served by ECC lines
+                        }
+                        if retired > 0 {
+                            break; // page gone; move to next row
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Current total capacity overhead: detection (12.5%) + parity region +
+    /// 2R for every migrated pair + retired pages.
+    pub fn capacity_overhead(&self) -> f64 {
+        let n = self.cfg.channels as f64;
+        let r = self.ecc.correction_ratio();
+        let detection = self.ecc.detection_bytes() as f64 / self.ecc.data_bytes() as f64;
+        let parity = 1.125 * r / (n - 1.0);
+        let migrated = self.health.faulty_fraction() * 2.0 * r;
+        let total_pages =
+            (self.cfg.channels * self.cfg.banks_per_channel) as f64 * self.cfg.data_rows as f64;
+        let retired = self.health.retired_count() as f64 / total_pages;
+        detection + parity + migrated + retired
+    }
+}

@@ -1,0 +1,214 @@
+//! XOR-cacheline compaction (paper §III-D, borrowed from Multi-ECC \[13\]).
+//!
+//! Updating an ECC parity for a dirty writeback needs
+//! `ECCP_new = ECCP_old ⊕ ECC_old ⊕ ECC_new` (equation 1) — naively a
+//! read-modify-write of the parity line per writeback. The optimization
+//! compacts into a single LLC cacheline the XOR `ECC_old ⊕ ECC_new` of
+//! *all* dirty lines protected by the same parity line; only when that XOR
+//! cacheline is evicted does memory see one parity-line read plus one
+//! write. The XOR cacheline takes the physical address of its parity line.
+//!
+//! This model is functional (deltas really accumulate and flush) and also
+//! reports the traffic statistics the bandwidth figures need (hits, misses,
+//! evictions).
+
+use crate::layout::GroupId;
+use std::collections::HashMap;
+
+/// Statistics of XOR-cacheline behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XorCacheStats {
+    /// Delta merges that found their XOR cacheline resident.
+    pub hits: u64,
+    /// Delta merges that allocated a new XOR cacheline (no memory traffic:
+    /// the line starts as the zero delta).
+    pub allocations: u64,
+    /// Evictions — each costs one parity read + one parity write in memory.
+    pub evictions: u64,
+}
+
+/// A bounded cache of XOR cachelines keyed by parity group.
+///
+/// Eviction is LRU. Capacity is in cachelines; the real system shares the
+/// LLC with data (modeled in `mem-sim`) — this standalone version is for
+/// functional verification and the ablation bench.
+///
+/// ```
+/// use ecc_parity::layout::GroupId;
+/// use ecc_parity::xorcache::XorCache;
+///
+/// let g = GroupId { bank: 0, block: 0, line: 0, g: 1 };
+/// let mut cache = XorCache::new(16);
+/// assert!(cache.merge(g, &[0x0F]).is_none()); // allocate: no memory traffic
+/// assert!(cache.merge(g, &[0xF0]).is_none()); // merge: deltas XOR together
+/// assert_eq!(cache.flush_all(), vec![(g, vec![0xFF])]);
+/// ```
+pub struct XorCache {
+    capacity: usize,
+    /// group -> (delta, last-use stamp)
+    lines: HashMap<GroupId, (Vec<u8>, u64)>,
+    clock: u64,
+    stats: XorCacheStats,
+}
+
+impl XorCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        XorCache {
+            capacity,
+            lines: HashMap::new(),
+            clock: 0,
+            stats: XorCacheStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &XorCacheStats {
+        &self.stats
+    }
+
+    pub fn resident(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Merge a dirty line's `ECC_old ⊕ ECC_new` delta. Returns the evicted
+    /// `(group, accumulated_delta)` if the allocation displaced a victim —
+    /// the caller must apply it to the parity in memory (one read + one
+    /// write).
+    pub fn merge(&mut self, group: GroupId, delta: &[u8]) -> Option<(GroupId, Vec<u8>)> {
+        self.clock += 1;
+        if let Some((acc, stamp)) = self.lines.get_mut(&group) {
+            for (a, d) in acc.iter_mut().zip(delta) {
+                *a ^= d;
+            }
+            *stamp = self.clock;
+            self.stats.hits += 1;
+            return None;
+        }
+        self.stats.allocations += 1;
+        let mut evicted = None;
+        if self.lines.len() >= self.capacity {
+            let victim = *self
+                .lines
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(g, _)| g)
+                .expect("cache nonempty");
+            let (acc, _) = self.lines.remove(&victim).unwrap();
+            self.stats.evictions += 1;
+            evicted = Some((victim, acc));
+        }
+        self.lines.insert(group, (delta.to_vec(), self.clock));
+        evicted
+    }
+
+    /// Flush everything (e.g. at shutdown or before migration recomputes
+    /// parities): every resident delta is surrendered to the caller.
+    pub fn flush_all(&mut self) -> Vec<(GroupId, Vec<u8>)> {
+        let mut out: Vec<(GroupId, Vec<u8>)> = self
+            .lines
+            .drain()
+            .map(|(g, (acc, _))| (g, acc))
+            .collect();
+        out.sort_by_key(|(g, _)| *g);
+        self.stats.evictions += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(bank: usize, block: u32) -> GroupId {
+        GroupId {
+            bank,
+            block,
+            line: 0,
+            g: 0,
+        }
+    }
+
+    #[test]
+    fn deltas_accumulate_by_xor() {
+        let mut c = XorCache::new(4);
+        assert!(c.merge(gid(0, 0), &[0x0f, 0xf0]).is_none());
+        assert!(c.merge(gid(0, 0), &[0xff, 0xff]).is_none());
+        let flushed = c.flush_all();
+        assert_eq!(flushed, vec![(gid(0, 0), vec![0xf0, 0x0f])]);
+    }
+
+    #[test]
+    fn merging_twice_cancels() {
+        // ECC_old ^ ECC_new applied twice with the same pair cancels —
+        // exactly why a delta cache is safe.
+        let mut c = XorCache::new(4);
+        c.merge(gid(1, 0), &[0xaa]);
+        c.merge(gid(1, 0), &[0xaa]);
+        assert_eq!(c.flush_all(), vec![(gid(1, 0), vec![0x00])]);
+    }
+
+    #[test]
+    fn lru_eviction_surrenders_victim_delta() {
+        let mut c = XorCache::new(2);
+        c.merge(gid(0, 0), &[1]);
+        c.merge(gid(1, 0), &[2]);
+        c.merge(gid(0, 0), &[4]); // touch group 0: group 1 becomes LRU
+        let evicted = c.merge(gid(2, 0), &[8]).expect("must evict");
+        assert_eq!(evicted, (gid(1, 0), vec![2]));
+        assert_eq!(c.resident(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().allocations, 3);
+    }
+
+    #[test]
+    fn equivalence_with_direct_parity_updates() {
+        // Applying deltas through the cache (with arbitrary eviction times)
+        // must leave the parity identical to applying them directly.
+        let mut direct = vec![0u8; 4];
+        let mut via_cache = vec![0u8; 4];
+        let mut c = XorCache::new(2);
+        let deltas: Vec<(GroupId, Vec<u8>)> = (0..40u32)
+            .map(|i| {
+                (
+                    gid((i % 5) as usize, 0),
+                    vec![i as u8, (i * 7) as u8, (i * 13) as u8, 1],
+                )
+            })
+            .collect();
+        for (g, d) in &deltas {
+            if *g == gid(0, 0) {
+                for (a, b) in direct.iter_mut().zip(d) {
+                    *a ^= b;
+                }
+            }
+            if let Some((eg, acc)) = c.merge(*g, d) {
+                if eg == gid(0, 0) {
+                    for (a, b) in via_cache.iter_mut().zip(&acc) {
+                        *a ^= b;
+                    }
+                }
+            }
+        }
+        for (eg, acc) in c.flush_all() {
+            if eg == gid(0, 0) {
+                for (a, b) in via_cache.iter_mut().zip(&acc) {
+                    *a ^= b;
+                }
+            }
+        }
+        assert_eq!(direct, via_cache);
+    }
+
+    #[test]
+    fn allocation_costs_no_memory_read() {
+        // The delta line starts at zero: unlike caching the parity itself,
+        // allocating a XOR cacheline needs no fill from memory.
+        let mut c = XorCache::new(8);
+        for i in 0..8 {
+            assert!(c.merge(gid(i, 0), &[i as u8]).is_none());
+        }
+        assert_eq!(c.stats().allocations, 8);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

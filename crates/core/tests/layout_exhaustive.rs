@@ -1,0 +1,78 @@
+//! Exhaustive layout verification at realistic scale: the parity-group
+//! partition and parity-address injectivity hold for every channel count
+//! the paper's Table II uses (4, 5, 8, 10), over full banks.
+
+use ecc_parity::layout::{GroupId, LineLoc, ParityLayout};
+use std::collections::{HashMap, HashSet};
+
+#[test]
+fn partition_and_addresses_for_every_table2_channel_count() {
+    for (channels, r_num, r_den) in [(4usize, 1u32, 4u32), (5, 1, 2), (8, 1, 4), (10, 1, 2)] {
+        let rows = 3 * (channels as u32 - 1);
+        let l = ParityLayout::new(channels, 4, rows, 8, r_num, r_den);
+
+        // 1. every line is in exactly one group; no group holds two lines
+        //    of one channel; nobody joins their parity channel's group.
+        let mut membership: HashMap<GroupId, HashSet<usize>> = HashMap::new();
+        for c in 0..channels {
+            for bank in 0..l.banks {
+                for row in 0..l.data_rows {
+                    for line in 0..l.lines_per_row {
+                        let loc = LineLoc { bank, row, line };
+                        let g = l.group_of(c, &loc);
+                        assert_ne!(g.g, c);
+                        assert!(membership.entry(g).or_default().insert(c));
+                    }
+                }
+            }
+        }
+        for (g, members) in &membership {
+            assert!(members.len() <= channels - 1, "{channels}ch {g:?}");
+        }
+
+        // 2. parity addresses are injective per channel and live above the
+        //    data rows.
+        let mut used: HashSet<(usize, usize, u32, u32, usize)> = HashSet::new();
+        for g in membership.keys() {
+            let (bank, row, line, slot) = l.parity_address(g);
+            assert!(row >= l.data_rows);
+            assert!(
+                used.insert((g.g, bank, row, line, slot)),
+                "{channels}ch: address collision for {g:?}"
+            );
+        }
+
+        // 3. the reserved-row count tracks the closed form R/(N-1).
+        let closed = (r_num as f64 / r_den as f64) / (channels as f64 - 1.0);
+        let measured = l.parity_capacity_overhead();
+        assert!(
+            (measured - closed).abs() < closed * 0.6 + 0.02,
+            "{channels}ch: measured {measured} vs closed {closed}"
+        );
+    }
+}
+
+#[test]
+fn members_always_within_one_block_and_same_bank_line() {
+    // The failure-domain argument (two channels failing at the same
+    // relative location defeat one group) requires members to share bank
+    // and line offset, with rows within one block of N-1.
+    for channels in [3usize, 6, 9] {
+        let l = ParityLayout::new(channels, 2, 4 * (channels as u32 - 1), 4, 1, 4);
+        for bank in 0..l.banks {
+            for block in 0..l.blocks_per_bank() {
+                for line in 0..l.lines_per_row {
+                    for g in 0..channels {
+                        let gid = GroupId { bank, block, line, g };
+                        let members = l.members(&gid);
+                        for (_, loc) in &members {
+                            assert_eq!(loc.bank, bank);
+                            assert_eq!(loc.line, line);
+                            assert_eq!(loc.row / l.block_rows(), block);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the ECC Parity core invariants: the layout
+//! bijection, the parity update equation, and reconstruction identities.
+
+use ecc_codes::lotecc::LotEcc;
+use ecc_codes::traits::CorrectionSplit;
+use ecc_parity::layout::{LineLoc, ParityLayout};
+use ecc_parity::memory::{ParityConfig, ParityMemory};
+use ecc_parity::xorcache::XorCache;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn layout_membership_is_a_partition(
+        channels in 2usize..=10,
+        bank in 0usize..4,
+        row_sel in any::<u32>(),
+        line in 0u32..4,
+        chan_sel in any::<usize>(),
+    ) {
+        let l = ParityLayout::new(channels, 4, 3 * (channels as u32 - 1), 4, 1, 4);
+        let row = row_sel % l.data_rows;
+        let c = chan_sel % channels;
+        let loc = LineLoc { bank, row, line };
+        let g = l.group_of(c, &loc);
+        // never grouped with the parity channel
+        prop_assert_ne!(g.g, c);
+        // membership round trip
+        let members = l.members(&g);
+        prop_assert!(members.contains(&(c, loc)));
+        // at most one member per channel
+        for ch in 0..channels {
+            prop_assert!(members.iter().filter(|(mc, _)| *mc == ch).count() <= 1);
+        }
+        // every member maps back to the same group
+        for (mc, mloc) in members {
+            prop_assert_eq!(l.group_of(mc, &mloc), g);
+        }
+    }
+
+    #[test]
+    fn parity_reconstruction_identity(
+        channels in 3usize..=6,
+        writes in prop::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u64>()), 1..40),
+    ) {
+        // After arbitrary writes, for every group:
+        //   parity == XOR of correction bits of all members,
+        // so each member's correction bits equal parity XOR the others —
+        // the paper's reconstruction (Fig 6 step C).
+        let cfg = ParityConfig::small(channels);
+        let mut mem = ParityMemory::new(LotEcc::five(), cfg);
+        let ecc = LotEcc::five();
+        for (cv, lv, seed) in &writes {
+            let c = (*cv as usize) % channels;
+            let bank = (*lv as usize) % cfg.banks_per_channel;
+            let row = ((*lv >> 4) as u32) % cfg.data_rows;
+            let line = ((*lv >> 9) as u32) % cfg.lines_per_row;
+            let mut data = vec![0u8; 64];
+            let mut s = *seed | 1;
+            for b in &mut data {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+                *b = (s >> 33) as u8;
+            }
+            mem.write(c, LineLoc { bank, row, line }, &data).unwrap();
+        }
+        // check a sample of groups: parity-from-scratch equals XOR of
+        // member correction bits computed through the public read path
+        for c in 0..channels {
+            let loc = LineLoc { bank: 0, row: 0, line: 0 };
+            let g = mem.layout().group_of(c, &loc);
+            let scratch = mem.compute_parity_from_scratch(&g);
+            let mut xor = vec![0u8; 16];
+            for (mc, mloc) in mem.layout().members(&g) {
+                let data = mem.read(mc, mloc).unwrap();
+                for (a, b) in xor.iter_mut().zip(ecc.correction_of(&data)) {
+                    *a ^= b;
+                }
+            }
+            prop_assert_eq!(scratch, xor);
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_under_random_traffic(
+        ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u64>()), 1..60),
+    ) {
+        let cfg = ParityConfig::small(4);
+        let mut mem = ParityMemory::new(LotEcc::five(), cfg);
+        let mut shadow = std::collections::HashMap::new();
+        for (cv, lv, seed) in &ops {
+            let c = (*cv as usize) % 4;
+            let loc = LineLoc {
+                bank: (*lv as usize) % cfg.banks_per_channel,
+                row: ((*lv >> 4) as u32) % cfg.data_rows,
+                line: ((*lv >> 9) as u32) % cfg.lines_per_row,
+            };
+            let mut data = vec![0u8; 64];
+            let mut s = *seed;
+            for b in &mut data {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                *b = (s >> 33) as u8;
+            }
+            mem.write(c, loc, &data).unwrap();
+            shadow.insert((c, loc), data);
+        }
+        for ((c, loc), data) in shadow {
+            prop_assert_eq!(mem.read(c, loc).unwrap(), data);
+        }
+        prop_assert_eq!(mem.stats().detected_errors, 0);
+        prop_assert_eq!(mem.stats().uncorrectable, 0);
+    }
+
+    #[test]
+    fn xorcache_equivalent_to_direct_updates(
+        deltas in prop::collection::vec((0usize..6, any::<[u8; 4]>()), 1..80),
+        capacity in 1usize..5,
+    ) {
+        use ecc_parity::layout::GroupId;
+        let gid = |k: usize| GroupId { bank: k, block: 0, line: 0, g: 0 };
+        let mut direct = vec![[0u8; 4]; 6];
+        let mut via = vec![[0u8; 4]; 6];
+        let mut cache = XorCache::new(capacity);
+        for (k, d) in &deltas {
+            for (a, b) in direct[*k].iter_mut().zip(d) {
+                *a ^= b;
+            }
+            if let Some((eg, acc)) = cache.merge(gid(*k), d) {
+                for (a, b) in via[eg.bank].iter_mut().zip(&acc) {
+                    *a ^= b;
+                }
+            }
+        }
+        for (eg, acc) in cache.flush_all() {
+            for (a, b) in via[eg.bank].iter_mut().zip(&acc) {
+                *a ^= b;
+            }
+        }
+        prop_assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn parity_address_unique_within_channel(
+        channels in 2usize..=5,
+    ) {
+        let l = ParityLayout::new(channels, 2, 2 * (channels as u32 - 1), 2, 1, 4);
+        let mut seen = std::collections::HashSet::new();
+        for bank in 0..l.banks {
+            for block in 0..l.blocks_per_bank() {
+                for line in 0..l.lines_per_row {
+                    for g in 0..channels {
+                        let gid = ecc_parity::layout::GroupId { bank, block, line, g };
+                        let addr = l.parity_address(&gid);
+                        prop_assert!(seen.insert((g, addr)), "collision at {:?}", gid);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Device, timing, and memory-system configuration.
+//!
+//! Timing values are in memory-controller cycles at 1 GHz (tCK = 1 ns),
+//! matching the paper's "2Gb DDR3 DRAM chips with 1GHz I/O frequency"; IDD
+//! currents come from the public Micron 2Gb DDR3 datasheet (die rev. D
+//! family) and are documented per device width. Using one speed grade's
+//! IDD values across all organizations is the paper's methodology too —
+//! relative energy between schemes is what matters.
+
+use crate::mapping::MapPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Auto-precharge after every column access (the paper's choice): idle
+    /// ranks can drop into precharge power-down ("sleep").
+    ClosePage,
+    /// Keep rows open for row-buffer hits; ranks stay in active standby
+    /// while any row is open (no sleep) — kept for the ablation that
+    /// justifies the paper's close-page choice.
+    OpenPage,
+}
+
+/// DRAM device width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    X4,
+    X8,
+    /// Half-capacity x8 used as the LOT-ECC5 checksum chip (same currents
+    /// as X8; capacity differences are handled by the capacity model).
+    X8Half,
+    X16,
+}
+
+impl DeviceKind {
+    /// Data pins of the device.
+    pub fn width(self) -> usize {
+        match self {
+            DeviceKind::X4 => 4,
+            DeviceKind::X8 | DeviceKind::X8Half => 8,
+            DeviceKind::X16 => 16,
+        }
+    }
+}
+
+/// Datasheet IDD currents (mA) and supply voltage for one device.
+///
+/// `speed_factor` scaling (see [`TimingParams::speed_scaled`]): burst
+/// currents IDD4R/IDD4W scale ~linearly with the I/O rate; standby/active
+/// currents scale ~30% of the way (clock-tree share); IDD0/IDD5B are core
+/// operations and stay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DevicePower {
+    /// One-bank activate-precharge current.
+    pub idd0: f64,
+    /// Precharge power-down current (slow exit) — the "sleep" state.
+    pub idd2p: f64,
+    /// Precharge standby current (all banks closed, CKE high).
+    pub idd2n: f64,
+    /// Active standby current (some bank open).
+    pub idd3n: f64,
+    /// Burst read current.
+    pub idd4r: f64,
+    /// Burst write current.
+    pub idd4w: f64,
+    /// Burst refresh current.
+    pub idd5b: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl DevicePower {
+    /// Micron 2Gb DDR3 datasheet values by width (high speed bin).
+    pub fn for_kind(kind: DeviceKind) -> DevicePower {
+        match kind {
+            DeviceKind::X4 => DevicePower {
+                idd0: 95.0,
+                idd2p: 12.0,
+                idd2n: 23.0,
+                idd3n: 40.0,
+                idd4r: 135.0,
+                idd4w: 145.0,
+                idd5b: 215.0,
+                vdd: 1.5,
+            },
+            DeviceKind::X8 | DeviceKind::X8Half => DevicePower {
+                idd0: 95.0,
+                idd2p: 12.0,
+                idd2n: 23.0,
+                idd3n: 40.0,
+                idd4r: 140.0,
+                idd4w: 150.0,
+                idd5b: 215.0,
+                vdd: 1.5,
+            },
+            DeviceKind::X16 => DevicePower {
+                idd0: 105.0,
+                idd2p: 15.0,
+                idd2n: 28.0,
+                idd3n: 47.0,
+                idd4r: 195.0,
+                idd4w: 205.0,
+                idd5b: 235.0,
+                vdd: 1.5,
+            },
+        }
+    }
+}
+
+/// DDR3 timing parameters in 1 GHz controller cycles (1 cycle = 1 ns).
+///
+/// [`TimingParams::speed_scaled`] derives a faster speed bin: core timings
+/// (tRCD/tRAS/...) are analog and stay fixed in nanoseconds, while the
+/// burst shortens with the I/O rate; IDD currents rise roughly linearly
+/// with interface frequency for the burst currents and sub-linearly for
+/// background — the §V-D trade-off (a 16% faster bin costs ~5% EPI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Activate to read/write delay.
+    pub t_rcd: u64,
+    /// Read (CAS) latency.
+    pub t_cl: u64,
+    /// Write (CAS write) latency.
+    pub t_cwl: u64,
+    /// Precharge time.
+    pub t_rp: u64,
+    /// Activate to precharge.
+    pub t_ras: u64,
+    /// Activate to activate, same bank (t_ras + t_rp).
+    pub t_rc: u64,
+    /// Activate to activate, different banks of one rank.
+    pub t_rrd: u64,
+    /// Four-activate window per rank.
+    pub t_faw: u64,
+    /// Write recovery (end of write data to precharge).
+    pub t_wr: u64,
+    /// Write-to-read turnaround, same rank.
+    pub t_wtr: u64,
+    /// Data-bus cycles for one burst-of-8 (DDR: 4 bus cycles at 1 GHz).
+    pub t_burst: u64,
+    /// Rank-to-rank data-bus switch penalty.
+    pub t_rtrs: u64,
+    /// Refresh command duration (2Gb).
+    pub t_rfc: u64,
+    /// Average refresh interval.
+    pub t_refi: u64,
+    /// Power-down exit latency.
+    pub t_xp: u64,
+}
+
+impl TimingParams {
+    /// DDR3-2000-class timings for a 2Gb device (narrow x4/x8 devices).
+    pub fn ddr3_1ghz(kind: DeviceKind) -> TimingParams {
+        let (t_rrd, t_faw) = match kind {
+            DeviceKind::X16 => (8, 45),
+            _ => (6, 30),
+        };
+        TimingParams {
+            t_rcd: 14,
+            t_cl: 14,
+            t_cwl: 10,
+            t_rp: 14,
+            t_ras: 36,
+            t_rc: 50,
+            t_rrd,
+            t_faw,
+            t_wr: 15,
+            t_wtr: 8,
+            t_burst: 4,
+            t_rtrs: 2,
+            t_rfc: 160,
+            t_refi: 7800,
+            t_xp: 6,
+        }
+    }
+}
+
+impl TimingParams {
+    /// Derive a faster speed bin: I/O (burst) time shrinks by `factor`
+    /// (e.g. 1.16 = 16% faster transfers); analog core timings hold.
+    pub fn speed_scaled(&self, factor: f64) -> TimingParams {
+        assert!(factor >= 1.0);
+        let mut t = *self;
+        t.t_burst = ((self.t_burst as f64 / factor).round() as u64).max(2);
+        t
+    }
+}
+
+impl DevicePower {
+    /// IDD scaling for a `factor`-faster speed bin (see type docs): burst
+    /// currents rise *superlinearly* with the interface rate (higher drive
+    /// strength and tighter timings cost energy per bit, not just per
+    /// second), clocked background currents rise with the clock share, and
+    /// core-operation currents barely move. Calibrated so a 16% faster bin
+    /// costs ~5% memory EPI (the paper's §V-D estimate from \[18\]).
+    pub fn speed_scaled(&self, factor: f64) -> DevicePower {
+        let clocked = 1.0 + 0.9 * (factor - 1.0);
+        let core = 1.0 + 0.35 * (factor - 1.0);
+        DevicePower {
+            idd0: self.idd0 * core,
+            idd2p: self.idd2p * clocked,
+            idd2n: self.idd2n * clocked,
+            idd3n: self.idd3n * clocked,
+            idd4r: self.idd4r * factor.powf(1.6),
+            idd4w: self.idd4w * factor.powf(1.6),
+            idd5b: self.idd5b * core,
+            vdd: self.vdd,
+        }
+    }
+}
+
+/// The devices forming one rank (all accessed in lockstep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankConfig {
+    pub devices: Vec<DeviceKind>,
+}
+
+impl RankConfig {
+    /// `n` identical devices.
+    pub fn uniform(kind: DeviceKind, n: usize) -> RankConfig {
+        RankConfig {
+            devices: vec![kind; n],
+        }
+    }
+
+    /// The LOT-ECC5 rank: four x16 data devices plus one half-capacity x8.
+    pub fn lotecc5() -> RankConfig {
+        let mut devices = vec![DeviceKind::X16; 4];
+        devices.push(DeviceKind::X8Half);
+        RankConfig { devices }
+    }
+
+    pub fn chips(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Total data-bus width of the rank in bits.
+    pub fn width_bits(&self) -> usize {
+        self.devices.iter().map(|d| d.width()).sum()
+    }
+
+    /// Widest device kind (sets the rank's tRRD/tFAW class).
+    pub fn widest(&self) -> DeviceKind {
+        if self.devices.contains(&DeviceKind::X16) {
+            DeviceKind::X16
+        } else if self
+            .devices
+            .iter()
+            .any(|d| matches!(d, DeviceKind::X8 | DeviceKind::X8Half))
+        {
+            DeviceKind::X8
+        } else {
+            DeviceKind::X4
+        }
+    }
+}
+
+/// Full memory-system configuration for one simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Logical channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank (8 for DDR3).
+    pub banks_per_rank: usize,
+    /// Rank composition.
+    pub rank: RankConfig,
+    /// Timing parameters.
+    pub timing: TimingParams,
+    /// Bytes of data per line access (64 or 128).
+    pub line_bytes: usize,
+    /// Cycles of rank idleness before dropping into precharge power-down.
+    pub powerdown_threshold: u64,
+    /// Intra-channel address-mapping policy.
+    pub map_policy: MapPolicy,
+    /// Row-buffer policy (paper: close page).
+    pub row_policy: RowPolicy,
+    /// Model refresh as timing blackouts (tRFC every tREFI per rank), not
+    /// just energy. Off by default: ~2% uniform slowdown, kept out of the
+    /// calibrated figures; the refresh *energy* is always charged.
+    pub model_refresh_timing: bool,
+    /// Degrade the scheduler to strict submission-order FIFO (no gap
+    /// filling on the bus or the activate windows). Kept for the ablation
+    /// quantifying what Most-Pending-class reordering buys.
+    pub strict_fifo: bool,
+    /// Speed-bin factor (1.0 = the baseline bin; 1.16 = 16% faster I/O,
+    /// §V-D). Scales burst time down and IDD currents up.
+    pub speed_factor: f64,
+}
+
+impl MemoryConfig {
+    pub fn new(
+        channels: usize,
+        ranks_per_channel: usize,
+        rank: RankConfig,
+        line_bytes: usize,
+    ) -> MemoryConfig {
+        let timing = TimingParams::ddr3_1ghz(rank.widest());
+        MemoryConfig {
+            channels,
+            ranks_per_channel,
+            banks_per_rank: 8,
+            rank,
+            timing,
+            line_bytes,
+            powerdown_threshold: 16,
+            map_policy: MapPolicy::HighPerformance,
+            row_policy: RowPolicy::ClosePage,
+            model_refresh_timing: false,
+            strict_fifo: false,
+            speed_factor: 1.0,
+        }
+    }
+
+    /// Data-bus cycles one line transfer occupies: every organization in
+    /// Table II moves its whole line in a single burst-of-8 — wider lines
+    /// ride proportionally wider ranks (128B lines on 144-bit-data ranks),
+    /// which is exactly why the paper holds total pin count equal instead.
+    pub fn burst_cycles(&self) -> u64 {
+        self.effective_timing().t_burst
+    }
+
+    /// Timing adjusted for the configured speed bin.
+    pub fn effective_timing(&self) -> TimingParams {
+        if self.speed_factor > 1.0 {
+            self.timing.speed_scaled(self.speed_factor)
+        } else {
+            self.timing
+        }
+    }
+
+    /// Total memory I/O pins (data bus width x channels) — the equivalence
+    /// constraint of the paper's Table II.
+    pub fn total_pins(&self) -> usize {
+        self.rank.width_bits() * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_widths() {
+        assert_eq!(DeviceKind::X4.width(), 4);
+        assert_eq!(DeviceKind::X8.width(), 8);
+        assert_eq!(DeviceKind::X8Half.width(), 8);
+        assert_eq!(DeviceKind::X16.width(), 16);
+    }
+
+    #[test]
+    fn lotecc5_rank_is_72_bits() {
+        let r = RankConfig::lotecc5();
+        assert_eq!(r.chips(), 5);
+        assert_eq!(r.width_bits(), 72);
+        assert_eq!(r.widest(), DeviceKind::X16);
+    }
+
+    #[test]
+    fn commercial_ranks_bus_widths() {
+        assert_eq!(RankConfig::uniform(DeviceKind::X4, 36).width_bits(), 144);
+        assert_eq!(RankConfig::uniform(DeviceKind::X4, 18).width_bits(), 72);
+        assert_eq!(RankConfig::uniform(DeviceKind::X8, 9).width_bits(), 72);
+        assert_eq!(RankConfig::uniform(DeviceKind::X4, 45).width_bits(), 180);
+    }
+
+    #[test]
+    fn x16_timing_class_is_slower() {
+        let narrow = TimingParams::ddr3_1ghz(DeviceKind::X4);
+        let wide = TimingParams::ddr3_1ghz(DeviceKind::X16);
+        assert!(wide.t_faw > narrow.t_faw);
+        assert!(wide.t_rrd > narrow.t_rrd);
+    }
+
+    #[test]
+    fn burst_is_one_burst_of_eight_for_every_organization() {
+        let c64 = MemoryConfig::new(4, 2, RankConfig::uniform(DeviceKind::X8, 9), 64);
+        let c128 = MemoryConfig::new(2, 1, RankConfig::uniform(DeviceKind::X4, 36), 128);
+        assert_eq!(c64.burst_cycles(), 4);
+        assert_eq!(c128.burst_cycles(), 4, "wider rank, same burst occupancy");
+    }
+
+    #[test]
+    fn speed_bin_shortens_bursts_and_raises_currents() {
+        let t = TimingParams::ddr3_1ghz(DeviceKind::X4);
+        let fast = t.speed_scaled(1.16);
+        assert!(fast.t_burst < t.t_burst);
+        assert_eq!(fast.t_rcd, t.t_rcd, "analog core timings hold");
+        let p = DevicePower::for_kind(DeviceKind::X4);
+        let pf = p.speed_scaled(1.16);
+        assert!(pf.idd4r > p.idd4r * 1.16, "burst current superlinear");
+        assert!(pf.idd3n > p.idd3n && pf.idd3n < p.idd3n * 1.16);
+        // background power strictly rises with the bin (the EPI cost the
+        // paper cites comes mostly from here plus the superlinear bursts)
+        assert!(pf.idd2p > p.idd2p && pf.idd2n > p.idd2n);
+    }
+
+    #[test]
+    fn table2_pin_equivalence() {
+        // Quad-channel-equivalent systems: all chipkill organizations have
+        // 576 total pins (Table II).
+        let ck36 = MemoryConfig::new(4, 1, RankConfig::uniform(DeviceKind::X4, 36), 128);
+        let ck18 = MemoryConfig::new(8, 1, RankConfig::uniform(DeviceKind::X4, 18), 64);
+        let lot5 = MemoryConfig::new(8, 4, RankConfig::lotecc5(), 64);
+        let lot9 = MemoryConfig::new(8, 2, RankConfig::uniform(DeviceKind::X8, 9), 64);
+        assert_eq!(ck36.total_pins(), 576);
+        assert_eq!(ck18.total_pins(), 576);
+        assert_eq!(lot5.total_pins(), 576);
+        assert_eq!(lot9.total_pins(), 576);
+        // RAIM rows: 720 pins at quad-equivalent.
+        let raim = MemoryConfig::new(4, 1, RankConfig::uniform(DeviceKind::X4, 45), 128);
+        let raim_p = MemoryConfig::new(10, 1, RankConfig::uniform(DeviceKind::X4, 18), 64);
+        assert_eq!(raim.total_pins(), 720);
+        assert_eq!(raim_p.total_pins(), 720);
+    }
+}

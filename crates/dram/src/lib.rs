@@ -1,0 +1,26 @@
+//! # dram-sim — cycle-based DDR3 memory-system simulator
+//!
+//! A timestamp-algebra DDR3 channel/rank/bank model in the spirit of the
+//! DRAMsim simulator the paper uses: close-page row-buffer policy with
+//! auto-precharge (so idle ranks can drop into precharge power-down /
+//! "sleep"), per-bank activate windows, rank-level tRRD/tFAW constraints,
+//! a shared per-channel data bus, and the Micron power-calculator
+//! methodology (TN-41-01) driven by datasheet IDD values for 2Gb x4/x8/x16
+//! devices.
+//!
+//! One simulator instance models one *logical channel group*: `channels`
+//! independent channels each with `ranks` ranks. Requests are submitted
+//! with explicit arrival cycles; the scheduler computes start/finish times
+//! and accumulates per-rank energy. The full-system simulator (`mem-sim`)
+//! drives it with workload traces through the resilience-scheme glue.
+
+pub mod channel;
+pub mod config;
+pub mod mapping;
+pub mod power;
+pub mod system;
+
+pub use config::{DeviceKind, DevicePower, MemoryConfig, RankConfig, RowPolicy, TimingParams};
+pub use mapping::{AddressMapping, LineAddress, MapPolicy};
+pub use power::{EnergyBreakdown, PowerModel};
+pub use system::{Completion, MemRequest, MemorySystem, SystemStats};

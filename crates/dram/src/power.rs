@@ -1,0 +1,271 @@
+//! Micron power-calculator (TN-41-01) style DRAM energy accounting.
+//!
+//! Energy is accumulated per rank from event counts and state-residency
+//! times supplied by the channel scheduler:
+//!
+//! * **Activate/precharge** — per ACT:
+//!   `VDD * (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC - tRAS))` per device.
+//! * **Read / write bursts** — per burst cycle:
+//!   `VDD * (IDD4R - IDD3N)` (reads), `VDD * (IDD4W - IDD3N)` (writes).
+//! * **Refresh** — per refresh: `VDD * (IDD5B - IDD2N) * tRFC`, issued every
+//!   `tREFI` of wall-clock per rank (charged at finalize).
+//! * **Background** — state residency: active standby (IDD3N), precharge
+//!   standby (IDD2N), precharge power-down "sleep" (IDD2P).
+//!
+//! The paper's split (Figs 12/13): *dynamic* = activate + read + write;
+//! *background* = everything else including refresh.
+//!
+//! Units: currents in mA, times in ns (= cycles at 1 GHz), energies in pJ
+//! (1 mA * 1 V * 1 ns = 1 pJ).
+
+use crate::config::{DevicePower, RankConfig, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// I/O + on-die-termination power per active data pin during a read burst
+/// (mW). TN-41-01-class value for a one-rank-loaded DDR3 channel.
+pub const TERM_MW_PER_PIN_READ: f64 = 20.0;
+/// Same for writes (write termination is slightly costlier).
+pub const TERM_MW_PER_PIN_WRITE: f64 = 26.0;
+
+/// Energy totals in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    pub activate_pj: f64,
+    pub read_pj: f64,
+    pub write_pj: f64,
+    pub refresh_pj: f64,
+    pub bg_active_pj: f64,
+    pub bg_standby_pj: f64,
+    pub bg_sleep_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Dynamic energy per the paper: read + write + activate commands.
+    pub fn dynamic_pj(&self) -> f64 {
+        self.activate_pj + self.read_pj + self.write_pj
+    }
+
+    /// Background energy per the paper: all other consumption.
+    pub fn background_pj(&self) -> f64 {
+        self.refresh_pj + self.bg_active_pj + self.bg_standby_pj + self.bg_sleep_pj
+    }
+
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj() + self.background_pj()
+    }
+
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.activate_pj += other.activate_pj;
+        self.read_pj += other.read_pj;
+        self.write_pj += other.write_pj;
+        self.refresh_pj += other.refresh_pj;
+        self.bg_active_pj += other.bg_active_pj;
+        self.bg_standby_pj += other.bg_standby_pj;
+        self.bg_sleep_pj += other.bg_sleep_pj;
+    }
+}
+
+/// Per-rank energy integrator.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Summed per-device coefficients over the rank's devices: energy math
+    /// is linear in device count, so presum IDD terms across the rank.
+    e_act_per_cmd: f64,
+    p_read_per_cycle: f64,
+    p_write_per_cycle: f64,
+    e_refresh_per_cmd: f64,
+    p_active: f64,
+    p_standby: f64,
+    p_sleep: f64,
+    t_refi: u64,
+    energy: EnergyBreakdown,
+}
+
+impl PowerModel {
+    pub fn new(rank: &RankConfig, timing: &TimingParams) -> PowerModel {
+        Self::with_speed(rank, timing, 1.0)
+    }
+
+    /// Power model for a `speed_factor`-faster bin (§V-D): IDD currents
+    /// scale per [`crate::config::DevicePower::speed_scaled`].
+    pub fn with_speed(rank: &RankConfig, timing: &TimingParams, speed_factor: f64) -> PowerModel {
+        let mut e_act = 0.0;
+        let mut p_rd = 0.0;
+        let mut p_wr = 0.0;
+        let mut e_ref = 0.0;
+        let mut p_act = 0.0;
+        let mut p_stby = 0.0;
+        let mut p_slp = 0.0;
+        for &kind in &rank.devices {
+            let p = DevicePower::for_kind(kind).speed_scaled(speed_factor);
+            let t_rc = timing.t_rc as f64;
+            let t_ras = timing.t_ras as f64;
+            e_act += p.vdd * (p.idd0 * t_rc - p.idd3n * t_ras - p.idd2n * (t_rc - t_ras));
+            // Burst current above standby, plus I/O + termination per pin
+            // (termination power tracks the interface rate).
+            let pins = kind.width() as f64;
+            p_rd += p.vdd * (p.idd4r - p.idd3n)
+                + pins * TERM_MW_PER_PIN_READ * speed_factor.powf(1.6);
+            p_wr += p.vdd * (p.idd4w - p.idd3n)
+                + pins * TERM_MW_PER_PIN_WRITE * speed_factor.powf(1.6);
+            e_ref += p.vdd * (p.idd5b - p.idd2n) * timing.t_rfc as f64;
+            p_act += p.vdd * p.idd3n;
+            p_stby += p.vdd * p.idd2n;
+            p_slp += p.vdd * p.idd2p;
+        }
+        PowerModel {
+            e_act_per_cmd: e_act,
+            p_read_per_cycle: p_rd,
+            p_write_per_cycle: p_wr,
+            e_refresh_per_cmd: e_ref,
+            p_active: p_act,
+            p_standby: p_stby,
+            p_sleep: p_slp,
+            t_refi: timing.t_refi,
+            energy: EnergyBreakdown::default(),
+        }
+    }
+
+    pub fn record_activate(&mut self) {
+        self.energy.activate_pj += self.e_act_per_cmd;
+    }
+
+    pub fn record_read_burst(&mut self, cycles: u64) {
+        self.energy.read_pj += self.p_read_per_cycle * cycles as f64;
+    }
+
+    pub fn record_write_burst(&mut self, cycles: u64) {
+        self.energy.write_pj += self.p_write_per_cycle * cycles as f64;
+    }
+
+    /// Charge background energy for `cycles` spent with at least one bank
+    /// open.
+    pub fn record_active_time(&mut self, cycles: u64) {
+        self.energy.bg_active_pj += self.p_active * cycles as f64;
+    }
+
+    /// Charge background energy for `cycles` awake with all banks closed.
+    pub fn record_standby_time(&mut self, cycles: u64) {
+        self.energy.bg_standby_pj += self.p_standby * cycles as f64;
+    }
+
+    /// Charge background energy for `cycles` in precharge power-down.
+    pub fn record_sleep_time(&mut self, cycles: u64) {
+        self.energy.bg_sleep_pj += self.p_sleep * cycles as f64;
+    }
+
+    /// Charge refresh energy for a whole simulation of `total_cycles`
+    /// (refresh is periodic and unaffected by traffic).
+    pub fn finalize_refresh(&mut self, total_cycles: u64) {
+        let refreshes = total_cycles as f64 / self.t_refi as f64;
+        self.energy.refresh_pj += refreshes * self.e_refresh_per_cmd;
+    }
+
+    pub fn energy(&self) -> &EnergyBreakdown {
+        &self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceKind, TimingParams};
+
+    fn model(kind: DeviceKind, n: usize) -> PowerModel {
+        let rank = RankConfig::uniform(kind, n);
+        let t = TimingParams::ddr3_1ghz(rank.widest());
+        PowerModel::new(&rank, &t)
+    }
+
+    #[test]
+    fn activate_energy_scales_with_chip_count() {
+        let mut m36 = model(DeviceKind::X4, 36);
+        let mut m18 = model(DeviceKind::X4, 18);
+        m36.record_activate();
+        m18.record_activate();
+        let e36 = m36.energy().activate_pj;
+        let e18 = m18.energy().activate_pj;
+        assert!((e36 / e18 - 2.0).abs() < 1e-9);
+        assert!(e36 > 0.0);
+    }
+
+    #[test]
+    fn lotecc5_rank_activates_cheaper_than_36dev() {
+        // The paper's core energy claim: 5 wide chips activate much cheaper
+        // than 36 narrow ones.
+        let t = TimingParams::ddr3_1ghz(DeviceKind::X16);
+        let mut lot5 = PowerModel::new(&RankConfig::lotecc5(), &t);
+        let mut ck36 = model(DeviceKind::X4, 36);
+        lot5.record_activate();
+        ck36.record_activate();
+        let ratio = ck36.energy().activate_pj / lot5.energy().activate_pj;
+        assert!(
+            ratio > 4.0,
+            "36-dev ACT should cost >4x LOT-ECC5 ACT, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn sleep_is_cheapest_background_state() {
+        let mut m = model(DeviceKind::X8, 9);
+        m.record_active_time(1000);
+        let active = m.energy().bg_active_pj;
+        let mut m = model(DeviceKind::X8, 9);
+        m.record_standby_time(1000);
+        let standby = m.energy().bg_standby_pj;
+        let mut m = model(DeviceKind::X8, 9);
+        m.record_sleep_time(1000);
+        let sleep = m.energy().bg_sleep_pj;
+        assert!(active > standby && standby > sleep);
+        assert!(
+            sleep < active / 3.0,
+            "power-down must be much cheaper than active standby"
+        );
+    }
+
+    #[test]
+    fn refresh_energy_proportional_to_time() {
+        let mut m = model(DeviceKind::X4, 18);
+        m.finalize_refresh(7800 * 10);
+        let e10 = m.energy().refresh_pj;
+        let mut m = model(DeviceKind::X4, 18);
+        m.finalize_refresh(7800 * 20);
+        let e20 = m.energy().refresh_pj;
+        assert!((e20 / e10 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_split_matches_paper_definition() {
+        let mut m = model(DeviceKind::X4, 36);
+        m.record_activate();
+        m.record_read_burst(8);
+        m.record_write_burst(8);
+        m.record_active_time(100);
+        m.record_standby_time(100);
+        m.record_sleep_time(100);
+        m.finalize_refresh(100_000);
+        let e = m.energy();
+        assert!(e.dynamic_pj() > 0.0);
+        assert!(e.background_pj() > 0.0);
+        assert!((e.total_pj() - (e.dynamic_pj() + e.background_pj())).abs() < 1e-9);
+        // dynamic excludes refresh + residency terms
+        assert!((e.dynamic_pj() - (e.activate_pj + e.read_pj + e.write_pj)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates_all_fields() {
+        let mut a = EnergyBreakdown::default();
+        let b = EnergyBreakdown {
+            activate_pj: 1.0,
+            read_pj: 2.0,
+            write_pj: 3.0,
+            refresh_pj: 4.0,
+            bg_active_pj: 5.0,
+            bg_standby_pj: 6.0,
+            bg_sleep_pj: 7.0,
+        };
+        a.add(&b);
+        a.add(&b);
+        assert!((a.total_pj() - 2.0 * b.total_pj()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the DRAM scheduler's physical invariants.
+
+use dram_sim::{DeviceKind, MemRequest, MemoryConfig, MemorySystem, RankConfig};
+use proptest::prelude::*;
+
+fn config(channels: usize, ranks: usize) -> MemoryConfig {
+    MemoryConfig::new(channels, ranks, RankConfig::uniform(DeviceKind::X8, 9), 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn completions_respect_minimum_latency(
+        reqs in prop::collection::vec((0u64..100_000, any::<bool>(), 0u64..64), 1..200),
+    ) {
+        let cfg = config(2, 2);
+        let t = cfg.timing;
+        let min_read = t.t_rcd + t.t_cl + t.t_burst;
+        let mut sys = MemorySystem::new(cfg);
+        let mut arrivals: Vec<(u64, bool, u64)> = reqs;
+        arrivals.sort_by_key(|r| r.0);
+        for (arrival, is_write, addr) in arrivals {
+            let c = sys.submit(MemRequest {
+                line_addr: addr,
+                is_write,
+                arrival,
+            });
+            prop_assert!(c.act >= arrival, "activate before arrival");
+            prop_assert!(c.data_start >= c.act, "data before activate");
+            prop_assert!(c.finish == c.data_start + t.t_burst);
+            if !is_write {
+                prop_assert!(
+                    c.finish >= arrival + min_read,
+                    "read faster than physics: {} < {}",
+                    c.finish - arrival,
+                    min_read
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_components_are_nonnegative_and_total_consistent(
+        reqs in prop::collection::vec((0u64..50_000, any::<bool>(), 0u64..256), 0..150),
+        end_extra in 0u64..100_000,
+    ) {
+        let mut sys = MemorySystem::new(config(2, 1));
+        let mut arrivals = reqs;
+        arrivals.sort_by_key(|r| r.0);
+        let mut last = 0;
+        for (arrival, is_write, addr) in arrivals {
+            let c = sys.submit(MemRequest { line_addr: addr, is_write, arrival });
+            last = last.max(c.finish);
+        }
+        sys.finalize(last + end_extra + 1);
+        let e = sys.energy();
+        for v in [
+            e.activate_pj, e.read_pj, e.write_pj, e.refresh_pj,
+            e.bg_active_pj, e.bg_standby_pj, e.bg_sleep_pj,
+        ] {
+            prop_assert!(v >= 0.0);
+        }
+        prop_assert!((e.total_pj() - (e.dynamic_pj() + e.background_pj())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_bank_requests_never_violate_trc(
+        gaps in prop::collection::vec(0u64..40, 2..30),
+    ) {
+        // Back-to-back accesses to one bank must be spaced by at least the
+        // activate-to-activate time regardless of arrival pattern.
+        let cfg = config(1, 1);
+        let t_rc_floor = cfg.timing.t_ras; // close-page pre_done >= act + tRAS
+        let mut sys = MemorySystem::new(cfg);
+        let mut arrival = 0;
+        let mut last_act = None;
+        for g in gaps {
+            arrival += g;
+            // line 0 always maps to the same (channel, bank, row) tuple
+            let c = sys.submit(MemRequest { line_addr: 0, is_write: false, arrival });
+            if let Some(prev) = last_act {
+                prop_assert!(
+                    c.act >= prev + t_rc_floor,
+                    "same-bank activates {} and {} too close",
+                    prev,
+                    c.act
+                );
+            }
+            last_act = Some(c.act);
+        }
+    }
+
+    #[test]
+    fn more_channels_never_hurt_aggregate_latency(
+        seed in any::<u64>(),
+    ) {
+        // The same dense request stream over 1 vs 4 channels: total latency
+        // with more channels must not be higher.
+        let run = |channels: usize| {
+            let mut sys = MemorySystem::new(config(channels, 1));
+            let mut s = seed | 1;
+            let mut total = 0u64;
+            for i in 0..300u64 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let addr = (s >> 30) % 100_000;
+                let c = sys.submit(MemRequest {
+                    line_addr: addr,
+                    is_write: i % 4 == 0,
+                    arrival: i * 3,
+                });
+                total += c.finish - i * 3;
+            }
+            total
+        };
+        prop_assert!(run(4) <= run(1));
+    }
+}

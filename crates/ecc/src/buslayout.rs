@@ -1,0 +1,212 @@
+//! Bit-level bus layout: how a codeword's symbols ride the DDR wire.
+//!
+//! The schemes' symbol geometry is grounded in physics: an x4 device
+//! contributes 4 bits per beat, so one 8-bit Reed–Solomon symbol per device
+//! spans **two beats** of the burst; an x8 device yields one symbol per
+//! beat; an x16 device two. A burst of eight beats therefore carries, per
+//! device, `width * 8` bits = `width` bytes — which is exactly why the
+//! 36-device rank moves 128B of data + 16B of check per access and the
+//! 72-bit organizations move 64B + 8B.
+//!
+//! [`BusLayout`] materializes that mapping — `(chip, beat, bit-in-beat)`
+//! for every codeword bit — and the tests prove it is a bijection, so the
+//! whole-chip fault injection used everywhere else corresponds exactly to
+//! "all bits this device drove during the burst".
+
+use serde::{Deserialize, Serialize};
+
+/// One device's wire contribution for one burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSlot {
+    /// Device index within the rank.
+    pub chip: usize,
+    /// Beat of the burst (0..burst_length).
+    pub beat: usize,
+    /// Bit lane within the device's width.
+    pub lane: usize,
+}
+
+/// Wire layout of a rank: uniform devices of `width` bits, `chips` of them,
+/// `burst` beats per access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusLayout {
+    pub chips: usize,
+    pub width: usize,
+    pub burst: usize,
+}
+
+impl BusLayout {
+    pub fn new(chips: usize, width: usize, burst: usize) -> BusLayout {
+        assert!(width == 4 || width == 8 || width == 16, "DDR3 widths");
+        BusLayout {
+            chips,
+            width,
+            burst,
+        }
+    }
+
+    /// The 36-device commercial chipkill rank (x4, burst 8).
+    pub fn chipkill36() -> BusLayout {
+        Self::new(36, 4, 8)
+    }
+
+    /// The 18-device rank.
+    pub fn chipkill18() -> BusLayout {
+        Self::new(18, 4, 8)
+    }
+
+    /// LOT-ECC9 / Multi-ECC rank (x8).
+    pub fn x8_nine() -> BusLayout {
+        Self::new(9, 8, 8)
+    }
+
+    /// Bits transferred per burst.
+    pub fn bits_per_burst(&self) -> usize {
+        self.chips * self.width * self.burst
+    }
+
+    /// Bytes per burst.
+    pub fn bytes_per_burst(&self) -> usize {
+        self.bits_per_burst() / 8
+    }
+
+    /// Beats one 8-bit symbol of a given device spans: `8 / width`.
+    pub fn beats_per_symbol(&self) -> usize {
+        (8 / self.width).max(1)
+    }
+
+    /// 8-bit symbols each device contributes per burst.
+    pub fn symbols_per_chip(&self) -> usize {
+        self.width * self.burst / 8
+    }
+
+    /// Map a codeword bit to its wire slot. Codeword bit order: symbol-major
+    /// — symbol `s` of chip `c` occupies bits `(c * symbols_per_chip + s) * 8
+    /// ..+8`; each device streams its bits beat-major, `width` lanes at a
+    /// time (so an x4 device takes two beats per symbol, an x16 device packs
+    /// two symbols into one beat).
+    pub fn slot_of_bit(&self, bit: usize) -> WireSlot {
+        assert!(bit < self.bits_per_burst());
+        let symbol = bit / 8;
+        let bit_in_symbol = bit % 8;
+        let chip = symbol / self.symbols_per_chip();
+        let sym_in_chip = symbol % self.symbols_per_chip();
+        // the device's local bit stream: 8 bits per symbol, in order
+        let local = sym_in_chip * 8 + bit_in_symbol;
+        WireSlot {
+            chip,
+            beat: local / self.width,
+            lane: local % self.width,
+        }
+    }
+
+    /// Inverse of [`Self::slot_of_bit`].
+    pub fn bit_of_slot(&self, slot: WireSlot) -> usize {
+        assert!(slot.chip < self.chips && slot.beat < self.burst && slot.lane < self.width);
+        let local = slot.beat * self.width + slot.lane;
+        let sym_in_chip = local / 8;
+        let bit_in_symbol = local % 8;
+        (slot.chip * self.symbols_per_chip() + sym_in_chip) * 8 + bit_in_symbol
+    }
+
+    /// All codeword bits a device drives during the burst (the byte-exact
+    /// footprint of a whole-chip failure).
+    pub fn bits_of_chip(&self, chip: usize) -> Vec<usize> {
+        let spc = self.symbols_per_chip();
+        (chip * spc * 8..(chip + 1) * spc * 8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn physical_throughput_matches_table2() {
+        // 36 x4 chips * 8 beats = 144B per burst: 128B data + 16B check.
+        assert_eq!(BusLayout::chipkill36().bytes_per_burst(), 144);
+        // 18 x4 = 72B: 64B data + 8B check.
+        assert_eq!(BusLayout::chipkill18().bytes_per_burst(), 72);
+        // 9 x8 = 72B as well.
+        assert_eq!(BusLayout::x8_nine().bytes_per_burst(), 72);
+    }
+
+    #[test]
+    fn x4_symbols_span_two_beats() {
+        let l = BusLayout::chipkill36();
+        assert_eq!(l.beats_per_symbol(), 2);
+        assert_eq!(l.symbols_per_chip(), 4, "4 symbols per chip per line");
+        // the 8 bits of chip 0's first symbol occupy beats 0 and 1
+        let beats: HashSet<usize> = (0..8).map(|b| l.slot_of_bit(b).beat).collect();
+        assert_eq!(beats, HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn x8_symbols_span_one_beat() {
+        let l = BusLayout::x8_nine();
+        assert_eq!(l.beats_per_symbol(), 1);
+        let beats: HashSet<usize> = (0..8).map(|b| l.slot_of_bit(b).beat).collect();
+        assert_eq!(beats, HashSet::from([0]));
+    }
+
+    #[test]
+    fn x16_symbols_are_half_a_beat_pair() {
+        let l = BusLayout::new(4, 16, 8);
+        assert_eq!(l.symbols_per_chip(), 16, "16B per x16 chip per burst");
+        // two 8-bit symbols share each beat
+        let s0: HashSet<usize> = (0..8).map(|b| l.slot_of_bit(b).beat).collect();
+        let s1: HashSet<usize> = (8..16).map(|b| l.slot_of_bit(b).beat).collect();
+        assert_eq!(s0, HashSet::from([0]));
+        assert_eq!(s1, HashSet::from([0]), "symbols 0 and 1 ride beat 0 together");
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_for_every_layout() {
+        for l in [
+            BusLayout::chipkill36(),
+            BusLayout::chipkill18(),
+            BusLayout::x8_nine(),
+            BusLayout::new(4, 16, 8),
+            BusLayout::new(45, 4, 8),
+            BusLayout::new(40, 4, 8),
+        ] {
+            let mut seen = HashSet::new();
+            for bit in 0..l.bits_per_burst() {
+                let slot = l.slot_of_bit(bit);
+                assert!(slot.chip < l.chips && slot.beat < l.burst && slot.lane < l.width);
+                assert!(seen.insert((slot.chip, slot.beat, slot.lane)));
+                assert_eq!(l.bit_of_slot(slot), bit, "round trip");
+            }
+            assert_eq!(seen.len(), l.bits_per_burst());
+        }
+    }
+
+    #[test]
+    fn chip_footprint_is_contiguous_symbols() {
+        let l = BusLayout::chipkill36();
+        let bits = l.bits_of_chip(17);
+        assert_eq!(bits.len(), 32, "4 symbols * 8 bits");
+        for &b in &bits {
+            assert_eq!(l.slot_of_bit(b).chip, 17);
+        }
+        // and no other chip's bits map to chip 17
+        for b in 0..l.bits_per_burst() {
+            if !bits.contains(&b) {
+                assert_ne!(l.slot_of_bit(b).chip, 17);
+            }
+        }
+    }
+
+    #[test]
+    fn a_beat_is_exactly_the_bus_width() {
+        // Every beat across all chips carries chips*width bits — the rank's
+        // physical bus width (144 for the 36-device rank).
+        let l = BusLayout::chipkill36();
+        let mut per_beat = vec![0usize; l.burst];
+        for bit in 0..l.bits_per_burst() {
+            per_beat[l.slot_of_bit(bit).beat] += 1;
+        }
+        assert!(per_beat.iter().all(|&n| n == 144));
+    }
+}

@@ -1,0 +1,449 @@
+//! Galois-field arithmetic over GF(2^8) and GF(2^16).
+//!
+//! Both fields are implemented with exp/log tables built once at first use.
+//! GF(2^8) uses the primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11D), the conventional choice for byte-oriented Reed–Solomon codes.
+//! GF(2^16) uses `x^16 + x^12 + x^3 + x + 1` (0x1100B), a primitive
+//! polynomial commonly used for 16-bit symbol codes such as the
+//! Reed–Solomon variant in Section VI-D of the paper.
+
+use std::sync::OnceLock;
+
+/// A finite field of characteristic 2 with table-based arithmetic.
+///
+/// Implementors are zero-sized tags; elements are the unsigned integer type
+/// `Elem`. All operations are total: division by zero panics (a programming
+/// error in codec logic, never data-dependent).
+pub trait Field: Copy + Clone + Send + Sync + 'static {
+    /// Element representation (u8 for GF(2^8), u16 for GF(2^16)).
+    type Elem: Copy
+        + Clone
+        + PartialEq
+        + Eq
+        + std::fmt::Debug
+        + std::hash::Hash
+        + Send
+        + Sync
+        + 'static;
+
+    /// Number of elements in the field.
+    const ORDER: usize;
+    /// Bits per symbol.
+    const BITS: usize;
+
+    /// The additive identity.
+    fn zero() -> Self::Elem;
+    /// The multiplicative identity.
+    fn one() -> Self::Elem;
+    /// The primitive element alpha (generator of the multiplicative group).
+    fn alpha() -> Self::Elem;
+    /// True if `x` is the additive identity.
+    fn is_zero(x: Self::Elem) -> bool;
+    /// Field addition (XOR in characteristic 2).
+    fn add(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+    /// Field multiplication.
+    fn mul(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+    /// Multiplicative inverse. Panics on zero.
+    fn inv(a: Self::Elem) -> Self::Elem;
+    /// `alpha^power` for arbitrary (possibly negative-equivalent) exponents.
+    fn alpha_pow(power: i64) -> Self::Elem;
+    /// Discrete logarithm base alpha. Panics on zero.
+    fn log(a: Self::Elem) -> usize;
+    /// Convert from a `usize` (low bits); used by tests and generators.
+    fn from_usize(v: usize) -> Self::Elem;
+    /// Convert to `usize`.
+    fn to_usize(a: Self::Elem) -> usize;
+
+    /// Field subtraction; identical to addition in characteristic 2.
+    #[inline]
+    fn sub(a: Self::Elem, b: Self::Elem) -> Self::Elem {
+        Self::add(a, b)
+    }
+
+    /// Field division. Panics when `b` is zero.
+    #[inline]
+    fn div(a: Self::Elem, b: Self::Elem) -> Self::Elem {
+        Self::mul(a, Self::inv(b))
+    }
+
+    /// `a^n` by exp/log arithmetic.
+    fn pow(a: Self::Elem, n: usize) -> Self::Elem {
+        if Self::is_zero(a) {
+            return if n == 0 { Self::one() } else { Self::zero() };
+        }
+        let l = Self::log(a) * n % (Self::ORDER - 1);
+        Self::alpha_pow(l as i64)
+    }
+}
+
+struct Tables<T> {
+    exp: Vec<T>,
+    log: Vec<u32>,
+}
+
+fn build_tables_u16(bits: usize, poly: u32) -> Tables<u16> {
+    let order = 1usize << bits;
+    let mut exp = vec![0u16; 2 * (order - 1)];
+    let mut log = vec![0u32; order];
+    let mut x: u32 = 1;
+    for (i, e) in exp.iter_mut().enumerate().take(order - 1) {
+        *e = x as u16;
+        log[x as usize] = i as u32;
+        x <<= 1;
+        if x & (order as u32) != 0 {
+            x ^= poly;
+        }
+    }
+    // Duplicate the table so `exp[log a + log b]` never needs a modulo.
+    for i in 0..(order - 1) {
+        exp[order - 1 + i] = exp[i];
+    }
+    Tables { exp, log }
+}
+
+/// GF(2^8) with primitive polynomial 0x11D.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Gf256;
+
+static GF256_TABLES: OnceLock<Tables<u16>> = OnceLock::new();
+
+impl Gf256 {
+    fn tables() -> &'static Tables<u16> {
+        GF256_TABLES.get_or_init(|| build_tables_u16(8, 0x11D))
+    }
+}
+
+impl Field for Gf256 {
+    type Elem = u8;
+    const ORDER: usize = 256;
+    const BITS: usize = 8;
+
+    #[inline]
+    fn zero() -> u8 {
+        0
+    }
+    #[inline]
+    fn one() -> u8 {
+        1
+    }
+    #[inline]
+    fn alpha() -> u8 {
+        2
+    }
+    #[inline]
+    fn is_zero(x: u8) -> bool {
+        x == 0
+    }
+    #[inline]
+    fn add(a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    #[inline]
+    fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let t = Self::tables();
+        t.exp[(t.log[a as usize] + t.log[b as usize]) as usize] as u8
+    }
+
+    #[inline]
+    fn inv(a: u8) -> u8 {
+        assert!(a != 0, "GF(256) inverse of zero");
+        let t = Self::tables();
+        t.exp[(Self::ORDER - 1) - t.log[a as usize] as usize] as u8
+    }
+
+    #[inline]
+    fn alpha_pow(power: i64) -> u8 {
+        let m = (Self::ORDER - 1) as i64;
+        let p = power.rem_euclid(m) as usize;
+        Self::tables().exp[p] as u8
+    }
+
+    #[inline]
+    fn log(a: u8) -> usize {
+        assert!(a != 0, "GF(256) log of zero");
+        Self::tables().log[a as usize] as usize
+    }
+
+    #[inline]
+    fn from_usize(v: usize) -> u8 {
+        v as u8
+    }
+    #[inline]
+    fn to_usize(a: u8) -> usize {
+        a as usize
+    }
+}
+
+/// GF(2^16) with primitive polynomial 0x1100B.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Gf65536;
+
+static GF65536_TABLES: OnceLock<Tables<u16>> = OnceLock::new();
+
+impl Gf65536 {
+    fn tables() -> &'static Tables<u16> {
+        GF65536_TABLES.get_or_init(|| build_tables_u16(16, 0x1100B))
+    }
+}
+
+impl Field for Gf65536 {
+    type Elem = u16;
+    const ORDER: usize = 65536;
+    const BITS: usize = 16;
+
+    #[inline]
+    fn zero() -> u16 {
+        0
+    }
+    #[inline]
+    fn one() -> u16 {
+        1
+    }
+    #[inline]
+    fn alpha() -> u16 {
+        2
+    }
+    #[inline]
+    fn is_zero(x: u16) -> bool {
+        x == 0
+    }
+    #[inline]
+    fn add(a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    #[inline]
+    fn mul(a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let t = Self::tables();
+        t.exp[(t.log[a as usize] + t.log[b as usize]) as usize]
+    }
+
+    #[inline]
+    fn inv(a: u16) -> u16 {
+        assert!(a != 0, "GF(65536) inverse of zero");
+        let t = Self::tables();
+        t.exp[(Self::ORDER - 1) - t.log[a as usize] as usize]
+    }
+
+    #[inline]
+    fn alpha_pow(power: i64) -> u16 {
+        let m = (Self::ORDER - 1) as i64;
+        let p = power.rem_euclid(m) as usize;
+        Self::tables().exp[p]
+    }
+
+    #[inline]
+    fn log(a: u16) -> usize {
+        assert!(a != 0, "GF(65536) log of zero");
+        Self::tables().log[a as usize] as usize
+    }
+
+    #[inline]
+    fn from_usize(v: usize) -> u16 {
+        v as u16
+    }
+    #[inline]
+    fn to_usize(a: u16) -> usize {
+        a as usize
+    }
+}
+
+/// Polynomial helpers over an arbitrary [`Field`]. Polynomials are stored
+/// lowest-degree-first (`p[0]` is the constant term).
+pub mod poly {
+    use super::Field;
+
+    /// Evaluate `p` at `x` by Horner's rule.
+    pub fn eval<F: Field>(p: &[F::Elem], x: F::Elem) -> F::Elem {
+        let mut acc = F::zero();
+        for &c in p.iter().rev() {
+            acc = F::add(F::mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Multiply two polynomials.
+    pub fn mul<F: Field>(a: &[F::Elem], b: &[F::Elem]) -> Vec<F::Elem> {
+        if a.is_empty() || b.is_empty() {
+            return vec![];
+        }
+        let mut out = vec![F::zero(); a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if F::is_zero(ai) {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] = F::add(out[i + j], F::mul(ai, bj));
+            }
+        }
+        out
+    }
+
+    /// Add two polynomials.
+    pub fn add<F: Field>(a: &[F::Elem], b: &[F::Elem]) -> Vec<F::Elem> {
+        let n = a.len().max(b.len());
+        let mut out = vec![F::zero(); n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let av = a.get(i).copied().unwrap_or_else(F::zero);
+            let bv = b.get(i).copied().unwrap_or_else(F::zero);
+            *o = F::add(av, bv);
+        }
+        out
+    }
+
+    /// Scale a polynomial by a field element.
+    pub fn scale<F: Field>(p: &[F::Elem], s: F::Elem) -> Vec<F::Elem> {
+        p.iter().map(|&c| F::mul(c, s)).collect()
+    }
+
+    /// Formal derivative (characteristic 2: odd-degree terms survive).
+    pub fn derivative<F: Field>(p: &[F::Elem]) -> Vec<F::Elem> {
+        if p.len() <= 1 {
+            return vec![];
+        }
+        let mut out = Vec::with_capacity(p.len() - 1);
+        for (i, &c) in p.iter().enumerate().skip(1) {
+            if i % 2 == 1 {
+                out.push(c);
+            } else {
+                out.push(F::zero());
+            }
+        }
+        out
+    }
+
+    /// Degree of `p`, treating the empty/zero polynomial as degree 0.
+    pub fn degree<F: Field>(p: &[F::Elem]) -> usize {
+        for (i, &c) in p.iter().enumerate().rev() {
+            if !F::is_zero(c) {
+                return i;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_field_axioms<F: Field>(sample: &[F::Elem]) {
+        for &a in sample {
+            // additive identity & self-inverse
+            assert_eq!(F::add(a, F::zero()), a);
+            assert!(F::is_zero(F::add(a, a)));
+            // multiplicative identity
+            assert_eq!(F::mul(a, F::one()), a);
+            if !F::is_zero(a) {
+                assert_eq!(F::mul(a, F::inv(a)), F::one());
+            }
+            for &b in sample {
+                assert_eq!(F::mul(a, b), F::mul(b, a));
+                for &c in sample {
+                    // distributivity
+                    assert_eq!(
+                        F::mul(a, F::add(b, c)),
+                        F::add(F::mul(a, b), F::mul(a, c))
+                    );
+                    // associativity
+                    assert_eq!(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_axioms_exhaustive_pairs() {
+        // Every element participates in identity/inverse checks.
+        for v in 0..256usize {
+            let a = v as u8;
+            assert_eq!(Gf256::mul(a, 1), a);
+            if a != 0 {
+                assert_eq!(Gf256::mul(a, Gf256::inv(a)), 1);
+                assert_eq!(Gf256::alpha_pow(Gf256::log(a) as i64), a);
+            }
+        }
+        let sample: Vec<u8> = vec![0, 1, 2, 3, 7, 0x53, 0x8e, 0xca, 0xff];
+        check_field_axioms::<Gf256>(&sample);
+    }
+
+    #[test]
+    fn gf256_alpha_generates_group() {
+        let mut seen = vec![false; 256];
+        for i in 0..255 {
+            let e = Gf256::alpha_pow(i);
+            assert!(!seen[e as usize], "alpha^{i} repeated");
+            seen[e as usize] = true;
+        }
+        assert!(!seen[0], "alpha powers must never hit zero");
+    }
+
+    #[test]
+    fn gf65536_axioms_sampled() {
+        for v in [1usize, 2, 3, 0x1234, 0x8000, 0xFFFF] {
+            let a = v as u16;
+            assert_eq!(Gf65536::mul(a, 1), a);
+            assert_eq!(Gf65536::mul(a, Gf65536::inv(a)), 1);
+            assert_eq!(Gf65536::alpha_pow(Gf65536::log(a) as i64), a);
+        }
+        let sample: Vec<u16> = vec![0, 1, 2, 0x1234, 0xABCD, 0xFFFF];
+        check_field_axioms::<Gf65536>(&sample);
+    }
+
+    #[test]
+    fn gf65536_alpha_order_is_full() {
+        // alpha^(2^16-1) == 1 and no smaller power among the prime divisors
+        // 3, 5, 17, 257 of 65535 gives 1.
+        assert_eq!(Gf65536::alpha_pow(65535), 1);
+        for d in [65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257] {
+            assert_ne!(Gf65536::alpha_pow(d as i64), 1, "alpha order divides {d}");
+        }
+    }
+
+    #[test]
+    fn alpha_pow_negative_exponents() {
+        let a = Gf256::alpha_pow(-1);
+        assert_eq!(Gf256::mul(a, 2), 1);
+        let b = Gf65536::alpha_pow(-7);
+        assert_eq!(Gf65536::mul(b, Gf65536::alpha_pow(7)), 1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for v in [1u8, 2, 3, 0x35, 0xd1] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(Gf256::pow(v, n), acc);
+                acc = Gf256::mul(acc, v);
+            }
+        }
+        assert_eq!(Gf256::pow(0, 0), 1);
+        assert_eq!(Gf256::pow(0, 5), 0);
+    }
+
+    #[test]
+    fn poly_eval_and_mul() {
+        // p(x) = 1 + x over GF(256); p(alpha) = alpha ^ 1.
+        let p = vec![1u8, 1];
+        assert_eq!(poly::eval::<Gf256>(&p, 2), 3);
+        // (1 + x)^2 = 1 + x^2 in characteristic 2.
+        let sq = poly::mul::<Gf256>(&p, &p);
+        assert_eq!(sq, vec![1, 0, 1]);
+        assert_eq!(poly::degree::<Gf256>(&sq), 2);
+    }
+
+    #[test]
+    fn poly_derivative_char2() {
+        // d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2 (char 2).
+        let p = vec![5u8, 7, 9, 11];
+        let d = poly::derivative::<Gf256>(&p);
+        assert_eq!(d, vec![7, 0, 11]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Multi-ECC (Jian et al., SC 2013): chipkill correct via multi-line error
+//! correction.
+//!
+//! Rank organization: nine x8 chips, 64B lines (8B per data chip; the ninth
+//! chip stores per-chip tier-1 checksums that detect *and localize* errors
+//! on the fly). Correction resources are shared across a large **group** of
+//! lines: one XOR parity line per `group_size` data lines, stored in
+//! ordinary data memory. Correcting a localized error reconstructs the
+//! victim line's faulty segment by XORing the parity line with the
+//! corresponding segments of every other line in the group — expensive, but
+//! correction is rare while detection is per-access.
+//!
+//! With the default `group_size = 256`, correction storage is
+//! 64·(1+12.5%)/(64·256) ≈ 0.44% of data, giving the published ≈12.9% total
+//! capacity overhead (12.5% detection + ~0.4% correction).
+//!
+//! Multi-line correction only works when at most one line per group is
+//! erroneous at a time — the same "faults are rare, scrub promptly"
+//! assumption ECC Parity generalizes across channels.
+
+use crate::checksum::checksum8;
+use crate::traits::{
+    ChipSpan, Codeword, CorrectOutcome, DetectOutcome, EccError, MemoryEcc, Region,
+};
+
+const DATA_CHIPS: usize = 8;
+const SEG: usize = 8; // bytes per chip per line
+const LINE: usize = 64;
+
+/// Multi-ECC with shared multi-line correction (see module docs).
+pub struct MultiEcc {
+    group_size: usize,
+}
+
+impl Default for MultiEcc {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl MultiEcc {
+    /// `group_size`: number of data lines sharing one parity line.
+    pub fn new(group_size: usize) -> Self {
+        assert!(group_size >= 2);
+        Self { group_size }
+    }
+
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Fractional correction-capacity overhead (correction bits / data),
+    /// including the 12.5% detection-of-parity-line factor.
+    pub fn correction_overhead(&self) -> f64 {
+        1.125 / self.group_size as f64
+    }
+
+    /// Total capacity overhead (the published ~12.9% at group_size = 256).
+    pub fn total_overhead(&self) -> f64 {
+        0.125 + self.correction_overhead()
+    }
+
+    fn mismatched_chips(&self, data: &[u8], detection: &[u8]) -> Vec<usize> {
+        (0..DATA_CHIPS)
+            .filter(|&c| checksum8(&data[c * SEG..(c + 1) * SEG]) != detection[c])
+            .collect()
+    }
+
+    /// Compute the group parity line: bytewise XOR of all lines in the group.
+    pub fn group_parity(&self, lines: &[Vec<u8>]) -> Vec<u8> {
+        assert!(!lines.is_empty() && lines.len() <= self.group_size);
+        let mut p = vec![0u8; LINE];
+        for l in lines {
+            assert_eq!(l.len(), LINE);
+            for (i, &b) in l.iter().enumerate() {
+                p[i] ^= b;
+            }
+        }
+        p
+    }
+
+    /// Correct line `victim` of a group in place.
+    ///
+    /// `lines[victim]` contains the (possibly corrupted) victim; every other
+    /// line must be clean (the multi-line correction precondition). The
+    /// faulty chip is localized with the victim's detection bits, then its
+    /// segment is rebuilt from the parity line.
+    pub fn correct_in_group(
+        &self,
+        lines: &mut [Vec<u8>],
+        victim: usize,
+        victim_detection: &[u8],
+        parity: &[u8],
+        erased_chip: Option<usize>,
+    ) -> Result<CorrectOutcome, EccError> {
+        assert!(victim < lines.len());
+        assert_eq!(parity.len(), LINE);
+        let mut bad = self.mismatched_chips(&lines[victim], victim_detection);
+        if let Some(c) = erased_chip {
+            if c < DATA_CHIPS && !bad.contains(&c) {
+                bad.push(c);
+            }
+        }
+        match bad.len() {
+            0 => Ok(CorrectOutcome { repaired_bytes: 0 }),
+            1 => {
+                let chip = bad[0];
+                let mut seg = parity[chip * SEG..(chip + 1) * SEG].to_vec();
+                for (i, l) in lines.iter().enumerate() {
+                    if i == victim {
+                        continue;
+                    }
+                    for (k, &b) in l[chip * SEG..(chip + 1) * SEG].iter().enumerate() {
+                        seg[k] ^= b;
+                    }
+                }
+                if checksum8(&seg) != victim_detection[chip] && erased_chip != Some(chip) {
+                    return Err(EccError::Uncorrectable);
+                }
+                let changed = lines[victim][chip * SEG..(chip + 1) * SEG]
+                    .iter()
+                    .zip(&seg)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                lines[victim][chip * SEG..(chip + 1) * SEG].copy_from_slice(&seg);
+                Ok(CorrectOutcome {
+                    repaired_bytes: changed,
+                })
+            }
+            _ => Err(EccError::Uncorrectable),
+        }
+    }
+}
+
+impl MemoryEcc for MultiEcc {
+    fn name(&self) -> &'static str {
+        "Multi-ECC"
+    }
+
+    fn data_bytes(&self) -> usize {
+        LINE
+    }
+
+    fn detection_bytes(&self) -> usize {
+        DATA_CHIPS // one checksum byte per data chip, in the ninth chip
+    }
+
+    /// Correction bits per *line* round to zero: they are shared across the
+    /// group (use [`MultiEcc::correction_overhead`] for capacity math and the
+    /// group API for functional correction).
+    fn correction_bytes(&self) -> usize {
+        0
+    }
+
+    fn chips_per_rank(&self) -> usize {
+        DATA_CHIPS + 1
+    }
+
+    fn chip_layout(&self) -> Vec<Vec<ChipSpan>> {
+        let mut layout: Vec<Vec<ChipSpan>> = Vec::with_capacity(9);
+        for c in 0..DATA_CHIPS {
+            layout.push(vec![ChipSpan {
+                region: Region::Data,
+                start: c * SEG,
+                len: SEG,
+            }]);
+        }
+        layout.push(vec![ChipSpan {
+            region: Region::Detection,
+            start: 0,
+            len: DATA_CHIPS,
+        }]);
+        layout
+    }
+
+    fn encode(&self, data: &[u8]) -> Codeword {
+        assert_eq!(data.len(), LINE);
+        let detection = (0..DATA_CHIPS)
+            .map(|c| checksum8(&data[c * SEG..(c + 1) * SEG]))
+            .collect();
+        Codeword {
+            data: data.to_vec(),
+            detection,
+            correction: vec![],
+        }
+    }
+
+    fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
+        if self.mismatched_chips(data, detection).is_empty() {
+            DetectOutcome::Clean
+        } else {
+            DetectOutcome::ErrorDetected
+        }
+    }
+
+    /// Per-line correction is impossible by design — correction state lives
+    /// at group granularity. Clean lines pass; anything else needs
+    /// [`MultiEcc::correct_in_group`].
+    fn correct(
+        &self,
+        data: &mut [u8],
+        detection: &[u8],
+        _correction: &[u8],
+        _erased_chip: Option<usize>,
+    ) -> Result<CorrectOutcome, EccError> {
+        if self.mismatched_chips(data, detection).is_empty() {
+            Ok(CorrectOutcome { repaired_bytes: 0 })
+        } else {
+            Err(EccError::Uncorrectable)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn group(rng: &mut StdRng, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| (0..LINE).map(|_| rng.gen()).collect()).collect()
+    }
+
+    #[test]
+    fn overhead_matches_published() {
+        let m = MultiEcc::default();
+        assert!((m.total_overhead() - 0.129).abs() < 0.001);
+    }
+
+    #[test]
+    fn detects_chip_error_per_line() {
+        let m = MultiEcc::default();
+        let mut rng = StdRng::seed_from_u64(30);
+        let data: Vec<u8> = (0..LINE).map(|_| rng.gen()).collect();
+        let cw = m.encode(&data);
+        assert_eq!(m.detect(&cw.data, &cw.detection), DetectOutcome::Clean);
+        let mut noisy = data.clone();
+        for b in &mut noisy[16..24] {
+            *b ^= 0x0f;
+        }
+        assert_eq!(
+            m.detect(&noisy, &cw.detection),
+            DetectOutcome::ErrorDetected
+        );
+    }
+
+    #[test]
+    fn multi_line_correction_rebuilds_chip_segment() {
+        let m = MultiEcc::new(16);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut lines = group(&mut rng, 16);
+        let parity = m.group_parity(&lines);
+        let victim = 5;
+        let clean = lines[victim].clone();
+        let det = m.encode(&clean).detection;
+        for b in &mut lines[victim][24..32] {
+            *b = rng.gen();
+        }
+        m.correct_in_group(&mut lines, victim, &det, &parity, None)
+            .expect("single localized chip must correct");
+        assert_eq!(lines[victim], clean);
+    }
+
+    #[test]
+    fn two_bad_chips_in_victim_uncorrectable() {
+        let m = MultiEcc::new(8);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut lines = group(&mut rng, 8);
+        let parity = m.group_parity(&lines);
+        let det = m.encode(&lines[0]).detection;
+        lines[0][0] ^= 1;
+        lines[0][63] ^= 1;
+        assert_eq!(
+            m.correct_in_group(&mut lines, 0, &det, &parity, None),
+            Err(EccError::Uncorrectable)
+        );
+    }
+
+    #[test]
+    fn erasure_hint_allows_stale_checksum() {
+        let m = MultiEcc::new(4);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut lines = group(&mut rng, 4);
+        let parity = m.group_parity(&lines);
+        let clean = lines[2].clone();
+        let det = m.encode(&clean).detection;
+        for b in &mut lines[2][56..64] {
+            *b = 0;
+        }
+        m.correct_in_group(&mut lines, 2, &det, &parity, Some(7))
+            .unwrap();
+        assert_eq!(lines[2], clean);
+    }
+
+    #[test]
+    fn group_parity_linearity() {
+        // parity(new group) = parity(old) ^ old_line ^ new_line — the update
+        // identity the write path relies on.
+        let m = MultiEcc::new(8);
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut lines = group(&mut rng, 8);
+        let p_old = m.group_parity(&lines);
+        let old3 = lines[3].clone();
+        let new3: Vec<u8> = (0..LINE).map(|_| rng.gen()).collect();
+        lines[3] = new3.clone();
+        let p_new = m.group_parity(&lines);
+        let expect: Vec<u8> = p_old
+            .iter()
+            .zip(&old3)
+            .zip(&new3)
+            .map(|((&p, &o), &n)| p ^ o ^ n)
+            .collect();
+        assert_eq!(p_new, expect);
+    }
+}

@@ -1,0 +1,192 @@
+//! Capacity-overhead accounting: the split of every scheme's ECC storage
+//! into detection bits and correction bits (paper Fig. 1) and the static
+//! capacity overheads of ECC Parity organizations (paper Table III).
+//!
+//! Conventions (all ratios are relative to data capacity):
+//!
+//! * Schemes whose correction bits live in dedicated ECC chips (the
+//!   commercial chipkill codes, RAIM) need no extra protection for them —
+//!   the inline code covers the whole codeword.
+//! * Schemes whose correction bits live in *data memory* as ECC lines
+//!   (LOT-ECC tier-2, Multi-ECC parity lines, ECC Parity's parity lines)
+//!   pay an extra 12.5% on those bits for the lines' own detection bits
+//!   (the `1 + 12.5%` factor in the paper's formula, §III-E).
+//! * ECC Parity stores correction bits of one line as `R/(N-1)` of a line
+//!   (the XOR is shared by N-1 channels); faulty regions later pay `2R`
+//!   (§III-B allocates twice the parity-line footprint).
+
+use crate::traits::MemoryEcc;
+
+/// A capacity overhead split into its detection and correction components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityBreakdown {
+    /// Detection-bit overhead (fraction of data capacity).
+    pub detection: f64,
+    /// Correction-bit overhead (fraction of data capacity), including any
+    /// self-protection factor for correction bits stored in data memory.
+    pub correction: f64,
+}
+
+impl CapacityBreakdown {
+    pub fn total(&self) -> f64 {
+        self.detection + self.correction
+    }
+}
+
+/// Extra capacity factor for redundancy stored as lines in data memory:
+/// those lines carry their own detection bits in the rank's ECC chips.
+pub const SELF_PROTECT: f64 = 1.125;
+
+/// Capacity accounting entry points.
+pub struct OverheadModel;
+
+impl OverheadModel {
+    /// Breakdown of a baseline (no ECC Parity) scheme. `in_data_memory`
+    /// marks schemes whose correction bits are ECC lines in data memory and
+    /// therefore pay the [`SELF_PROTECT`] factor (LOT-ECC; not the
+    /// commercial codes or RAIM, whose redundancy sits in dedicated chips).
+    pub fn baseline(ecc: &dyn MemoryEcc, in_data_memory: bool) -> CapacityBreakdown {
+        let d = ecc.data_bytes() as f64;
+        let factor = if in_data_memory { SELF_PROTECT } else { 1.0 };
+        CapacityBreakdown {
+            detection: ecc.detection_bytes() as f64 / d,
+            correction: ecc.correction_bytes() as f64 * factor / d,
+        }
+    }
+
+    /// Static breakdown of an ECC-Parity organization over `channels`
+    /// logical channels sharing parities, for an underlying code with
+    /// correction ratio `r` (paper formula: `(1+12.5%) * R / (N-1)`).
+    pub fn ecc_parity(r: f64, channels: usize) -> CapacityBreakdown {
+        assert!(channels >= 2, "ECC parity needs at least two channels");
+        CapacityBreakdown {
+            detection: 0.125,
+            correction: SELF_PROTECT * r / (channels - 1) as f64,
+        }
+    }
+
+    /// End-of-life average overhead: static parity-line overhead plus the
+    /// expected extra storage for the fraction `faulty_fraction` of memory
+    /// whose regions have migrated to stored ECC correction bits (each such
+    /// region pays `2R` instead of `R/(N-1)`, §III-B/§III-E).
+    pub fn ecc_parity_eol(r: f64, channels: usize, faulty_fraction: f64) -> CapacityBreakdown {
+        let mut b = Self::ecc_parity(r, channels);
+        let per_line_parity = SELF_PROTECT * r / (channels - 1) as f64;
+        let per_line_stored = 2.0 * r;
+        b.correction += faulty_fraction * (per_line_stored - per_line_parity);
+        b
+    }
+
+    /// The paper's Fig. 1 rows: (label, breakdown).
+    pub fn figure1() -> Vec<(&'static str, CapacityBreakdown)> {
+        vec![
+            (
+                "Commercial chipkill correct",
+                CapacityBreakdown {
+                    detection: 0.0625,
+                    correction: 0.0625,
+                },
+            ),
+            (
+                "Commercial DIMM-kill correct (RAIM)",
+                CapacityBreakdown {
+                    detection: 0.125,
+                    correction: 0.28125,
+                },
+            ),
+            (
+                "LOT-ECC I (9 chips/rank)",
+                CapacityBreakdown {
+                    detection: 0.125,
+                    correction: 8.0 * SELF_PROTECT / 64.0,
+                },
+            ),
+            (
+                "LOT-ECC II (5 chips/rank)",
+                CapacityBreakdown {
+                    detection: 0.125,
+                    correction: 16.0 * SELF_PROTECT / 64.0,
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chipkill18, Chipkill36, LotEcc, Raim};
+    use crate::raim::RaimParityCode;
+
+    #[test]
+    fn fig1_totals_match_paper() {
+        let rows = OverheadModel::figure1();
+        let totals: Vec<f64> = rows.iter().map(|(_, b)| b.total()).collect();
+        assert!((totals[0] - 0.125).abs() < 1e-9); // commercial chipkill 12.5%
+        assert!((totals[1] - 0.40625).abs() < 1e-9); // RAIM 40.6%
+        assert!((totals[2] - 0.2656).abs() < 1e-3); // LOT-ECC I 26.5%
+        assert!((totals[3] - 0.40625).abs() < 1e-9); // LOT-ECC II 40.6%
+        // "Typically 50% or more of the ECC capacity overhead comes from the
+        // ECC correction bits" — check the claim holds for all rows.
+        for (name, b) in &rows {
+            assert!(
+                b.correction >= b.detection * 0.99,
+                "{name}: correction {} < detection {}",
+                b.correction,
+                b.detection
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_breakdowns_from_real_codes() {
+        let ck36 = OverheadModel::baseline(&Chipkill36::new(), false);
+        assert!((ck36.total() - 0.125).abs() < 1e-9);
+        let ck18 = OverheadModel::baseline(&Chipkill18::new(), false);
+        assert!((ck18.total() - 0.125).abs() < 1e-9);
+        let lot5 = OverheadModel::baseline(&LotEcc::five(), true);
+        assert!((lot5.total() - 0.40625).abs() < 1e-9, "LOT-ECC5 40.6%");
+        let lot9 = OverheadModel::baseline(&LotEcc::nine(), true);
+        assert!((lot9.total() - 0.265625).abs() < 1e-9, "LOT-ECC9 26.5%");
+        let raim = OverheadModel::baseline(&Raim::new(), false);
+        assert!((raim.total() - 0.40625).abs() < 1e-9, "RAIM 40.6%");
+    }
+
+    #[test]
+    fn table3_static_rows_match_paper() {
+        // 8-chan LOT-ECC5 + ECC Parity: 16.5%
+        let b = OverheadModel::ecc_parity(0.25, 8);
+        assert!((b.total() - 0.1652).abs() < 5e-4, "got {}", b.total());
+        // 4-chan LOT-ECC5 + ECC Parity: 21.9%
+        let b = OverheadModel::ecc_parity(0.25, 4);
+        assert!((b.total() - 0.21875).abs() < 1e-9);
+        // 10-chan RAIM + ECC Parity: 18.8%
+        let b = OverheadModel::ecc_parity(0.5, 10);
+        assert!((b.total() - 0.1875).abs() < 1e-9);
+        // 5-chan RAIM + ECC Parity: 26.6%
+        let b = OverheadModel::ecc_parity(0.5, 5);
+        assert!((b.total() - 0.265625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_r_values_match_real_codes() {
+        assert!((LotEcc::five().correction_ratio() - 0.25).abs() < 1e-12);
+        assert!((RaimParityCode::new().correction_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eol_grows_with_faulty_fraction() {
+        // Paper: ~0.4% of memory migrates after 7 years, EOL avg 16.7% for
+        // the 8-channel LOT-ECC5 config (vs 16.5% static).
+        let static_b = OverheadModel::ecc_parity(0.25, 8);
+        let eol = OverheadModel::ecc_parity_eol(0.25, 8, 0.004);
+        assert!(eol.total() > static_b.total());
+        assert!((eol.total() - 0.167).abs() < 2e-3, "got {}", eol.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two channels")]
+    fn ecc_parity_rejects_single_channel() {
+        OverheadModel::ecc_parity(0.25, 1);
+    }
+}

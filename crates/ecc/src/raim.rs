@@ -1,0 +1,506 @@
+//! RAIM — Redundant Array of Independent Memory (IBM zEnterprise), the
+//! paper's commercial DIMM-kill-correct baseline, plus the reorganized
+//! underlying code used by RAIM + ECC Parity.
+//!
+//! **Baseline [`Raim`]**: each rank spans five DIMMs of nine x4 chips each
+//! (45 chips). A 128B line stripes 32B over each of four data DIMMs; the
+//! fifth DIMM stores their bitwise XOR. The ninth chip of each DIMM holds
+//! detection checksums for that DIMM's 32B stripe. A whole-DIMM failure
+//! (or any single-chip failure, a special case) is corrected by
+//! reconstructing the failed DIMM's stripe from the parity DIMM. Capacity
+//! overhead 13/32 = 40.6%: detection 4/32 = 12.5%, correction 9/32 = 28.1%
+//! (Fig. 1).
+//!
+//! **[`RaimParityCode`]** — the underlying ECC of "RAIM + ECC Parity"
+//! (Table II: 18 x4 chips, 64B lines): the rank is two 9-chip DIMMs; each
+//! DIMM contributes 32B of the line plus a 4B detection checksum in its
+//! ninth chip. The *correction bits* are the 32B XOR of the two DIMM
+//! stripes — ratio R = 32/64 = 0.5, exactly the R that reproduces the
+//! paper's Table III capacity numbers (18.8% at 10 channels, 26.6% at 5).
+//! Losing either DIMM erases a known half of the chips; the correction bits
+//! (reconstructed from the cross-channel ECC parity) rebuild it.
+
+use crate::checksum::checksum16;
+use crate::traits::{
+    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
+    Region,
+};
+
+const CHIP_BYTES: usize = 4; // bytes each x4 chip supplies per line
+const CHIPS_PER_DIMM: usize = 9; // 8 data + 1 detection
+const DIMM_DATA: usize = 8 * CHIP_BYTES; // 32B per DIMM stripe
+
+/// Detection checksum of one DIMM stripe: two 16-bit ones'-complement sums
+/// over the stripe halves, stored in the DIMM's ninth chip (4B).
+fn dimm_checksum(stripe: &[u8]) -> [u8; 4] {
+    debug_assert_eq!(stripe.len(), DIMM_DATA);
+    let a = checksum16(&stripe[..16]).to_be_bytes();
+    let b = checksum16(&stripe[16..]).to_be_bytes();
+    [a[0], a[1], b[0], b[1]]
+}
+
+/// Commercial RAIM DIMM-kill correct (see module docs).
+pub struct Raim;
+
+impl Default for Raim {
+    fn default() -> Self {
+        Self
+    }
+}
+
+impl Raim {
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn stripe(data: &[u8], dimm: usize) -> &[u8] {
+        &data[dimm * DIMM_DATA..(dimm + 1) * DIMM_DATA]
+    }
+
+    /// XOR of the four data-DIMM stripes (the parity DIMM's data content).
+    fn parity_stripe(data: &[u8]) -> Vec<u8> {
+        let mut p = vec![0u8; DIMM_DATA];
+        for d in 0..4 {
+            for (i, &b) in Self::stripe(data, d).iter().enumerate() {
+                p[i] ^= b;
+            }
+        }
+        p
+    }
+
+    fn bad_data_dimms(data: &[u8], detection: &[u8]) -> Vec<usize> {
+        (0..4)
+            .filter(|&d| dimm_checksum(Self::stripe(data, d)) != detection[d * 4..d * 4 + 4])
+            .collect()
+    }
+}
+
+impl MemoryEcc for Raim {
+    fn name(&self) -> &'static str {
+        "RAIM (commercial DIMM-kill correct)"
+    }
+
+    fn data_bytes(&self) -> usize {
+        128
+    }
+
+    fn detection_bytes(&self) -> usize {
+        16 // 4B per data DIMM
+    }
+
+    fn correction_bytes(&self) -> usize {
+        36 // parity DIMM: 32B stripe + its own 4B checksum
+    }
+
+    fn chips_per_rank(&self) -> usize {
+        45
+    }
+
+    fn chip_layout(&self) -> Vec<Vec<ChipSpan>> {
+        let mut layout: Vec<Vec<ChipSpan>> = Vec::with_capacity(45);
+        for dimm in 0..5 {
+            for chip in 0..CHIPS_PER_DIMM {
+                let span = if dimm < 4 {
+                    if chip < 8 {
+                        ChipSpan {
+                            region: Region::Data,
+                            start: dimm * DIMM_DATA + chip * CHIP_BYTES,
+                            len: CHIP_BYTES,
+                        }
+                    } else {
+                        ChipSpan {
+                            region: Region::Detection,
+                            start: dimm * 4,
+                            len: 4,
+                        }
+                    }
+                } else if chip < 8 {
+                    ChipSpan {
+                        region: Region::Correction,
+                        start: chip * CHIP_BYTES,
+                        len: CHIP_BYTES,
+                    }
+                } else {
+                    ChipSpan {
+                        region: Region::Correction,
+                        start: DIMM_DATA,
+                        len: 4,
+                    }
+                };
+                layout.push(vec![span]);
+            }
+        }
+        layout
+    }
+
+    fn encode(&self, data: &[u8]) -> Codeword {
+        assert_eq!(data.len(), 128);
+        let mut detection = Vec::with_capacity(16);
+        for d in 0..4 {
+            detection.extend(dimm_checksum(Self::stripe(data, d)));
+        }
+        let p = Self::parity_stripe(data);
+        let mut correction = p.clone();
+        correction.extend(dimm_checksum(&p));
+        Codeword {
+            data: data.to_vec(),
+            detection,
+            correction,
+        }
+    }
+
+    fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
+        if Self::bad_data_dimms(data, detection).is_empty() {
+            DetectOutcome::Clean
+        } else {
+            DetectOutcome::ErrorDetected
+        }
+    }
+
+    fn correct(
+        &self,
+        data: &mut [u8],
+        detection: &[u8],
+        correction: &[u8],
+        erased_chip: Option<usize>,
+    ) -> Result<CorrectOutcome, EccError> {
+        assert_eq!(data.len(), 128);
+        let mut bad = Self::bad_data_dimms(data, detection);
+        if let Some(chip) = erased_chip {
+            let dimm = chip / CHIPS_PER_DIMM;
+            if dimm < 4 && !bad.contains(&dimm) {
+                bad.push(dimm);
+            }
+        }
+        match bad.len() {
+            0 => Ok(CorrectOutcome { repaired_bytes: 0 }),
+            1 => {
+                let victim = bad[0];
+                // rebuilt = parity-stripe ^ other three data stripes
+                let mut rebuilt = correction[..DIMM_DATA].to_vec();
+                for d in 0..4 {
+                    if d == victim {
+                        continue;
+                    }
+                    for (i, &b) in Self::stripe(data, d).iter().enumerate() {
+                        rebuilt[i] ^= b;
+                    }
+                }
+                let hinted = erased_chip.map(|c| c / CHIPS_PER_DIMM) == Some(victim);
+                if dimm_checksum(&rebuilt) != detection[victim * 4..victim * 4 + 4] && !hinted {
+                    return Err(EccError::Uncorrectable);
+                }
+                let changed = Self::stripe(data, victim)
+                    .iter()
+                    .zip(&rebuilt)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                data[victim * DIMM_DATA..(victim + 1) * DIMM_DATA].copy_from_slice(&rebuilt);
+                Ok(CorrectOutcome {
+                    repaired_bytes: changed,
+                })
+            }
+            _ => Err(EccError::Uncorrectable),
+        }
+    }
+}
+
+impl CorrectionSplit for Raim {}
+
+/// Underlying ECC of "RAIM + ECC Parity": 18 x4 chips (two 9-chip DIMMs),
+/// 64B lines, correction = inter-DIMM XOR with ratio R = 0.5 (see module
+/// docs).
+pub struct RaimParityCode;
+
+impl Default for RaimParityCode {
+    fn default() -> Self {
+        Self
+    }
+}
+
+impl RaimParityCode {
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn stripe(data: &[u8], dimm: usize) -> &[u8] {
+        &data[dimm * DIMM_DATA..(dimm + 1) * DIMM_DATA]
+    }
+
+    fn bad_dimms(data: &[u8], detection: &[u8]) -> Vec<usize> {
+        (0..2)
+            .filter(|&d| dimm_checksum(Self::stripe(data, d)) != detection[d * 4..d * 4 + 4])
+            .collect()
+    }
+}
+
+impl MemoryEcc for RaimParityCode {
+    fn name(&self) -> &'static str {
+        "RAIM underlying code for ECC Parity (18-device DIMM-kill)"
+    }
+
+    fn data_bytes(&self) -> usize {
+        64
+    }
+
+    fn detection_bytes(&self) -> usize {
+        8 // 4B per DIMM
+    }
+
+    fn correction_bytes(&self) -> usize {
+        32 // XOR of the two 32B DIMM stripes: R = 0.5
+    }
+
+    fn chips_per_rank(&self) -> usize {
+        18
+    }
+
+    fn chip_layout(&self) -> Vec<Vec<ChipSpan>> {
+        let mut layout: Vec<Vec<ChipSpan>> = Vec::with_capacity(18);
+        for dimm in 0..2 {
+            for chip in 0..CHIPS_PER_DIMM {
+                let span = if chip < 8 {
+                    ChipSpan {
+                        region: Region::Data,
+                        start: dimm * DIMM_DATA + chip * CHIP_BYTES,
+                        len: CHIP_BYTES,
+                    }
+                } else {
+                    ChipSpan {
+                        region: Region::Detection,
+                        start: dimm * 4,
+                        len: 4,
+                    }
+                };
+                layout.push(vec![span]);
+            }
+        }
+        layout
+    }
+
+    fn encode(&self, data: &[u8]) -> Codeword {
+        assert_eq!(data.len(), 64);
+        let mut detection = Vec::with_capacity(8);
+        detection.extend(dimm_checksum(Self::stripe(data, 0)));
+        detection.extend(dimm_checksum(Self::stripe(data, 1)));
+        let correction = Self::stripe(data, 0)
+            .iter()
+            .zip(Self::stripe(data, 1))
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        Codeword {
+            data: data.to_vec(),
+            detection,
+            correction,
+        }
+    }
+
+    fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
+        if Self::bad_dimms(data, detection).is_empty() {
+            DetectOutcome::Clean
+        } else {
+            DetectOutcome::ErrorDetected
+        }
+    }
+
+    fn correct(
+        &self,
+        data: &mut [u8],
+        detection: &[u8],
+        correction: &[u8],
+        erased_chip: Option<usize>,
+    ) -> Result<CorrectOutcome, EccError> {
+        assert_eq!(data.len(), 64);
+        let mut bad = Self::bad_dimms(data, detection);
+        if let Some(chip) = erased_chip {
+            let dimm = chip / CHIPS_PER_DIMM;
+            if dimm < 2 && !bad.contains(&dimm) {
+                bad.push(dimm);
+            }
+        }
+        match bad.len() {
+            0 => Ok(CorrectOutcome { repaired_bytes: 0 }),
+            1 => {
+                let victim = bad[0];
+                let other = 1 - victim;
+                let rebuilt: Vec<u8> = correction
+                    .iter()
+                    .zip(Self::stripe(data, other))
+                    .map(|(&p, &o)| p ^ o)
+                    .collect();
+                let hinted = erased_chip.map(|c| c / CHIPS_PER_DIMM) == Some(victim);
+                if dimm_checksum(&rebuilt) != detection[victim * 4..victim * 4 + 4] && !hinted {
+                    return Err(EccError::Uncorrectable);
+                }
+                let changed = Self::stripe(data, victim)
+                    .iter()
+                    .zip(&rebuilt)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                data[victim * DIMM_DATA..(victim + 1) * DIMM_DATA].copy_from_slice(&rebuilt);
+                Ok(CorrectOutcome {
+                    repaired_bytes: changed,
+                })
+            }
+            _ => Err(EccError::Uncorrectable),
+        }
+    }
+}
+
+impl CorrectionSplit for RaimParityCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn line128(rng: &mut StdRng) -> Vec<u8> {
+        (0..128).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn raim_overheads_match_fig1() {
+        let r = Raim::new();
+        assert_eq!(r.chips_per_rank(), 45);
+        // 16B detection / 128B = 12.5%; 36B correction / 128B = 28.1%
+        assert!((r.detection_bytes() as f64 / 128.0 - 0.125).abs() < 1e-12);
+        assert!((r.correction_bytes() as f64 / 128.0 - 0.28125).abs() < 1e-12);
+        assert!((r.baseline_overhead() - 0.40625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raim_dimm_kill_corrected() {
+        let r = Raim::new();
+        let mut rng = StdRng::seed_from_u64(40);
+        for dimm in 0..4 {
+            let data = line128(&mut rng);
+            let cw = r.encode(&data);
+            let mut noisy = data.clone();
+            // whole-DIMM failure: scramble its 32B stripe
+            for b in &mut noisy[dimm * 32..(dimm + 1) * 32] {
+                *b = rng.gen();
+            }
+            assert_eq!(
+                r.detect(&noisy, &cw.detection),
+                DetectOutcome::ErrorDetected
+            );
+            r.correct(&mut noisy, &cw.detection, &cw.correction, None)
+                .expect("DIMM-kill must be corrected");
+            assert_eq!(noisy, data);
+        }
+    }
+
+    #[test]
+    fn raim_single_chip_error_corrected() {
+        let r = Raim::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..30 {
+            let data = line128(&mut rng);
+            let cw = r.encode(&data);
+            let chip = rng.gen_range(0..32); // a data chip
+            let dimm = chip / 8;
+            let off = dimm * 32 + (chip % 8) * 4;
+            let mut noisy = data.clone();
+            for b in &mut noisy[off..off + 4] {
+                *b ^= 0xbe;
+            }
+            r.correct(&mut noisy, &cw.detection, &cw.correction, None)
+                .unwrap();
+            assert_eq!(noisy, data);
+        }
+    }
+
+    #[test]
+    fn raim_two_dimm_failure_uncorrectable() {
+        let r = Raim::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = line128(&mut rng);
+        let cw = r.encode(&data);
+        let mut noisy = data.clone();
+        for b in &mut noisy[0..32] {
+            *b ^= 0x01;
+        }
+        for b in &mut noisy[32..64] {
+            *b ^= 0x02;
+        }
+        assert_eq!(
+            r.correct(&mut noisy, &cw.detection, &cw.correction, None),
+            Err(EccError::Uncorrectable)
+        );
+    }
+
+    #[test]
+    fn raim_erasure_hint_for_marked_dimm() {
+        let r = Raim::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let data = line128(&mut rng);
+        let cw = r.encode(&data);
+        let mut noisy = data.clone();
+        for b in &mut noisy[96..128] {
+            *b = 0;
+        }
+        // chip 30 belongs to DIMM 3
+        r.correct(&mut noisy, &cw.detection, &cw.correction, Some(30))
+            .unwrap();
+        assert_eq!(noisy, data);
+    }
+
+    #[test]
+    fn raim_parity_code_r_is_half() {
+        let c = RaimParityCode::new();
+        assert_eq!(c.chips_per_rank(), 18);
+        assert!((c.correction_ratio() - 0.5).abs() < 1e-12);
+        assert!((c.detection_bytes() as f64 / 64.0 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raim_parity_code_dimm_kill() {
+        let c = RaimParityCode::new();
+        let mut rng = StdRng::seed_from_u64(44);
+        for dimm in 0..2 {
+            let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+            let cw = c.encode(&data);
+            let mut noisy = data.clone();
+            for b in &mut noisy[dimm * 32..(dimm + 1) * 32] {
+                *b = rng.gen();
+            }
+            c.correct(&mut noisy, &cw.detection, &cw.correction, None)
+                .expect("half-rank DIMM kill must correct");
+            assert_eq!(noisy, data);
+        }
+    }
+
+    #[test]
+    fn raim_parity_code_chip_error() {
+        let c = RaimParityCode::new();
+        let mut rng = StdRng::seed_from_u64(45);
+        for chip in 0..16 {
+            let dimm = chip / 8;
+            let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+            let cw = c.encode(&data);
+            let off = dimm * 32 + (chip % 8) * 4;
+            let mut noisy = data.clone();
+            for b in &mut noisy[off..off + 4] {
+                *b ^= 0x33;
+            }
+            c.correct(&mut noisy, &cw.detection, &cw.correction, None)
+                .unwrap();
+            assert_eq!(noisy, data);
+        }
+    }
+
+    #[test]
+    fn raim_parity_code_double_dimm_uncorrectable() {
+        let c = RaimParityCode::new();
+        let data = vec![7u8; 64];
+        let cw = c.encode(&data);
+        let mut noisy = data.clone();
+        noisy[0] ^= 1;
+        noisy[40] ^= 1;
+        assert_eq!(
+            c.correct(&mut noisy, &cw.detection, &cw.correction, None),
+            Err(EccError::Uncorrectable)
+        );
+    }
+}

@@ -1,0 +1,528 @@
+//! Systematic Reed–Solomon encoder and errors-and-erasures decoder,
+//! generic over the symbol field.
+//!
+//! A code with `nroots` check symbols corrects `e` symbol errors and `f`
+//! symbol erasures whenever `2e + f <= nroots`. Memory ECCs additionally
+//! impose a *policy* cap on the number of corrected errors to preserve
+//! detection guarantees — e.g. the 36-device commercial chipkill code has
+//! four check symbols but corrects only one symbol error so that any two
+//! symbol errors remain guaranteed-detectable (SSC-DSD). The cap is the
+//! `max_errors` argument of [`ReedSolomon::decode`].
+//!
+//! Codeword layout: `codeword[0..k]` are data symbols, `codeword[k..n]` are
+//! check symbols; symbol `i` is the coefficient of `x^(n-1-i)`, so data
+//! occupies the high-degree coefficients (the usual systematic convention).
+
+use crate::gf::{poly, Field};
+
+/// Outcome details of a successful decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeInfo {
+    /// Positions (indices into the codeword) whose symbols were corrected.
+    /// Empty when the codeword was already clean.
+    pub corrected: Vec<usize>,
+    /// How many of the corrections were at caller-declared erasure positions.
+    pub erasures_used: usize,
+}
+
+/// Decoder failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// The error pattern exceeds the code's (or the policy's) correction
+    /// capability; errors were detected but not corrected.
+    DetectedUncorrectable,
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::DetectedUncorrectable => write!(f, "detected uncorrectable error pattern"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic Reed–Solomon code with `nroots` check symbols over field `F`.
+///
+/// The same instance encodes/decodes codewords of any length
+/// `n <= F::ORDER - 1` (shortened codes): length is taken from the slice.
+///
+/// ```
+/// use ecc_codes::gf::Gf256;
+/// use ecc_codes::rs::ReedSolomon;
+///
+/// let rs = ReedSolomon::<Gf256>::new(4); // corrects 2 symbol errors
+/// let data = b"memory line payload.".to_vec();
+/// let mut codeword = data.clone();
+/// codeword.extend(rs.encode(&data));
+///
+/// codeword[3] ^= 0x55; // two symbol errors
+/// codeword[17] ^= 0xAA;
+/// rs.decode(&mut codeword, &[], None).unwrap();
+/// assert_eq!(&codeword[..data.len()], &data[..]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReedSolomon<F: Field> {
+    nroots: usize,
+    /// Generator polynomial, lowest-degree-first, `genpoly.len() == nroots+1`.
+    genpoly: Vec<F::Elem>,
+}
+
+impl<F: Field> ReedSolomon<F> {
+    /// Build a code with `nroots` check symbols; roots are
+    /// `alpha^0 .. alpha^(nroots-1)`.
+    pub fn new(nroots: usize) -> Self {
+        assert!(nroots >= 1, "need at least one check symbol");
+        assert!(nroots < F::ORDER - 1, "too many check symbols for field");
+        let mut genpoly = vec![F::one()];
+        for i in 0..nroots {
+            // multiply by (x + alpha^i)  (char 2: -a == a)
+            let root = F::alpha_pow(i as i64);
+            genpoly = poly::mul::<F>(&genpoly, &[root, F::one()]);
+        }
+        debug_assert_eq!(genpoly.len(), nroots + 1);
+        Self { nroots, genpoly }
+    }
+
+    /// Number of check symbols.
+    #[inline]
+    pub fn nroots(&self) -> usize {
+        self.nroots
+    }
+
+    /// Compute the `nroots` check symbols for `data` (any length
+    /// `k <= F::ORDER - 1 - nroots`). Returned check symbols follow the data
+    /// in the codeword.
+    pub fn encode(&self, data: &[F::Elem]) -> Vec<F::Elem> {
+        assert!(
+            data.len() + self.nroots < F::ORDER,
+            "codeword longer than field allows"
+        );
+        // Polynomial long division of data(x) * x^nroots by genpoly, keeping
+        // the remainder. LFSR formulation.
+        let mut parity = vec![F::zero(); self.nroots];
+        for &d in data {
+            let feedback = F::add(d, parity[0]);
+            if !F::is_zero(feedback) {
+                for j in 0..self.nroots - 1 {
+                    parity[j] = F::add(
+                        parity[j + 1],
+                        F::mul(feedback, self.genpoly[self.nroots - 1 - j]),
+                    );
+                }
+                parity[self.nroots - 1] = F::mul(feedback, self.genpoly[0]);
+            } else {
+                parity.rotate_left(1);
+                parity[self.nroots - 1] = F::zero();
+            }
+        }
+        parity
+    }
+
+    /// Compute syndromes `S_j = c(alpha^j)` for `j in 0..nroots`.
+    /// All-zero syndromes <=> the codeword is a valid codeword.
+    pub fn syndromes(&self, codeword: &[F::Elem]) -> Vec<F::Elem> {
+        let n = codeword.len();
+        let mut synd = vec![F::zero(); self.nroots];
+        for (j, s) in synd.iter_mut().enumerate() {
+            // S_j = sum_i cw[i] * alpha^(j*(n-1-i)) — Horner over the
+            // codeword read left (highest degree) to right.
+            let aj = F::alpha_pow(j as i64);
+            let mut acc = F::zero();
+            for i in 0..n {
+                acc = F::add(F::mul(acc, aj), codeword[i]);
+            }
+            *s = acc;
+        }
+        synd
+    }
+
+    /// True if `codeword` is a valid codeword (no detected error).
+    pub fn is_valid(&self, codeword: &[F::Elem]) -> bool {
+        self.syndromes(codeword).iter().all(|&s| F::is_zero(s))
+    }
+
+    /// Errors-and-erasures decode in place.
+    ///
+    /// * `erasures`: caller-known bad positions (e.g. a chip flagged faulty);
+    ///   the decoder treats them as erased regardless of content.
+    /// * `max_errors`: policy cap on the number of corrected *non-erasure*
+    ///   errors (`None` = full capability `(nroots - erasures)/2`).
+    ///
+    /// On success returns which positions were altered. On failure, the
+    /// codeword is left unmodified and the pattern is reported detected-
+    /// uncorrectable.
+    pub fn decode(
+        &self,
+        codeword: &mut [F::Elem],
+        erasures: &[usize],
+        max_errors: Option<usize>,
+    ) -> Result<DecodeInfo, RsError> {
+        let n = codeword.len();
+        assert!(n > self.nroots, "codeword must contain data symbols");
+        for &e in erasures {
+            assert!(e < n, "erasure position out of range");
+        }
+        if erasures.len() > self.nroots {
+            return Err(RsError::DetectedUncorrectable);
+        }
+
+        let synd = self.syndromes(codeword);
+        if synd.iter().all(|&s| F::is_zero(s)) {
+            // Valid codeword. (Erased positions are consistent as-is.)
+            return Ok(DecodeInfo {
+                corrected: vec![],
+                erasures_used: 0,
+            });
+        }
+
+        // Erasure locator Gamma(x) = prod (1 + X_e x), X_e = alpha^(n-1-pos).
+        let mut gamma = vec![F::one()];
+        for &e in erasures {
+            let x_e = F::alpha_pow((n - 1 - e) as i64);
+            gamma = poly::mul::<F>(&gamma, &[F::one(), x_e]);
+        }
+
+        // Modified syndromes Xi(x) = S(x) * Gamma(x) mod x^nroots.
+        let sx: Vec<F::Elem> = synd.clone();
+        let mut xi = poly::mul::<F>(&sx, &gamma);
+        xi.truncate(self.nroots);
+
+        // Berlekamp–Massey on the modified syndromes for the error locator.
+        let lambda = self.berlekamp_massey(&xi, erasures.len());
+        let nu = poly::degree::<F>(&lambda);
+        let cap = (self.nroots - erasures.len()) / 2;
+        if nu > cap {
+            return Err(RsError::DetectedUncorrectable);
+        }
+        if let Some(maxe) = max_errors {
+            if nu > maxe {
+                return Err(RsError::DetectedUncorrectable);
+            }
+        }
+
+        // Combined locator Psi = Lambda * Gamma; roots give all bad positions.
+        let psi = poly::mul::<F>(&lambda, &gamma);
+        let psi_deg = poly::degree::<F>(&psi);
+
+        // Chien search over the n positions of this (possibly shortened) code.
+        let mut positions = Vec::with_capacity(psi_deg);
+        for pos in 0..n {
+            let exp = (n - 1 - pos) as i64;
+            let x_inv = F::alpha_pow(-exp);
+            if F::is_zero(poly::eval::<F>(&psi, x_inv)) {
+                positions.push(pos);
+            }
+        }
+        if positions.len() != psi_deg {
+            // Locator does not split over the valid positions: uncorrectable.
+            return Err(RsError::DetectedUncorrectable);
+        }
+
+        // Evaluator Omega(x) = S(x) * Psi(x) mod x^nroots.
+        let mut omega = poly::mul::<F>(&sx, &psi);
+        omega.truncate(self.nroots);
+        let psi_prime = poly::derivative::<F>(&psi);
+
+        // Forney algorithm: magnitude at locator X = alpha^(n-1-pos) is
+        // X * Omega(X^-1) / Psi'(X^-1)   (fcr = 0).
+        let mut corrected = Vec::with_capacity(positions.len());
+        let mut patch = Vec::with_capacity(positions.len());
+        for &pos in &positions {
+            let exp = (n - 1 - pos) as i64;
+            let x = F::alpha_pow(exp);
+            let x_inv = F::alpha_pow(-exp);
+            let denom = poly::eval::<F>(&psi_prime, x_inv);
+            if F::is_zero(denom) {
+                return Err(RsError::DetectedUncorrectable);
+            }
+            let num = F::mul(x, poly::eval::<F>(&omega, x_inv));
+            let mag = F::div(num, denom);
+            patch.push((pos, mag));
+        }
+        for &(pos, mag) in &patch {
+            codeword[pos] = F::add(codeword[pos], mag);
+            if !F::is_zero(mag) {
+                corrected.push(pos);
+            }
+        }
+
+        // Re-verify: a miscorrection beyond capability must not escape.
+        if !self.is_valid(codeword) {
+            // Roll back.
+            for &(pos, mag) in &patch {
+                codeword[pos] = F::add(codeword[pos], mag);
+            }
+            return Err(RsError::DetectedUncorrectable);
+        }
+
+        let erasures_used = corrected.iter().filter(|p| erasures.contains(p)).count();
+        Ok(DecodeInfo {
+            corrected,
+            erasures_used,
+        })
+    }
+
+    /// Berlekamp–Massey over the (modified) syndrome sequence, starting the
+    /// iteration after `rho` erasures have consumed the first `rho` discrepancy
+    /// steps.
+    fn berlekamp_massey(&self, synd: &[F::Elem], rho: usize) -> Vec<F::Elem> {
+        let nroots = self.nroots;
+        let mut lambda: Vec<F::Elem> = vec![F::one()];
+        let mut b: Vec<F::Elem> = vec![F::one()];
+        let mut l: usize = 0;
+        let mut m: usize = 1;
+        let mut bcoef = F::one();
+
+        for r in rho..nroots {
+            // discrepancy d = sum_{i=0..l} lambda_i * synd[r - i]
+            let mut d = F::zero();
+            for i in 0..=l.min(r) {
+                if i < lambda.len() {
+                    d = F::add(d, F::mul(lambda[i], synd[r - i]));
+                }
+            }
+            if F::is_zero(d) {
+                m += 1;
+            } else if 2 * l <= r - rho {
+                let t = lambda.clone();
+                // lambda = lambda - d/bcoef * x^m * b
+                let coef = F::div(d, bcoef);
+                let mut xb = vec![F::zero(); m];
+                xb.extend_from_slice(&b);
+                lambda = poly::add::<F>(&lambda, &poly::scale::<F>(&xb, coef));
+                l = r + 1 - rho - l;
+                b = t;
+                bcoef = d;
+                m = 1;
+            } else {
+                let coef = F::div(d, bcoef);
+                let mut xb = vec![F::zero(); m];
+                xb.extend_from_slice(&b);
+                lambda = poly::add::<F>(&lambda, &poly::scale::<F>(&xb, coef));
+                m += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while lambda.len() > 1 && F::is_zero(*lambda.last().unwrap()) {
+            lambda.pop();
+        }
+        lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf::{Gf256, Gf65536};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip_gf256(n_data: usize, nroots: usize, errors: usize, seed: u64) {
+        let rs = ReedSolomon::<Gf256>::new(nroots);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..n_data).map(|_| rng.gen()).collect();
+        let mut cw = data.clone();
+        cw.extend(rs.encode(&data));
+        assert!(rs.is_valid(&cw));
+
+        let clean = cw.clone();
+        // inject `errors` distinct symbol errors
+        let mut positions = std::collections::HashSet::new();
+        while positions.len() < errors {
+            positions.insert(rng.gen_range(0..cw.len()));
+        }
+        for &p in &positions {
+            let flip: u8 = rng.gen_range(1..=255);
+            cw[p] ^= flip;
+        }
+        let info = rs.decode(&mut cw, &[], None).expect("should correct");
+        assert_eq!(cw, clean);
+        assert_eq!(info.corrected.len(), errors);
+    }
+
+    #[test]
+    fn rs_corrects_up_to_capability() {
+        for seed in 0..20 {
+            roundtrip_gf256(32, 4, 1, seed);
+            roundtrip_gf256(32, 4, 2, 100 + seed);
+            roundtrip_gf256(16, 2, 1, 200 + seed);
+            roundtrip_gf256(64, 8, 4, 300 + seed);
+        }
+    }
+
+    #[test]
+    fn rs_zero_errors_is_noop() {
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let data: Vec<u8> = (0..32).map(|i| i as u8).collect();
+        let mut cw = data.clone();
+        cw.extend(rs.encode(&data));
+        let info = rs.decode(&mut cw, &[], None).unwrap();
+        assert!(info.corrected.is_empty());
+    }
+
+    #[test]
+    fn rs_detects_beyond_capability() {
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut detected = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let data: Vec<u8> = (0..32).map(|_| rng.gen()).collect();
+            let mut cw = data.clone();
+            cw.extend(rs.encode(&data));
+            let clean = cw.clone();
+            // 3 errors exceed the (nroots=4 => t=2) guarantee; the decoder must
+            // either detect or (rarely, for >t) miscorrect — but our re-verify
+            // plus locator-degree check makes silent corruption of *data*
+            // without valid-codeword result impossible.
+            for p in [3usize, 17, 29] {
+                cw[p] ^= rng.gen_range(1..=255);
+            }
+            match rs.decode(&mut cw, &[], None) {
+                Err(RsError::DetectedUncorrectable) => {
+                    detected += 1;
+                    assert_eq!(&cw[..], &{
+                        let mut c = clean.clone();
+                        c[3] = cw[3];
+                        c[17] = cw[17];
+                        c[29] = cw[29];
+                        c
+                    }[..]);
+                }
+                Ok(_) => {
+                    // Miscorrection to a *different* valid codeword is
+                    // information-theoretically possible with 3 errors;
+                    // it must at least be a valid codeword.
+                    assert!(rs.is_valid(&cw));
+                }
+            }
+        }
+        // The vast majority of 3-error patterns must be detected.
+        assert!(detected > trials * 9 / 10, "detected only {detected}/{trials}");
+    }
+
+    #[test]
+    fn rs_policy_cap_ssc_dsd() {
+        // nroots = 4 with max_errors = 1: one error corrected, two errors
+        // always detected (never miscorrected) — the SSC-DSD contract.
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let data: Vec<u8> = (0..32).map(|_| rng.gen()).collect();
+            let mut cw = data.clone();
+            cw.extend(rs.encode(&data));
+            let clean = cw.clone();
+            let p1 = rng.gen_range(0..cw.len());
+            let mut p2 = rng.gen_range(0..cw.len());
+            while p2 == p1 {
+                p2 = rng.gen_range(0..cw.len());
+            }
+            cw[p1] ^= rng.gen_range(1..=255);
+            cw[p2] ^= rng.gen_range(1..=255);
+            assert_eq!(
+                rs.decode(&mut cw, &[], Some(1)),
+                Err(RsError::DetectedUncorrectable),
+                "double error must be detected under SSC-DSD policy"
+            );
+            // single error corrects
+            let mut cw1 = clean.clone();
+            cw1[p1] ^= 0x5a;
+            rs.decode(&mut cw1, &[], Some(1)).unwrap();
+            assert_eq!(cw1, clean);
+        }
+    }
+
+    #[test]
+    fn rs_erasure_only_decode() {
+        // nroots erasures are correctable with zero errors.
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let data: Vec<u8> = (0..20).map(|_| rng.gen()).collect();
+            let mut cw = data.clone();
+            cw.extend(rs.encode(&data));
+            let clean = cw.clone();
+            let mut era = vec![];
+            while era.len() < 4 {
+                let p = rng.gen_range(0..cw.len());
+                if !era.contains(&p) {
+                    era.push(p);
+                }
+            }
+            for &p in &era {
+                cw[p] = rng.gen();
+            }
+            rs.decode(&mut cw, &era, None).unwrap();
+            assert_eq!(cw, clean);
+        }
+    }
+
+    #[test]
+    fn rs_errors_and_erasures_mixed() {
+        // 2e + f <= nroots: with nroots = 4, one error + two erasures works.
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let data: Vec<u8> = (0..24).map(|_| rng.gen()).collect();
+            let mut cw = data.clone();
+            cw.extend(rs.encode(&data));
+            let clean = cw.clone();
+            cw[5] ^= rng.gen_range(1..=255);
+            cw[9] = rng.gen();
+            cw[20] = rng.gen();
+            rs.decode(&mut cw, &[9, 20], None).unwrap();
+            assert_eq!(cw, clean);
+        }
+    }
+
+    #[test]
+    fn rs_erased_position_with_correct_content() {
+        // An erasure whose content happens to be right is fine.
+        let rs = ReedSolomon::<Gf256>::new(2);
+        let data: Vec<u8> = (0..16).map(|i| (i * 7) as u8).collect();
+        let mut cw = data.clone();
+        cw.extend(rs.encode(&data));
+        let clean = cw.clone();
+        let info = rs.decode(&mut cw, &[4], None).unwrap();
+        assert_eq!(cw, clean);
+        assert!(info.corrected.is_empty());
+    }
+
+    #[test]
+    fn rs_gf65536_roundtrip() {
+        // The Section VI-D code: 8 data symbols + 2 check symbols of 16 bits.
+        let rs = ReedSolomon::<Gf65536>::new(2);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let data: Vec<u16> = (0..8).map(|_| rng.gen()).collect();
+            let mut cw = data.clone();
+            cw.extend(rs.encode(&data));
+            let clean = cw.clone();
+            let p = rng.gen_range(0..cw.len());
+            cw[p] ^= rng.gen_range(1..=u16::MAX);
+            rs.decode(&mut cw, &[], None).unwrap();
+            assert_eq!(cw, clean);
+            // erasure pair
+            let mut cw2 = clean.clone();
+            cw2[1] = rng.gen();
+            cw2[6] = rng.gen();
+            rs.decode(&mut cw2, &[1, 6], None).unwrap();
+            assert_eq!(cw2, clean);
+        }
+    }
+
+    #[test]
+    fn rs_too_many_erasures_rejected() {
+        let rs = ReedSolomon::<Gf256>::new(2);
+        let data = vec![1u8; 10];
+        let mut cw = data.clone();
+        cw.extend(rs.encode(&data));
+        cw[0] ^= 1;
+        assert_eq!(
+            rs.decode(&mut cw, &[0, 1, 2], None),
+            Err(RsError::DetectedUncorrectable)
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The common interface implemented by every memory ECC in this crate.
+//!
+//! The central abstraction is the **detection / correction split**: every
+//! code's redundancy decomposes into *detection bits*, which must stay inline
+//! with the data so every read can be checked on the fly, and *correction
+//! bits*, which are only consulted after an error is detected. ECC Parity
+//! (the paper's contribution, in the `ecc-parity` crate) replaces the
+//! per-channel storage of the correction bits with one cross-channel XOR.
+
+/// Which region of a codeword a chip's bytes belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Application data bytes.
+    Data,
+    /// Detection bits (always stored inline with the data in the rank).
+    Detection,
+    /// Correction bits (stored inline by baselines; via parity by ECC Parity).
+    Correction,
+}
+
+/// A contiguous byte range owned by one chip within one codeword region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipSpan {
+    pub region: Region,
+    /// Byte offset within the region.
+    pub start: usize,
+    /// Number of bytes.
+    pub len: usize,
+}
+
+/// One encoded memory line: data plus split redundancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codeword {
+    pub data: Vec<u8>,
+    pub detection: Vec<u8>,
+    pub correction: Vec<u8>,
+}
+
+/// Result of an on-the-fly detection check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectOutcome {
+    /// Data and detection bits are consistent.
+    Clean,
+    /// An inconsistency was found; correction is required.
+    ErrorDetected,
+}
+
+/// Result of a successful correction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrectOutcome {
+    /// Number of data bytes whose value was repaired.
+    pub repaired_bytes: usize,
+}
+
+/// Correction failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccError {
+    /// The error pattern exceeds the code's correction capability.
+    Uncorrectable,
+}
+
+impl std::fmt::Display for EccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EccError::Uncorrectable => write!(f, "uncorrectable memory error"),
+        }
+    }
+}
+
+impl std::error::Error for EccError {}
+
+/// A memory error-correction code operating on one cache-line-sized unit.
+pub trait MemoryEcc: Send + Sync {
+    /// Human-readable scheme name (matches the paper's terminology).
+    fn name(&self) -> &'static str;
+
+    /// Data bytes per protected line (64 or 128 in the paper's systems).
+    fn data_bytes(&self) -> usize;
+
+    /// Detection bits per line, in bytes. Always stored inline.
+    fn detection_bytes(&self) -> usize;
+
+    /// Correction bits per line, in bytes. This is the quantity ECC Parity
+    /// compresses across channels; its ratio to [`Self::data_bytes`] is the
+    /// paper's `R`.
+    fn correction_bytes(&self) -> usize;
+
+    /// Total DRAM devices per rank (data + redundancy).
+    fn chips_per_rank(&self) -> usize;
+
+    /// Byte-ownership map: `layout()[chip]` lists the spans chip `chip`
+    /// stores. Chips owning no bytes of a region simply omit it. A span with
+    /// `Region::Correction` is meaningful only when correction bits are
+    /// stored inline (the baseline organization).
+    fn chip_layout(&self) -> Vec<Vec<ChipSpan>>;
+
+    /// Encode a data line into a full codeword.
+    fn encode(&self, data: &[u8]) -> Codeword;
+
+    /// On-the-fly check of `data` against stored `detection` bits.
+    fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome;
+
+    /// Correct `data` in place using detection and correction bits.
+    ///
+    /// `erased_chip`: a chip index the caller already knows is faulty (e.g.
+    /// from the bank-health table or DIMM marking); enables erasure decoding.
+    fn correct(
+        &self,
+        data: &mut [u8],
+        detection: &[u8],
+        correction: &[u8],
+        erased_chip: Option<usize>,
+    ) -> Result<CorrectOutcome, EccError>;
+
+    /// The paper's `R`: correction-bit size over data-line size.
+    fn correction_ratio(&self) -> f64 {
+        self.correction_bytes() as f64 / self.data_bytes() as f64
+    }
+
+    /// Static capacity overhead of the *baseline* organization (all
+    /// redundancy stored inline): (detection + correction) / data.
+    fn baseline_overhead(&self) -> f64 {
+        (self.detection_bytes() + self.correction_bytes()) as f64 / self.data_bytes() as f64
+    }
+}
+
+/// Extension trait for codes whose correction bits can be recomputed from
+/// clean data alone — the property ECC Parity relies on: the correction bits
+/// of healthy channels are derived on demand, never read from memory.
+pub trait CorrectionSplit: MemoryEcc {
+    /// Compute only the correction bits for a clean data line.
+    fn correction_of(&self, data: &[u8]) -> Vec<u8> {
+        self.encode(data).correction
+    }
+
+    /// Compute only the detection bits for a clean data line.
+    fn detection_of(&self, data: &[u8]) -> Vec<u8> {
+        self.encode(data).detection
+    }
+}
+
+/// Helper: corrupt every byte a chip owns within a codeword. Used by tests
+/// and the fault-injection machinery to model whole-chip failures.
+pub fn inject_chip_error(
+    ecc: &dyn MemoryEcc,
+    cw: &mut Codeword,
+    chip: usize,
+    mut mutate: impl FnMut(&mut u8),
+) {
+    let layout = ecc.chip_layout();
+    assert!(chip < layout.len(), "chip index out of range");
+    for span in &layout[chip] {
+        let region: &mut Vec<u8> = match span.region {
+            Region::Data => &mut cw.data,
+            Region::Detection => &mut cw.detection,
+            Region::Correction => &mut cw.correction,
+        };
+        for b in &mut region[span.start..span.start + span.len] {
+            mutate(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl MemoryEcc for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn data_bytes(&self) -> usize {
+            64
+        }
+        fn detection_bytes(&self) -> usize {
+            8
+        }
+        fn correction_bytes(&self) -> usize {
+            16
+        }
+        fn chips_per_rank(&self) -> usize {
+            2
+        }
+        fn chip_layout(&self) -> Vec<Vec<ChipSpan>> {
+            vec![
+                vec![ChipSpan {
+                    region: Region::Data,
+                    start: 0,
+                    len: 32,
+                }],
+                vec![ChipSpan {
+                    region: Region::Data,
+                    start: 32,
+                    len: 32,
+                }],
+            ]
+        }
+        fn encode(&self, data: &[u8]) -> Codeword {
+            Codeword {
+                data: data.to_vec(),
+                detection: vec![0; 8],
+                correction: vec![0; 16],
+            }
+        }
+        fn detect(&self, _: &[u8], _: &[u8]) -> DetectOutcome {
+            DetectOutcome::Clean
+        }
+        fn correct(
+            &self,
+            _: &mut [u8],
+            _: &[u8],
+            _: &[u8],
+            _: Option<usize>,
+        ) -> Result<CorrectOutcome, EccError> {
+            Ok(CorrectOutcome { repaired_bytes: 0 })
+        }
+    }
+
+    #[test]
+    fn ratio_and_overhead_arithmetic() {
+        let d = Dummy;
+        assert!((d.correction_ratio() - 0.25).abs() < 1e-12);
+        assert!((d.baseline_overhead() - 24.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inject_touches_only_owned_bytes() {
+        let d = Dummy;
+        let mut cw = d.encode(&[7u8; 64]);
+        inject_chip_error(&d, &mut cw, 0, |b| *b ^= 0xff);
+        assert!(cw.data[..32].iter().all(|&b| b == 7 ^ 0xff));
+        assert!(cw.data[32..].iter().all(|&b| b == 7));
+        assert!(cw.detection.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Corner-case tests for the coding substrates: redundancy-only
+//! corruption, minimal codes, zero data, and detection/correction region
+//! interactions that the main round-trip tests don't isolate.
+
+use ecc_codes::gf::Gf256;
+use ecc_codes::rs::{ReedSolomon, RsError};
+use ecc_codes::traits::{inject_chip_error, DetectOutcome, MemoryEcc};
+use ecc_codes::{Chipkill18, Chipkill36, ChipkillDouble, LotEcc, MultiEcc, Raim};
+
+#[test]
+fn rs_minimal_message_roundtrip() {
+    let rs = ReedSolomon::<Gf256>::new(2);
+    for msg in [vec![0u8], vec![0xFF], vec![0x5A]] {
+        let mut cw = msg.clone();
+        cw.extend(rs.encode(&msg));
+        assert!(rs.is_valid(&cw));
+        cw[0] ^= 0x11;
+        rs.decode(&mut cw, &[], None).unwrap();
+        assert_eq!(cw[0], msg[0]);
+    }
+}
+
+#[test]
+fn rs_all_zero_codeword_is_valid_and_stable() {
+    let rs = ReedSolomon::<Gf256>::new(4);
+    let data = vec![0u8; 16];
+    let parity = rs.encode(&data);
+    assert!(parity.iter().all(|&p| p == 0), "linear code: 0 -> 0");
+    let mut cw = data;
+    cw.extend(parity);
+    let info = rs.decode(&mut cw, &[], None).unwrap();
+    assert!(info.corrected.is_empty());
+}
+
+#[test]
+fn rs_error_in_check_symbols_only() {
+    let rs = ReedSolomon::<Gf256>::new(4);
+    let data: Vec<u8> = (0..20).map(|i| i as u8 * 3).collect();
+    let mut cw = data.clone();
+    cw.extend(rs.encode(&data));
+    let n = cw.len();
+    cw[n - 1] ^= 0x42; // corrupt a check symbol
+    rs.decode(&mut cw, &[], None).unwrap();
+    assert_eq!(&cw[..data.len()], &data[..], "data untouched");
+    assert!(rs.is_valid(&cw), "check symbol repaired");
+}
+
+#[test]
+fn rs_erasures_at_check_positions() {
+    let rs = ReedSolomon::<Gf256>::new(4);
+    let data: Vec<u8> = (0..12).map(|i| 200 - i as u8).collect();
+    let mut cw = data.clone();
+    cw.extend(rs.encode(&data));
+    let n = cw.len();
+    cw[n - 1] = 0;
+    cw[n - 3] = 0;
+    rs.decode(&mut cw, &[n - 1, n - 3], None).unwrap();
+    assert_eq!(&cw[..data.len()], &data[..]);
+    assert!(rs.is_valid(&cw));
+}
+
+#[test]
+fn rs_duplicate_independent_errors_in_one_word() {
+    // Two errors in the SAME symbol position cancel or merge into one
+    // error; either way the decoder must handle it.
+    let rs = ReedSolomon::<Gf256>::new(4);
+    let data = vec![9u8; 24];
+    let mut cw = data.clone();
+    cw.extend(rs.encode(&data));
+    cw[5] ^= 0x0F;
+    cw[5] ^= 0x0F; // cancels out
+    let info = rs.decode(&mut cw, &[], None).unwrap();
+    assert!(info.corrected.is_empty());
+}
+
+#[test]
+fn rs_policy_zero_errors_rejects_everything_corrupt() {
+    let rs = ReedSolomon::<Gf256>::new(4);
+    let data = vec![1u8; 10];
+    let mut cw = data.clone();
+    cw.extend(rs.encode(&data));
+    cw[2] ^= 1;
+    assert_eq!(
+        rs.decode(&mut cw, &[], Some(0)),
+        Err(RsError::DetectedUncorrectable),
+        "max_errors = 0 means detect-only"
+    );
+}
+
+#[test]
+fn chipkill36_detection_chip_corruption_flags_and_repairs() {
+    // Errors confined to a detection chip: the comparison mismatches (the
+    // stored symbols differ from the recomputed ones) and correction must
+    // leave the data bit-exact.
+    let ck = Chipkill36::new();
+    let data: Vec<u8> = (0..128).map(|i| i as u8).collect();
+    let mut cw = ck.encode(&data);
+    inject_chip_error(&ck, &mut cw, 32, |b| *b ^= 0x77); // detection chip
+    assert_eq!(
+        ck.detect(&cw.data, &cw.detection),
+        DetectOutcome::ErrorDetected
+    );
+    let mut d = cw.data.clone();
+    let out = ck
+        .correct(&mut d, &cw.detection, &cw.correction, None)
+        .unwrap();
+    assert_eq!(d, data);
+    assert_eq!(out.repaired_bytes, 4, "one symbol per word repaired");
+}
+
+#[test]
+fn chipkill36_correction_chip_corruption_is_invisible_to_detection() {
+    // Corrupted correction symbols don't fire the on-the-fly check (they
+    // are not compared on reads) but decode still succeeds.
+    let ck = Chipkill36::new();
+    let data: Vec<u8> = (0..128).map(|i| (i * 7) as u8).collect();
+    let mut cw = ck.encode(&data);
+    inject_chip_error(&ck, &mut cw, 35, |b| *b ^= 0x55); // correction chip
+    assert_eq!(ck.detect(&cw.data, &cw.detection), DetectOutcome::Clean);
+    let mut d = cw.data.clone();
+    ck.correct(&mut d, &cw.detection, &cw.correction, None)
+        .unwrap();
+    assert_eq!(d, data);
+}
+
+#[test]
+fn raim_parity_dimm_corruption_leaves_data_clean() {
+    let r = Raim::new();
+    let data: Vec<u8> = (0..128).map(|i| (255 - i) as u8).collect();
+    let mut cw = r.encode(&data);
+    // chips 36..45 are the parity DIMM
+    inject_chip_error(&r, &mut cw, 40, |b| *b = 0);
+    assert_eq!(r.detect(&cw.data, &cw.detection), DetectOutcome::Clean);
+    let mut d = cw.data.clone();
+    let out = r
+        .correct(&mut d, &cw.detection, &cw.correction, None)
+        .unwrap();
+    assert_eq!(d, data);
+    assert_eq!(out.repaired_bytes, 0);
+}
+
+#[test]
+fn lotecc_all_zero_and_all_ones_lines() {
+    for l in [LotEcc::five(), LotEcc::nine()] {
+        for fill in [0u8, 0xFF] {
+            let data = vec![fill; 64];
+            let cw = l.encode(&data);
+            assert_eq!(l.detect(&cw.data, &cw.detection), DetectOutcome::Clean);
+            let mut d = cw.data.clone();
+            l.correct(&mut d, &cw.detection, &cw.correction, None).unwrap();
+            assert_eq!(d, data);
+        }
+    }
+}
+
+#[test]
+fn multiecc_group_of_identical_lines() {
+    // XOR parity of an even group of identical lines is zero; correction
+    // must still rebuild a victim exactly.
+    let m = MultiEcc::new(4);
+    let line = vec![0xABu8; 64];
+    let mut lines = vec![line.clone(); 4];
+    let parity = m.group_parity(&lines);
+    assert!(parity.iter().all(|&b| b == 0));
+    let det = m.encode(&line).detection;
+    for b in &mut lines[2][8..16] {
+        *b = 0;
+    }
+    m.correct_in_group(&mut lines, 2, &det, &parity, None).unwrap();
+    assert_eq!(lines[2], line);
+}
+
+#[test]
+fn double_chipkill_mixed_detection_and_data_chip_failure() {
+    let d = ChipkillDouble::new();
+    let data: Vec<u8> = (0..128).map(|i| (i * 13) as u8).collect();
+    let mut cw = d.encode(&data);
+    inject_chip_error(&d, &mut cw, 33, |b| *b ^= 0x0F); // detection chip
+    inject_chip_error(&d, &mut cw, 7, |b| *b ^= 0xF0); // data chip
+    let mut fixed = cw.data.clone();
+    d.correct(&mut fixed, &cw.detection, &cw.correction, None)
+        .unwrap();
+    assert_eq!(fixed, data);
+}
+
+#[test]
+fn every_code_reports_consistent_layout_sizes() {
+    let ck36 = Chipkill36::new();
+    let ck18 = Chipkill18::new();
+    let ckd = ChipkillDouble::new();
+    let lot5 = LotEcc::five();
+    let lot9 = LotEcc::nine();
+    let raim = Raim::new();
+    let codes: Vec<&dyn MemoryEcc> = vec![&ck36, &ck18, &ckd, &lot5, &lot9, &raim];
+    for c in codes {
+        let layout = c.chip_layout();
+        assert_eq!(layout.len(), c.chips_per_rank(), "{}", c.name());
+        // every span stays within its region's bounds
+        for spans in &layout {
+            for s in spans {
+                let limit = match s.region {
+                    ecc_codes::traits::Region::Data => c.data_bytes(),
+                    ecc_codes::traits::Region::Detection => c.detection_bytes(),
+                    ecc_codes::traits::Region::Correction => c.correction_bytes(),
+                };
+                assert!(s.start + s.len <= limit, "{}: span out of bounds", c.name());
+            }
+        }
+        // encode produces the advertised sizes
+        let data = vec![0x3Cu8; c.data_bytes()];
+        let cw = c.encode(&data);
+        assert_eq!(cw.detection.len(), c.detection_bytes());
+        assert_eq!(cw.correction.len(), c.correction_bytes());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests of the coding substrates: field laws, Reed–Solomon
+//! round-trips under the full correction envelope, and per-scheme
+//! encode→inject→correct invariants.
+
+use ecc_codes::gf::{poly, Field, Gf256, Gf65536};
+use ecc_codes::rs::ReedSolomon;
+use ecc_codes::traits::{inject_chip_error, CorrectionSplit, DetectOutcome, MemoryEcc};
+use ecc_codes::{Chipkill18, Chipkill36, LotEcc, Raim};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gf256_field_laws(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(Gf256::mul(a, b), Gf256::mul(b, a));
+        prop_assert_eq!(
+            Gf256::mul(a, Gf256::add(b, c)),
+            Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c))
+        );
+        prop_assert_eq!(Gf256::mul(Gf256::mul(a, b), c), Gf256::mul(a, Gf256::mul(b, c)));
+        if a != 0 {
+            prop_assert_eq!(Gf256::mul(a, Gf256::inv(a)), 1);
+            prop_assert_eq!(Gf256::div(Gf256::mul(a, b), a), b);
+        }
+    }
+
+    #[test]
+    fn gf65536_field_laws(a in any::<u16>(), b in any::<u16>()) {
+        prop_assert_eq!(Gf65536::mul(a, b), Gf65536::mul(b, a));
+        if a != 0 {
+            prop_assert_eq!(Gf65536::mul(a, Gf65536::inv(a)), 1);
+        }
+        prop_assert_eq!(Gf65536::add(a, a), 0);
+    }
+
+    #[test]
+    fn poly_eval_is_ring_homomorphism(
+        p in prop::collection::vec(any::<u8>(), 1..8),
+        q in prop::collection::vec(any::<u8>(), 1..8),
+        x in any::<u8>(),
+    ) {
+        // (p*q)(x) == p(x)*q(x) and (p+q)(x) == p(x)+q(x)
+        let pq = poly::mul::<Gf256>(&p, &q);
+        prop_assert_eq!(
+            poly::eval::<Gf256>(&pq, x),
+            Gf256::mul(poly::eval::<Gf256>(&p, x), poly::eval::<Gf256>(&q, x))
+        );
+        let ps = poly::add::<Gf256>(&p, &q);
+        prop_assert_eq!(
+            poly::eval::<Gf256>(&ps, x),
+            Gf256::add(poly::eval::<Gf256>(&p, x), poly::eval::<Gf256>(&q, x))
+        );
+    }
+
+    #[test]
+    fn rs_corrects_any_pattern_within_envelope(
+        data in prop::collection::vec(any::<u8>(), 16..40),
+        seed in any::<u64>(),
+        nerr in 0usize..=2,
+        nera in 0usize..=2,
+    ) {
+        // nroots = 6 comfortably covers 2e + f <= 6 for e<=2, f<=2.
+        prop_assume!(2 * nerr + nera <= 6);
+        let rs = ReedSolomon::<Gf256>::new(6);
+        let mut cw = data.clone();
+        cw.extend(rs.encode(&data));
+        let clean = cw.clone();
+        // deterministic error placement from the seed
+        let mut s = seed;
+        let mut positions = vec![];
+        while positions.len() < nerr + nera {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = (s >> 33) as usize % cw.len();
+            if !positions.contains(&p) {
+                positions.push(p);
+            }
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let flip = ((s >> 40) as u8) | 1;
+            cw[p] ^= flip;
+            let _ = i;
+        }
+        let erasures: Vec<usize> = positions[nerr..].to_vec();
+        rs.decode(&mut cw, &erasures, None).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn rs_never_accepts_invalid_as_valid(
+        data in prop::collection::vec(any::<u8>(), 8..24),
+        pos in any::<usize>(),
+        flip in 1u8..,
+    ) {
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let mut cw = data.clone();
+        cw.extend(rs.encode(&data));
+        prop_assert!(rs.is_valid(&cw));
+        let p = pos % cw.len();
+        cw[p] ^= flip;
+        prop_assert!(!rs.is_valid(&cw), "single symbol error must break validity");
+    }
+
+    #[test]
+    fn chipkill36_single_chip_always_corrects(
+        data in prop::collection::vec(any::<u8>(), 128..=128),
+        chip in 0usize..36,
+        pattern in 1u8..,
+    ) {
+        let ck = Chipkill36::new();
+        let mut cw = ck.encode(&data);
+        inject_chip_error(&ck, &mut cw, chip, |b| *b ^= pattern);
+        let mut noisy = cw.data.clone();
+        ck.correct(&mut noisy, &cw.detection, &cw.correction, None).unwrap();
+        prop_assert_eq!(noisy, data);
+    }
+
+    #[test]
+    fn chipkill18_single_chip_always_corrects(
+        data in prop::collection::vec(any::<u8>(), 64..=64),
+        chip in 0usize..18,
+        pattern in 1u8..,
+    ) {
+        let ck = Chipkill18::new();
+        let mut cw = ck.encode(&data);
+        inject_chip_error(&ck, &mut cw, chip, |b| *b ^= pattern);
+        let mut noisy = cw.data.clone();
+        ck.correct(&mut noisy, &cw.detection, &cw.correction, None).unwrap();
+        prop_assert_eq!(noisy, data);
+    }
+
+    #[test]
+    fn lotecc_variants_detected_chip_error_corrects_exactly(
+        data in prop::collection::vec(any::<u8>(), 64..=64),
+        which in 0usize..2,
+        chip_sel in any::<usize>(),
+        pattern in 1u8..,
+    ) {
+        // Tier-1 checksums are *probabilistic* detectors: an adversarial XOR
+        // pattern whose per-byte deltas cancel in the ones'-complement sum
+        // can evade them (the paper's reliability analysis accounts for
+        // realistic fault modes, not adversarial patterns). The invariant we
+        // guarantee: whenever the corruption IS detected, correction
+        // restores the exact original — never a silent miscorrection.
+        let l = if which == 0 { LotEcc::five() } else { LotEcc::nine() };
+        let nd = l.chips_per_rank() - 1;
+        let chip = chip_sel % nd;
+        let seg = 64 / nd;
+        let cw = l.encode(&data);
+        let mut noisy = cw.data.clone();
+        for b in &mut noisy[chip * seg..(chip + 1) * seg] {
+            *b ^= pattern;
+        }
+        if l.detect(&noisy, &cw.detection) == DetectOutcome::ErrorDetected {
+            l.correct(&mut noisy, &cw.detection, &cw.correction, None).unwrap();
+            prop_assert_eq!(noisy, data);
+        } else {
+            // Checksum collision: must still be correctable via the erasure
+            // hint (the bank-health path supplies it for known-bad chips).
+            l.correct(&mut noisy, &cw.detection, &cw.correction, Some(chip)).unwrap();
+            prop_assert_eq!(noisy, data);
+        }
+    }
+
+    #[test]
+    fn raim_any_single_dimm_scramble_corrects(
+        data in prop::collection::vec(any::<u8>(), 128..=128),
+        dimm in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let r = Raim::new();
+        let cw = r.encode(&data);
+        let mut noisy = data.clone();
+        let mut s = seed | 1;
+        for b in &mut noisy[dimm * 32..(dimm + 1) * 32] {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+            *b ^= (s >> 35) as u8 | 1;
+        }
+        r.correct(&mut noisy, &cw.detection, &cw.correction, None).unwrap();
+        prop_assert_eq!(noisy, data);
+    }
+
+    #[test]
+    fn correction_split_is_consistent_with_encode(
+        data in prop::collection::vec(any::<u8>(), 64..=64),
+    ) {
+        // CorrectionSplit::correction_of / detection_of must equal the
+        // corresponding pieces of a full encode — the ECC Parity write path
+        // depends on this identity.
+        let l = LotEcc::five();
+        let cw = l.encode(&data);
+        prop_assert_eq!(l.correction_of(&data), cw.correction);
+        prop_assert_eq!(l.detection_of(&data), cw.detection);
+    }
+}

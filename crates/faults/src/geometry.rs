@@ -1,0 +1,144 @@
+//! Memory-system geometry: how channels, ranks, chips, and banks compose.
+//!
+//! The reliability analyses in the paper fix one geometry — "an
+//! eight-channel system with four ranks per channel and nine chips per
+//! rank" (Figs 2, 8, 18) — but the types here are general and are shared
+//! by the DRAM simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Static shape of a multi-channel memory system for reliability analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemGeometry {
+    /// Logical channels (the unit that shares ECC parities).
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// DRAM devices per rank.
+    pub chips_per_rank: usize,
+    /// Banks per DRAM device (8 for DDR3).
+    pub banks_per_chip: usize,
+}
+
+impl SystemGeometry {
+    /// The paper's reliability-figure geometry: 8 channels x 4 ranks x 9
+    /// chips, DDR3 (8 banks).
+    pub fn paper_reliability() -> Self {
+        SystemGeometry {
+            channels: 8,
+            ranks_per_channel: 4,
+            chips_per_rank: 9,
+            banks_per_chip: 8,
+        }
+    }
+
+    /// Same shape with a different channel count (Fig 8 sweeps channels).
+    pub fn with_channels(self, channels: usize) -> Self {
+        SystemGeometry { channels, ..self }
+    }
+
+    /// Devices per channel.
+    pub fn chips_per_channel(&self) -> usize {
+        self.ranks_per_channel * self.chips_per_rank
+    }
+
+    /// Devices in the whole system.
+    pub fn total_chips(&self) -> usize {
+        self.channels * self.chips_per_channel()
+    }
+
+    /// Logical banks per channel: every rank contributes `banks_per_chip`
+    /// (all chips of a rank operate in lockstep, so a "bank" spans the rank).
+    pub fn banks_per_channel(&self) -> usize {
+        self.ranks_per_channel * self.banks_per_chip
+    }
+
+    /// Bank *pairs* per channel — the paper's health-tracking granularity.
+    pub fn bank_pairs_per_channel(&self) -> usize {
+        self.banks_per_channel() / 2
+    }
+
+    /// Bank pairs in the whole system.
+    pub fn total_bank_pairs(&self) -> usize {
+        self.channels * self.bank_pairs_per_channel()
+    }
+
+    /// Fraction of system capacity held by one bank pair.
+    pub fn bank_pair_fraction(&self) -> f64 {
+        1.0 / self.total_bank_pairs() as f64
+    }
+}
+
+/// Identifies one DRAM device in the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipLocation {
+    pub channel: usize,
+    pub rank: usize,
+    pub chip: usize,
+}
+
+impl ChipLocation {
+    /// Enumerate every device of a geometry, channel-major.
+    pub fn enumerate(geo: &SystemGeometry) -> impl Iterator<Item = ChipLocation> + '_ {
+        (0..geo.channels).flat_map(move |channel| {
+            (0..geo.ranks_per_channel).flat_map(move |rank| {
+                (0..geo.chips_per_rank).map(move |chip| ChipLocation {
+                    channel,
+                    rank,
+                    chip,
+                })
+            })
+        })
+    }
+
+    /// Flat index of this device, channel-major.
+    pub fn index(&self, geo: &SystemGeometry) -> usize {
+        (self.channel * geo.ranks_per_channel + self.rank) * geo.chips_per_rank + self.chip
+    }
+
+    /// Inverse of [`ChipLocation::index`].
+    pub fn from_index(geo: &SystemGeometry, idx: usize) -> ChipLocation {
+        let chip = idx % geo.chips_per_rank;
+        let rr = idx / geo.chips_per_rank;
+        let rank = rr % geo.ranks_per_channel;
+        let channel = rr / geo.ranks_per_channel;
+        ChipLocation {
+            channel,
+            rank,
+            chip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_counts() {
+        let g = SystemGeometry::paper_reliability();
+        assert_eq!(g.chips_per_channel(), 36);
+        assert_eq!(g.total_chips(), 288);
+        assert_eq!(g.banks_per_channel(), 32);
+        assert_eq!(g.bank_pairs_per_channel(), 16);
+        assert_eq!(g.total_bank_pairs(), 128);
+        assert!((g.bank_pair_fraction() - 1.0 / 128.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chip_index_roundtrip() {
+        let g = SystemGeometry::paper_reliability();
+        for (i, loc) in ChipLocation::enumerate(&g).enumerate() {
+            assert_eq!(loc.index(&g), i);
+            assert_eq!(ChipLocation::from_index(&g, i), loc);
+        }
+        assert_eq!(ChipLocation::enumerate(&g).count(), g.total_chips());
+    }
+
+    #[test]
+    fn with_channels_rescales() {
+        let g = SystemGeometry::paper_reliability().with_channels(2);
+        assert_eq!(g.total_chips(), 72);
+        assert_eq!(g.total_bank_pairs(), 32);
+    }
+}

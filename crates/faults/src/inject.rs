@@ -1,0 +1,183 @@
+//! Fault instances: a concrete fault in a concrete device, with enough
+//! geometry to decide which memory lines it corrupts and how.
+
+use crate::geometry::ChipLocation;
+use crate::modes::FaultMode;
+use serde::{Deserialize, Serialize};
+
+/// Chip-internal geometry defaults for a 2Gb DDR3 device.
+pub const DEFAULT_ROWS_PER_BANK: u32 = 32 * 1024;
+pub const DEFAULT_LINES_PER_ROW: u32 = 64; // 4KB row / 64B lines
+
+/// A materialized fault: mode plus the coordinates it pins down.
+///
+/// Coordinates that a mode does not constrain are ignored when deciding
+/// whether an access is affected (e.g. a `SingleBank` fault hits every
+/// row/line of `bank`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInstance {
+    pub chip: ChipLocation,
+    pub mode: FaultMode,
+    /// Bank within the device the fault is anchored at.
+    pub bank: u32,
+    /// Row within the bank (for row/bit/word faults).
+    pub row: u32,
+    /// Line within the row (for bit/word faults) or column stride anchor
+    /// (for column faults).
+    pub line: u32,
+    /// Seed for the deterministic per-fault corruption pattern.
+    pub pattern_seed: u64,
+}
+
+impl FaultInstance {
+    /// Does an access to (`rank`, `bank`, `row`, `line`) of this fault's
+    /// channel read corrupted bits from this chip?
+    pub fn affects(&self, rank: usize, bank: u32, row: u32, line: u32) -> bool {
+        if rank != self.chip.rank && self.mode != FaultMode::MultiRank {
+            return false;
+        }
+        match self.mode {
+            FaultMode::SingleBit | FaultMode::SingleWord => {
+                bank == self.bank && row == self.row && line == self.line
+            }
+            FaultMode::SingleRow => bank == self.bank && row == self.row,
+            // A column fault corrupts the same line offset in every row of
+            // the bank (a column runs vertically through the array).
+            FaultMode::SingleColumn => bank == self.bank && line == self.line,
+            FaultMode::SingleBank => bank == self.bank,
+            // Multi-bank: the fault's bank pair (shared sense-amp stripe).
+            FaultMode::MultiBank => bank / 2 == self.bank / 2,
+            // Whole device, every rank sharing its I/O.
+            FaultMode::MultiRank => true,
+        }
+    }
+
+    /// Corrupt the `bytes` a faulty chip returns for one access.
+    ///
+    /// The pattern is deterministic per (fault, coordinates): a real stuck
+    /// fault returns the same wrong bits every time, which matters for the
+    /// error-counter logic (repeated reads of one faulty line must not look
+    /// like new faults).
+    pub fn corrupt(&self, bytes: &mut [u8], bank: u32, row: u32, line: u32) {
+        let mut state = self
+            .pattern_seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(((bank as u64) << 40) ^ ((row as u64) << 16) ^ line as u64);
+        for b in bytes.iter_mut() {
+            // xorshift64* — cheap deterministic stream
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+            let flip = (r >> 32) as u8;
+            // Guarantee corruption: never a zero mask.
+            *b ^= if flip == 0 { 0xFF } else { flip };
+        }
+    }
+
+    /// Number of distinct 4KB pages (rows) of the channel this fault can
+    /// produce errors in — drives how fast it increments a bank-pair error
+    /// counter under scrubbing (threshold logic, §III-C).
+    pub fn error_page_span(&self, rows_per_bank: u32, banks_per_chip: u32) -> u64 {
+        match self.mode {
+            FaultMode::SingleBit | FaultMode::SingleWord | FaultMode::SingleRow => 1,
+            FaultMode::SingleColumn | FaultMode::SingleBank => rows_per_bank as u64,
+            FaultMode::MultiBank => 2 * rows_per_bank as u64,
+            FaultMode::MultiRank => banks_per_chip as u64 * rows_per_bank as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::SystemGeometry;
+
+    fn fault(mode: FaultMode) -> FaultInstance {
+        FaultInstance {
+            chip: ChipLocation {
+                channel: 0,
+                rank: 1,
+                chip: 3,
+            },
+            mode,
+            bank: 2,
+            row: 100,
+            line: 5,
+            pattern_seed: 42,
+        }
+    }
+
+    #[test]
+    fn bit_fault_hits_exactly_one_line() {
+        let f = fault(FaultMode::SingleBit);
+        assert!(f.affects(1, 2, 100, 5));
+        assert!(!f.affects(1, 2, 100, 6));
+        assert!(!f.affects(1, 2, 101, 5));
+        assert!(!f.affects(1, 3, 100, 5));
+        assert!(!f.affects(0, 2, 100, 5), "different rank unaffected");
+    }
+
+    #[test]
+    fn row_fault_spans_the_row() {
+        let f = fault(FaultMode::SingleRow);
+        assert!(f.affects(1, 2, 100, 0));
+        assert!(f.affects(1, 2, 100, 63));
+        assert!(!f.affects(1, 2, 99, 0));
+    }
+
+    #[test]
+    fn column_fault_spans_all_rows_at_one_offset() {
+        let f = fault(FaultMode::SingleColumn);
+        assert!(f.affects(1, 2, 0, 5));
+        assert!(f.affects(1, 2, 31000, 5));
+        assert!(!f.affects(1, 2, 0, 4));
+    }
+
+    #[test]
+    fn bank_and_multibank_extent() {
+        let f = fault(FaultMode::SingleBank);
+        assert!(f.affects(1, 2, 7, 7));
+        assert!(!f.affects(1, 3, 7, 7));
+        let f = fault(FaultMode::MultiBank);
+        assert!(f.affects(1, 2, 7, 7));
+        assert!(f.affects(1, 3, 7, 7), "bank pair partner affected");
+        assert!(!f.affects(1, 4, 7, 7));
+    }
+
+    #[test]
+    fn multirank_affects_other_ranks() {
+        let f = fault(FaultMode::MultiRank);
+        assert!(f.affects(0, 0, 0, 0));
+        assert!(f.affects(3, 7, 9, 9));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_nonzero() {
+        let f = fault(FaultMode::SingleBank);
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        f.corrupt(&mut a, 2, 7, 3);
+        f.corrupt(&mut b, 2, 7, 3);
+        assert_eq!(a, b, "same coordinates, same corruption");
+        assert!(a.iter().any(|&x| x != 0), "corruption must change bits");
+        let mut c = vec![0u8; 16];
+        f.corrupt(&mut c, 2, 8, 3);
+        assert_ne!(a, c, "different row, different pattern");
+    }
+
+    #[test]
+    fn page_span_ordering() {
+        let g = SystemGeometry::paper_reliability();
+        let rows = DEFAULT_ROWS_PER_BANK;
+        let span = |m: FaultMode| fault(m).error_page_span(rows, g.banks_per_chip as u32);
+        // Small faults touch one page; large faults span whole banks.
+        assert_eq!(span(FaultMode::SingleBit), 1);
+        assert_eq!(span(FaultMode::SingleWord), 1);
+        assert_eq!(span(FaultMode::SingleRow), 1);
+        assert_eq!(span(FaultMode::SingleColumn), rows as u64);
+        assert_eq!(span(FaultMode::SingleBank), rows as u64);
+        assert_eq!(span(FaultMode::MultiBank), 2 * rows as u64);
+        assert_eq!(span(FaultMode::MultiRank), 8 * rows as u64);
+    }
+}

@@ -1,0 +1,19 @@
+//! # mem-faults — DRAM fault models and Monte Carlo lifetime simulation
+//!
+//! Encodes the DRAM device-level fault taxonomy and field failure rates the
+//! ECC Parity paper evaluates against (Sridharan et al., "Feng Shui of
+//! supercomputer memory", SC 2013: an average DDR3 fault rate of ~44
+//! FIT/chip across vendors), provides fault *injection* — mapping a fault
+//! instance to the set of memory lines and chip bits it corrupts — and an
+//! exponential-arrival Monte Carlo engine used by the reliability figures
+//! (Figs 2, 8, 18) and the end-of-life capacity rows of Table III.
+
+pub mod geometry;
+pub mod inject;
+pub mod modes;
+pub mod montecarlo;
+
+pub use geometry::{ChipLocation, SystemGeometry};
+pub use inject::FaultInstance;
+pub use modes::{FaultMode, FitTable, HOURS_PER_YEAR, LIFETIME_YEARS};
+pub use montecarlo::{FaultEvent, LifetimeSim};

@@ -1,0 +1,329 @@
+//! Monte Carlo sampling of memory-system fault histories.
+//!
+//! Fault arrivals are modeled as independent Poisson processes per device
+//! and mode (the exponential failure distribution the paper assumes for
+//! Fig. 2). One *lifetime sample* is the ordered list of fault events a
+//! system experiences over its 7-year life; the reliability analyses
+//! (Figs 2, 8, 18; Table III EOL) are statistics over many such samples.
+
+use crate::geometry::{ChipLocation, SystemGeometry};
+use crate::inject::{FaultInstance, DEFAULT_LINES_PER_ROW, DEFAULT_ROWS_PER_BANK};
+use crate::modes::{FaultMode, FitTable, HOURS_PER_YEAR, LIFETIME_YEARS};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One fault arrival in a lifetime sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Arrival time, hours since system start.
+    pub time_hours: f64,
+    /// The materialized fault.
+    pub fault: FaultInstance,
+}
+
+/// Sampler for system fault histories.
+///
+/// ```
+/// use mem_faults::{FitTable, LifetimeSim, SystemGeometry};
+/// use rand::SeedableRng;
+///
+/// let sim = LifetimeSim::new(
+///     SystemGeometry::paper_reliability(),
+///     FitTable::DDR3_AVERAGE,
+/// );
+/// // ~0.78 faults expected per 7-year lifetime of the 288-chip system
+/// assert!((sim.expected_events() - 0.78).abs() < 0.01);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let history = sim.sample(&mut rng);
+/// assert!(history.windows(2).all(|w| w[0].time_hours <= w[1].time_hours));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LifetimeSim {
+    pub geometry: SystemGeometry,
+    pub fit: FitTable,
+    pub lifetime_hours: f64,
+}
+
+impl LifetimeSim {
+    /// Paper defaults: 7-year lifetime.
+    pub fn new(geometry: SystemGeometry, fit: FitTable) -> Self {
+        Self {
+            geometry,
+            fit,
+            lifetime_hours: LIFETIME_YEARS * HOURS_PER_YEAR,
+        }
+    }
+
+    /// Expected number of fault events per lifetime.
+    pub fn expected_events(&self) -> f64 {
+        self.geometry.total_chips() as f64 * self.fit.events_per_hour() * self.lifetime_hours
+    }
+
+    /// Sample one lifetime: fault events sorted by arrival time.
+    ///
+    /// Sampling strategy: total arrivals are Poisson with mean
+    /// [`Self::expected_events`]; each arrival is then placed uniformly in
+    /// time, uniformly over devices, and over modes proportionally to their
+    /// FIT share — an exact simulation of the superposed Poisson processes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<FaultEvent> {
+        let mean = self.expected_events();
+        let n = poisson(rng, mean);
+        let mut events = Vec::with_capacity(n);
+        let total_fit = self.fit.total();
+        for _ in 0..n {
+            let time_hours = rng.gen_range(0.0..self.lifetime_hours);
+            let chip_idx = rng.gen_range(0..self.geometry.total_chips());
+            let chip = ChipLocation::from_index(&self.geometry, chip_idx);
+            // categorical draw over modes by FIT weight
+            let mut pick = rng.gen_range(0.0..total_fit);
+            let mut mode = FaultMode::MultiRank;
+            for &m in &FaultMode::ALL {
+                let r = self.fit.rate(m);
+                if pick < r {
+                    mode = m;
+                    break;
+                }
+                pick -= r;
+            }
+            let fault = FaultInstance {
+                chip,
+                mode,
+                bank: rng.gen_range(0..self.geometry.banks_per_chip as u32),
+                row: rng.gen_range(0..DEFAULT_ROWS_PER_BANK),
+                line: rng.gen_range(0..DEFAULT_LINES_PER_ROW),
+                pattern_seed: rng.gen(),
+            };
+            events.push(FaultEvent { time_hours, fault });
+        }
+        events.sort_by(|a, b| a.time_hours.total_cmp(&b.time_hours));
+        events
+    }
+
+    /// Run `trials` independent lifetimes in parallel, reducing each with
+    /// `f` and collecting the outputs. Deterministic given `seed`.
+    pub fn run_trials<T: Send>(
+        &self,
+        trials: usize,
+        seed: u64,
+        f: impl Fn(&[FaultEvent]) -> T + Sync,
+    ) -> Vec<T> {
+        (0..trials)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+                    seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let events = self.sample(&mut rng);
+                f(&events)
+            })
+            .collect()
+    }
+
+    /// Fig. 2 statistic: mean time (hours) from one fault to the next fault
+    /// in a *different* channel, measured over sampled histories. Histories
+    /// without such a pair contribute the censoring bound (lifetime), making
+    /// the estimate conservative (the true mean is at least this large).
+    pub fn mean_time_between_channel_faults(&self, trials: usize, seed: u64) -> f64 {
+        // Use a long observation horizon so the statistic is about the
+        // process, not truncation: scale lifetime up when faults are rare.
+        let horizon = self.lifetime_hours.max(
+            // expect ~50 events in the horizon
+            50.0 / (self.geometry.total_chips() as f64 * self.fit.events_per_hour()),
+        );
+        let sim = LifetimeSim {
+            lifetime_hours: horizon,
+            ..*self
+        };
+        let gaps: Vec<(f64, usize)> = sim.run_trials(trials, seed, |events| {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (i, e) in events.iter().enumerate() {
+                for later in &events[i + 1..] {
+                    if later.fault.chip.channel != e.fault.chip.channel {
+                        total += later.time_hours - e.time_hours;
+                        count += 1;
+                        break;
+                    }
+                }
+            }
+            (total, count)
+        });
+        let (sum, n) = gaps
+            .iter()
+            .fold((0.0, 0usize), |(s, c), &(gs, gc)| (s + gs, c + gc));
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Fig. 18 statistic: probability that, in at least one scrub window of
+    /// length `window_hours` during the lifetime, faults arrive in two or
+    /// more distinct channels.
+    pub fn multi_channel_window_probability(
+        &self,
+        window_hours: f64,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let hits: usize = self
+            .run_trials(trials, seed, |events| {
+                let mut windows: std::collections::HashMap<u64, usize> =
+                    std::collections::HashMap::new();
+                for e in events {
+                    let w = (e.time_hours / window_hours) as u64;
+                    let entry = windows.entry(w).or_insert(usize::MAX);
+                    let ch = e.fault.chip.channel;
+                    if *entry == usize::MAX {
+                        *entry = ch;
+                    } else if *entry != ch {
+                        return true;
+                    }
+                }
+                false
+            })
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        hits as f64 / trials as f64
+    }
+}
+
+use rand::SeedableRng;
+
+/// Sample a Poisson(`mean`) variate. Knuth's method below mean 30, normal
+/// approximation (rounded, clamped) above — accurate to far better than the
+/// Monte Carlo noise of our analyses.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Box-Muller normal approximation N(mean, mean)
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = mean + z * mean.sqrt();
+        v.round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &mean in &[0.5f64, 3.0, 20.0, 100.0] {
+            let n = 20_000;
+            let sum: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let est = sum as f64 / n as f64;
+            assert!(
+                (est - mean).abs() < mean.max(1.0) * 0.05,
+                "mean {mean}: got {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_events_for_paper_geometry() {
+        let sim = LifetimeSim::new(
+            SystemGeometry::paper_reliability(),
+            FitTable::DDR3_AVERAGE,
+        );
+        // 288 chips * 44e-9/h * 61320h = 0.777 events per lifetime
+        assert!((sim.expected_events() - 0.777).abs() < 0.01);
+    }
+
+    #[test]
+    fn sample_is_sorted_and_in_range() {
+        let sim = LifetimeSim::new(
+            SystemGeometry::paper_reliability(),
+            FitTable::DDR3_AVERAGE.scaled_to(4400.0), // inflate so events exist
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let ev = sim.sample(&mut rng);
+        assert!(!ev.is_empty());
+        for w in ev.windows(2) {
+            assert!(w[0].time_hours <= w[1].time_hours);
+        }
+        for e in &ev {
+            assert!(e.time_hours >= 0.0 && e.time_hours <= sim.lifetime_hours);
+            assert!(e.fault.chip.channel < 8);
+            assert!(e.fault.bank < 8);
+        }
+    }
+
+    #[test]
+    fn run_trials_is_deterministic() {
+        let sim = LifetimeSim::new(
+            SystemGeometry::paper_reliability(),
+            FitTable::DDR3_AVERAGE.scaled_to(1000.0),
+        );
+        let a = sim.run_trials(50, 7, |e| e.len());
+        let b = sim.run_trials(50, 7, |e| e.len());
+        assert_eq!(a, b);
+        let c = sim.run_trials(50, 8, |e| e.len());
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn channel_fault_gap_scales_inversely_with_fit() {
+        let geo = SystemGeometry::paper_reliability();
+        let lo = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(100.0));
+        let hi = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(400.0));
+        let t_lo = lo.mean_time_between_channel_faults(200, 3);
+        let t_hi = hi.mean_time_between_channel_faults(200, 3);
+        let ratio = t_lo / t_hi;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "4x FIT should shrink the gap ~4x, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn window_probability_monotone_in_window() {
+        let geo = SystemGeometry::paper_reliability();
+        let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(2000.0));
+        let p_small = sim.multi_channel_window_probability(1.0, 400, 11);
+        let p_big = sim.multi_channel_window_probability(1000.0, 400, 11);
+        assert!(
+            p_big >= p_small,
+            "longer windows catch more coincidences: {p_small} vs {p_big}"
+        );
+        assert!(p_big > 0.0);
+    }
+
+    #[test]
+    fn mode_mix_tracks_fit_weights() {
+        let geo = SystemGeometry::paper_reliability();
+        let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(44000.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let ev = sim.sample(&mut rng);
+        assert!(ev.len() > 400);
+        let bits = ev
+            .iter()
+            .filter(|e| e.fault.mode == FaultMode::SingleBit)
+            .count() as f64;
+        let frac = bits / ev.len() as f64;
+        let expect = FitTable::DDR3_AVERAGE.single_bit / FitTable::DDR3_AVERAGE.total();
+        assert!((frac - expect).abs() < 0.08, "bit share {frac} vs {expect}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the fault-model invariants.
+
+use mem_faults::{
+    ChipLocation, FaultInstance, FaultMode, FitTable, LifetimeSim, SystemGeometry,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fit_scaling_preserves_mode_shares(target in 1.0f64..10_000.0) {
+        let base = FitTable::DDR3_AVERAGE;
+        let scaled = base.scaled_to(target);
+        prop_assert!((scaled.total() - target).abs() < 1e-6);
+        for m in FaultMode::ALL {
+            let a = base.rate(m) / base.total();
+            let b = scaled.rate(m) / scaled.total();
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chip_index_bijection(
+        channels in 1usize..16,
+        ranks in 1usize..8,
+        chips in 1usize..48,
+        pick in any::<usize>(),
+    ) {
+        let geo = SystemGeometry {
+            channels,
+            ranks_per_channel: ranks,
+            chips_per_rank: chips,
+            banks_per_chip: 8,
+        };
+        let idx = pick % geo.total_chips();
+        let loc = ChipLocation::from_index(&geo, idx);
+        prop_assert_eq!(loc.index(&geo), idx);
+        prop_assert!(loc.channel < channels && loc.rank < ranks && loc.chip < chips);
+    }
+
+    #[test]
+    fn fault_extent_is_monotone_in_mode(
+        bank in 0u32..8,
+        row in 0u32..1024,
+        line in 0u32..64,
+        qb in 0u32..8,
+        qr in 0u32..1024,
+        ql in 0u32..64,
+    ) {
+        // If a smaller mode affects a coordinate, every larger mode anchored
+        // at the same place must too (footprints nest: bit ⊂ row ⊂ bank ⊂
+        // multibank ⊂ multirank; column ⊂ bank).
+        let mk = |mode| FaultInstance {
+            chip: ChipLocation { channel: 0, rank: 1, chip: 2 },
+            mode,
+            bank,
+            row,
+            line,
+            pattern_seed: 9,
+        };
+        let chain = [
+            FaultMode::SingleBit,
+            FaultMode::SingleRow,
+            FaultMode::SingleBank,
+            FaultMode::MultiBank,
+            FaultMode::MultiRank,
+        ];
+        for w in chain.windows(2) {
+            let small = mk(w[0]);
+            let big = mk(w[1]);
+            if small.affects(1, qb, qr, ql) {
+                prop_assert!(
+                    big.affects(1, qb, qr, ql),
+                    "{:?} hit but {:?} missed",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // column ⊂ bank
+        if mk(FaultMode::SingleColumn).affects(1, qb, qr, ql) {
+            prop_assert!(mk(FaultMode::SingleBank).affects(1, qb, qr, ql));
+        }
+    }
+
+    #[test]
+    fn sampled_events_stay_in_bounds(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let geo = SystemGeometry::paper_reliability();
+        let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(20_000.0));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for e in sim.sample(&mut rng) {
+            prop_assert!(e.time_hours >= 0.0 && e.time_hours <= sim.lifetime_hours);
+            prop_assert!(e.fault.chip.channel < geo.channels);
+            prop_assert!(e.fault.chip.rank < geo.ranks_per_channel);
+            prop_assert!(e.fault.chip.chip < geo.chips_per_rank);
+            prop_assert!((e.fault.bank as usize) < geo.banks_per_chip);
+        }
+    }
+
+    #[test]
+    fn corruption_changes_at_least_one_byte(
+        seed in any::<u64>(),
+        len in 1usize..64,
+        bank in 0u32..8,
+        row in 0u32..100,
+        line in 0u32..64,
+    ) {
+        let f = FaultInstance {
+            chip: ChipLocation { channel: 0, rank: 0, chip: 0 },
+            mode: FaultMode::SingleBank,
+            bank,
+            row,
+            line,
+            pattern_seed: seed,
+        };
+        let clean = vec![0u8; len];
+        let mut buf = clean.clone();
+        f.corrupt(&mut buf, bank, row, line);
+        prop_assert_ne!(buf.clone(), clean.clone(), "corruption must corrupt");
+        // and be deterministic
+        let mut again = clean;
+        f.corrupt(&mut again, bank, row, line);
+        prop_assert_eq!(buf, again);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mem-sim — full-system memory simulation
+//!
+//! Ties the pieces together into the paper's evaluation vehicle: synthetic
+//! multi-core workload generators (standing in for the GEM5 + SPEC/PARSEC
+//! stack — see DESIGN.md for the substitution argument), a shared 8MB/16-way
+//! LLC that also caches ECC and XOR cachelines (§III-D / §IV-C), per-scheme
+//! ECC-traffic glue for every organization in Table II, and a bounded-MLP
+//! core model (Table I) driving the `dram-sim` timing/power model.
+//!
+//! Outputs per run: memory energy per instruction (dynamic + background),
+//! memory accesses per instruction (in 64B units), bandwidth utilization,
+//! and runtime — the quantities behind the paper's Figs 9–17.
+
+pub mod cpu;
+pub mod llc;
+pub mod runner;
+pub mod schemes;
+pub mod trace;
+pub mod workloads;
+
+pub use cpu::CoreConfig;
+pub use llc::{AccessOutcome, Llc, LlcConfig};
+pub use runner::{DegradedConfig, RunConfig, RunResult, SimRunner};
+pub use trace::{Trace, TraceCursor, TraceEvent};
+pub use schemes::{EccTraffic, SchemeConfig, SchemeId, SystemScale};
+pub use workloads::{Workload, WorkloadSpec, BIN1, BIN2};

@@ -1,0 +1,311 @@
+//! The evaluated memory resilience organizations (paper Table II) and their
+//! ECC-update traffic behaviour (paper §IV-C).
+//!
+//! Every organization is normalized to the same total physical memory
+//! bandwidth and size as a dual- or quad-channel *commercial ECC* system:
+//! 576 total I/O pins for the chipkill family at quad-equivalent scale
+//! (288 at dual), 720/360 for the RAIM family.
+//!
+//! ECC-update traffic classes:
+//!
+//! * **Inline** — redundancy travels with the line (36/18-device chipkill,
+//!   RAIM): no overhead requests.
+//! * **EccLines** — correction bits live in ECC lines in data memory
+//!   (LOT-ECC, Multi-ECC): each ECC cacheline covers `coverage` logically
+//!   adjacent data lines, is updated in the LLC on stores, and costs one
+//!   memory *write* on eviction.
+//! * **XorParity** — the ECC Parity schemes: each XOR cacheline covers the
+//!   same `quad` adjacent lines in `N-1` logically adjacent pages; eviction
+//!   costs one parity-line *read* plus one *write* (the read-modify-write
+//!   of equation (1), amortized by the §III-D compaction).
+
+use dram_sim::{DeviceKind, MemoryConfig, RankConfig};
+use ecc_codes::OverheadModel;
+use serde::{Deserialize, Serialize};
+
+/// Line-address region bases (in line units) for ECC-related cachelines.
+/// Data addresses stay far below these.
+pub const ECC_REGION_BASE: u64 = 1 << 42;
+pub const XOR_REGION_BASE: u64 = 1 << 43;
+
+/// Lines per 4KB page at 64B granularity.
+const LINES_PER_PAGE: u64 = 64;
+
+/// The eight evaluated organizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeId {
+    Ck36,
+    Ck18,
+    Lot5,
+    Lot9,
+    MultiEcc,
+    Lot5Parity,
+    Raim,
+    RaimParity,
+}
+
+impl SchemeId {
+    pub const ALL: [SchemeId; 8] = [
+        SchemeId::Ck36,
+        SchemeId::Ck18,
+        SchemeId::Lot5,
+        SchemeId::Lot9,
+        SchemeId::MultiEcc,
+        SchemeId::Lot5Parity,
+        SchemeId::Raim,
+        SchemeId::RaimParity,
+    ];
+
+    /// The chipkill-correct family (pin-equivalent to commercial chipkill).
+    pub const CHIPKILL: [SchemeId; 6] = [
+        SchemeId::Ck36,
+        SchemeId::Ck18,
+        SchemeId::Lot5,
+        SchemeId::Lot9,
+        SchemeId::MultiEcc,
+        SchemeId::Lot5Parity,
+    ];
+
+    /// The DIMM-kill family.
+    pub const DIMMKILL: [SchemeId; 2] = [SchemeId::Raim, SchemeId::RaimParity];
+}
+
+/// System scale: equivalent in physical bandwidth/size to a dual- or
+/// quad-channel commercial ECC memory system (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemScale {
+    DualEquivalent,
+    QuadEquivalent,
+}
+
+/// ECC-update traffic class (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccTraffic {
+    Inline,
+    EccLines { coverage: u64 },
+    XorParity { quad: u64 },
+}
+
+/// One fully-specified organization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeConfig {
+    pub id: SchemeId,
+    pub name: &'static str,
+    pub traffic: EccTraffic,
+    pub mem: MemoryConfig,
+    /// Static memory capacity overhead (Table III).
+    pub capacity_overhead: f64,
+}
+
+impl SchemeConfig {
+    /// Build one organization at one scale (Table II row).
+    pub fn build(id: SchemeId, scale: SystemScale) -> SchemeConfig {
+        let half = matches!(scale, SystemScale::DualEquivalent);
+        let ch = |quad: usize| if half { quad / 2 } else { quad };
+        match id {
+            SchemeId::Ck36 => SchemeConfig {
+                id,
+                name: "36-device commercial chipkill",
+                traffic: EccTraffic::Inline,
+                mem: MemoryConfig::new(ch(4), 1, RankConfig::uniform(DeviceKind::X4, 36), 128),
+                capacity_overhead: 0.125,
+            },
+            SchemeId::Ck18 => SchemeConfig {
+                id,
+                name: "18-device commercial chipkill",
+                traffic: EccTraffic::Inline,
+                mem: MemoryConfig::new(ch(8), 1, RankConfig::uniform(DeviceKind::X4, 18), 64),
+                capacity_overhead: 0.125,
+            },
+            SchemeId::Lot5 => SchemeConfig {
+                id,
+                name: "LOT-ECC5",
+                traffic: EccTraffic::EccLines { coverage: 4 },
+                mem: MemoryConfig::new(ch(8), 4, RankConfig::lotecc5(), 64),
+                capacity_overhead: 0.40625,
+            },
+            SchemeId::Lot9 => SchemeConfig {
+                id,
+                name: "LOT-ECC9",
+                traffic: EccTraffic::EccLines { coverage: 8 },
+                mem: MemoryConfig::new(ch(8), 2, RankConfig::uniform(DeviceKind::X8, 9), 64),
+                capacity_overhead: 0.265625,
+            },
+            SchemeId::MultiEcc => SchemeConfig {
+                id,
+                name: "Multi-ECC",
+                // Multi-ECC's multi-line code lets one ECC cacheline cover a
+                // wider span than LOT-ECC9's ([13]); this is why its update
+                // traffic (and EPI) edges out LOT-ECC9 in Figs 10/16.
+                traffic: EccTraffic::EccLines { coverage: 16 },
+                mem: MemoryConfig::new(ch(8), 2, RankConfig::uniform(DeviceKind::X8, 9), 64),
+                capacity_overhead: 0.129,
+            },
+            SchemeId::Lot5Parity => {
+                let channels = ch(8);
+                SchemeConfig {
+                    id,
+                    name: "LOT-ECC5 + ECC Parity",
+                    traffic: EccTraffic::XorParity { quad: 4 },
+                    mem: MemoryConfig::new(channels, 4, RankConfig::lotecc5(), 64),
+                    capacity_overhead: OverheadModel::ecc_parity(0.25, channels).total(),
+                }
+            }
+            SchemeId::Raim => SchemeConfig {
+                id,
+                name: "RAIM",
+                traffic: EccTraffic::Inline,
+                mem: MemoryConfig::new(ch(4), 1, RankConfig::uniform(DeviceKind::X4, 45), 128),
+                capacity_overhead: 0.40625,
+            },
+            SchemeId::RaimParity => {
+                let channels = ch(10);
+                SchemeConfig {
+                    id,
+                    name: "RAIM + ECC Parity",
+                    traffic: EccTraffic::XorParity { quad: 4 },
+                    mem: MemoryConfig::new(channels, 1, RankConfig::uniform(DeviceKind::X4, 18), 64),
+                    capacity_overhead: OverheadModel::ecc_parity(0.5, channels).total(),
+                }
+            }
+        }
+    }
+
+    /// All eight organizations at a scale.
+    pub fn all(scale: SystemScale) -> Vec<SchemeConfig> {
+        SchemeId::ALL.iter().map(|&id| Self::build(id, scale)).collect()
+    }
+
+    /// Address of the ECC/XOR cacheline covering 64B data line `line64`, or
+    /// `None` for inline schemes. Addresses land in the reserved regions.
+    pub fn ecc_line_of(&self, line64: u64) -> Option<u64> {
+        match self.traffic {
+            EccTraffic::Inline => None,
+            EccTraffic::EccLines { coverage } => Some(ECC_REGION_BASE + line64 / coverage),
+            EccTraffic::XorParity { quad } => {
+                let n1 = (self.mem.channels - 1) as u64;
+                let page = line64 / LINES_PER_PAGE;
+                let in_page = line64 % LINES_PER_PAGE;
+                let quads_per_page = LINES_PER_PAGE / quad;
+                let page_group = page / n1;
+                Some(XOR_REGION_BASE + page_group * quads_per_page + in_page / quad)
+            }
+        }
+    }
+
+    /// Data lines covered by one ECC/XOR cacheline (drives its LLC hit rate).
+    pub fn ecc_coverage(&self) -> u64 {
+        match self.traffic {
+            EccTraffic::Inline => 0,
+            EccTraffic::EccLines { coverage } => coverage,
+            EccTraffic::XorParity { quad } => quad * (self.mem.channels - 1) as u64,
+        }
+    }
+
+    /// 64B units per memory line access (Fig 16's counting rule).
+    pub fn units_per_access(&self) -> u64 {
+        (self.mem.line_bytes / 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_logical_channels() {
+        let quad = |id| SchemeConfig::build(id, SystemScale::QuadEquivalent).mem.channels;
+        let dual = |id| SchemeConfig::build(id, SystemScale::DualEquivalent).mem.channels;
+        assert_eq!((quad(SchemeId::Ck36), dual(SchemeId::Ck36)), (4, 2));
+        assert_eq!((quad(SchemeId::Ck18), dual(SchemeId::Ck18)), (8, 4));
+        assert_eq!((quad(SchemeId::Lot5), dual(SchemeId::Lot5)), (8, 4));
+        assert_eq!((quad(SchemeId::Lot9), dual(SchemeId::Lot9)), (8, 4));
+        assert_eq!((quad(SchemeId::MultiEcc), dual(SchemeId::MultiEcc)), (8, 4));
+        assert_eq!((quad(SchemeId::Lot5Parity), dual(SchemeId::Lot5Parity)), (8, 4));
+        assert_eq!((quad(SchemeId::Raim), dual(SchemeId::Raim)), (4, 2));
+        assert_eq!((quad(SchemeId::RaimParity), dual(SchemeId::RaimParity)), (10, 5));
+    }
+
+    #[test]
+    fn table2_pin_counts() {
+        for scale in [SystemScale::QuadEquivalent, SystemScale::DualEquivalent] {
+            let target_ck = match scale {
+                SystemScale::QuadEquivalent => 576,
+                SystemScale::DualEquivalent => 288,
+            };
+            for id in SchemeId::CHIPKILL {
+                let c = SchemeConfig::build(id, scale);
+                assert_eq!(c.mem.total_pins(), target_ck, "{:?} {:?}", id, scale);
+            }
+            let target_raim = match scale {
+                SystemScale::QuadEquivalent => 720,
+                SystemScale::DualEquivalent => 360,
+            };
+            for id in SchemeId::DIMMKILL {
+                let c = SchemeConfig::build(id, scale);
+                assert_eq!(c.mem.total_pins(), target_raim, "{:?} {:?}", id, scale);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_ranks_and_line_sizes() {
+        let q = |id| SchemeConfig::build(id, SystemScale::QuadEquivalent);
+        assert_eq!(q(SchemeId::Ck36).mem.line_bytes, 128);
+        assert_eq!(q(SchemeId::Raim).mem.line_bytes, 128);
+        assert_eq!(q(SchemeId::Lot5).mem.line_bytes, 64);
+        assert_eq!(q(SchemeId::Lot5).mem.ranks_per_channel, 4);
+        assert_eq!(q(SchemeId::Lot9).mem.ranks_per_channel, 2);
+        assert_eq!(q(SchemeId::Ck36).mem.ranks_per_channel, 1);
+        assert_eq!(q(SchemeId::Raim).mem.rank.chips(), 45);
+    }
+
+    #[test]
+    fn ecc_line_addresses_land_in_reserved_regions() {
+        let lot5 = SchemeConfig::build(SchemeId::Lot5, SystemScale::QuadEquivalent);
+        let a = lot5.ecc_line_of(1234).unwrap();
+        assert!((ECC_REGION_BASE..XOR_REGION_BASE).contains(&a));
+        let par = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
+        let x = par.ecc_line_of(1234).unwrap();
+        assert!(x >= XOR_REGION_BASE);
+        let ck = SchemeConfig::build(SchemeId::Ck36, SystemScale::QuadEquivalent);
+        assert_eq!(ck.ecc_line_of(1234), None);
+    }
+
+    #[test]
+    fn xor_cacheline_covers_quad_times_n_minus_1() {
+        // Quad-equivalent LOT5+Parity: 8 channels -> 4 * 7 = 28 lines/XOR line.
+        let q = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
+        assert_eq!(q.ecc_coverage(), 28);
+        // Dual-equivalent: 4 channels -> 12 lines: fewer, so more evictions —
+        // the paper's Fig 17 explanation.
+        let d = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::DualEquivalent);
+        assert_eq!(d.ecc_coverage(), 12);
+    }
+
+    #[test]
+    fn xor_mapping_groups_adjacent_pages() {
+        let q = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
+        let n1 = 7u64;
+        // Same quad of lines in adjacent pages within one group share the
+        // XOR cacheline.
+        let base = q.ecc_line_of(0).unwrap();
+        for p in 0..n1 {
+            assert_eq!(q.ecc_line_of(p * 64).unwrap(), base);
+            assert_eq!(q.ecc_line_of(p * 64 + 3).unwrap(), base);
+        }
+        // Next quad -> different XOR line; next page group -> different line.
+        assert_ne!(q.ecc_line_of(4).unwrap(), base);
+        assert_ne!(q.ecc_line_of(n1 * 64).unwrap(), base);
+    }
+
+    #[test]
+    fn capacity_overheads_match_table3() {
+        let q = |id| SchemeConfig::build(id, SystemScale::QuadEquivalent).capacity_overhead;
+        assert!((q(SchemeId::Lot5Parity) - 0.1652).abs() < 1e-3); // 8 chan: 16.5%
+        assert!((q(SchemeId::RaimParity) - 0.1875).abs() < 1e-9); // 10 chan: 18.8%
+        let d = |id| SchemeConfig::build(id, SystemScale::DualEquivalent).capacity_overhead;
+        assert!((d(SchemeId::Lot5Parity) - 0.21875).abs() < 1e-9); // 4 chan: 21.9%
+        assert!((d(SchemeId::RaimParity) - 0.265625).abs() < 1e-9); // 5 chan: 26.6%
+    }
+}

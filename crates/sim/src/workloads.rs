@@ -1,0 +1,342 @@
+//! Synthetic workload generators standing in for the paper's 12 SPEC and 4
+//! PARSEC eight-core workloads.
+//!
+//! The evaluation consumes only the workloads' *memory reference behaviour*:
+//! how often the LLC is accessed per instruction, the read/write mix, how
+//! sequential the address stream is (spatial locality — what 128B-line
+//! systems exploit), and how much of the footprint re-hits the LLC
+//! (temporal locality — what determines the miss rate and therefore
+//! bandwidth). Each generator is a two-region model:
+//!
+//! * a **hot set** sized to (partially) fit the LLC, giving temporal reuse;
+//! * a **cold stream** over a large footprint with geometrically-distributed
+//!   sequential run lengths, giving tunable spatial locality and misses.
+//!
+//! Parameters are calibrated so the bandwidth ordering and Bin1/Bin2 split
+//! match the paper's Fig. 9 characterization (Bin2 = the eight workloads
+//! with higher memory access rates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::derive_partial_eq_without_eq)]
+pub struct WorkloadSpec {
+    pub name: &'static str,
+    /// LLC accesses per kilo-instruction (post L1-filter).
+    pub lapki: f64,
+    /// Fraction of LLC accesses that are stores.
+    pub write_frac: f64,
+    /// Probability an access goes to the hot (LLC-resident) set.
+    pub hot_frac: f64,
+    /// Hot-set size in 64B lines (per core).
+    pub hot_lines: u64,
+    /// Cold-footprint size in 64B lines (per core).
+    pub cold_lines: u64,
+    /// Mean sequential run length (in 64B lines) of the cold stream.
+    pub seq_run: f64,
+    /// Concurrent cold streams the workload walks (scientific codes sweep
+    /// several arrays at once; pointer chasers follow one or two). Spreads
+    /// instantaneous channel pressure the way real access streams do.
+    pub streams: usize,
+    /// Paper bin: 1 = lower access rate, 2 = higher.
+    pub bin: u8,
+}
+
+/// The eight lower-bandwidth workloads (Bin1).
+pub const BIN1: [&str; 8] = [
+    "sjeng", "omnetpp", "astar", "gcc", "soplex", "bwaves", "facesim", "ferret",
+];
+
+/// The eight higher-bandwidth workloads (Bin2).
+pub const BIN2: [&str; 8] = [
+    "mcf",
+    "lbm",
+    "milc",
+    "libquantum",
+    "leslie3d",
+    "GemsFDTD",
+    "canneal",
+    "streamcluster",
+];
+
+impl WorkloadSpec {
+    /// All sixteen evaluated workloads (12 SPEC + 4 PARSEC).
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![
+            // ---- Bin2: memory-intensive ----
+            // mcf: pointer chasing over a huge footprint, low spatial locality
+            WorkloadSpec { name: "mcf", lapki: 27.0, write_frac: 0.28, hot_frac: 0.35, hot_lines: 6_000, cold_lines: 3_000_000, seq_run: 1.3, streams: 2, bin: 2 },
+            // lbm: streaming stencil, long runs, write heavy
+            WorkloadSpec { name: "lbm", lapki: 25.2, write_frac: 0.45, hot_frac: 0.20, hot_lines: 4_000, cold_lines: 2_500_000, seq_run: 12.0, streams: 8, bin: 2 },
+            // milc: lattice QCD, large streams, moderate locality
+            WorkloadSpec { name: "milc", lapki: 22.8, write_frac: 0.35, hot_frac: 0.25, hot_lines: 5_000, cold_lines: 2_000_000, seq_run: 4.0, streams: 6, bin: 2 },
+            // libquantum: perfectly streaming over one big vector
+            WorkloadSpec { name: "libquantum", lapki: 24.0, write_frac: 0.25, hot_frac: 0.10, hot_lines: 2_000, cold_lines: 1_500_000, seq_run: 16.0, streams: 3, bin: 2 },
+            // leslie3d: multigrid CFD, mixed streams
+            WorkloadSpec { name: "leslie3d", lapki: 19.8, write_frac: 0.35, hot_frac: 0.30, hot_lines: 6_000, cold_lines: 1_800_000, seq_run: 6.0, streams: 8, bin: 2 },
+            // GemsFDTD: FDTD solver, large working set, fair locality
+            WorkloadSpec { name: "GemsFDTD", lapki: 21.0, write_frac: 0.38, hot_frac: 0.30, hot_lines: 8_000, cold_lines: 2_200_000, seq_run: 5.0, streams: 8, bin: 2 },
+            // canneal (PARSEC): random pointer walks over a huge netlist
+            WorkloadSpec { name: "canneal", lapki: 21.6, write_frac: 0.22, hot_frac: 0.30, hot_lines: 8_000, cold_lines: 4_000_000, seq_run: 1.15, streams: 2, bin: 2 },
+            // streamcluster (PARSEC): dense distance computations — the
+            // paper's showcase of high spatial locality (~20% faster on
+            // 128B-line systems)
+            WorkloadSpec { name: "streamcluster", lapki: 24.0, write_frac: 0.15, hot_frac: 0.22, hot_lines: 4_000, cold_lines: 1_200_000, seq_run: 48.0, streams: 4, bin: 2 },
+            // ---- Bin1: moderate access rates (all >= 1% bandwidth) ----
+            // sjeng: game tree search, small hot set, sparse misses
+            WorkloadSpec { name: "sjeng", lapki: 4.8, write_frac: 0.30, hot_frac: 0.80, hot_lines: 10_000, cold_lines: 700_000, seq_run: 1.2, streams: 2, bin: 1 },
+            // omnetpp: discrete event simulation, heap-heavy, poor locality
+            WorkloadSpec { name: "omnetpp", lapki: 8.4, write_frac: 0.35, hot_frac: 0.65, hot_lines: 12_000, cold_lines: 1_500_000, seq_run: 1.2, streams: 2, bin: 1 },
+            // astar: pathfinding, moderate reuse
+            WorkloadSpec { name: "astar", lapki: 7.2, write_frac: 0.28, hot_frac: 0.70, hot_lines: 9_000, cold_lines: 900_000, seq_run: 1.5, streams: 2, bin: 1 },
+            // gcc: compiler, bursty small structures
+            WorkloadSpec { name: "gcc", lapki: 6.0, write_frac: 0.32, hot_frac: 0.72, hot_lines: 11_000, cold_lines: 800_000, seq_run: 2.0, streams: 3, bin: 1 },
+            // soplex: sparse LP solver, moderate streams
+            WorkloadSpec { name: "soplex", lapki: 10.8, write_frac: 0.25, hot_frac: 0.55, hot_lines: 8_000, cold_lines: 1_200_000, seq_run: 3.0, streams: 4, bin: 1 },
+            // bwaves: blast-wave CFD, streaming but cache-friendlier blocks
+            WorkloadSpec { name: "bwaves", lapki: 12.0, write_frac: 0.30, hot_frac: 0.50, hot_lines: 10_000, cold_lines: 1_600_000, seq_run: 8.0, streams: 6, bin: 1 },
+            // facesim (PARSEC): physics solver, mixed
+            WorkloadSpec { name: "facesim", lapki: 9.6, write_frac: 0.35, hot_frac: 0.60, hot_lines: 9_000, cold_lines: 1_000_000, seq_run: 4.0, streams: 4, bin: 1 },
+            // ferret (PARSEC): similarity search pipeline
+            WorkloadSpec { name: "ferret", lapki: 7.8, write_frac: 0.22, hot_frac: 0.68, hot_lines: 10_000, cold_lines: 1_100_000, seq_run: 2.5, streams: 3, bin: 1 },
+        ]
+    }
+
+    /// Synthetic microbenchmarks with analytically-known behaviour, used to
+    /// validate the simulator itself (see the `microbench` binary):
+    /// `stream` saturates bandwidth, `randomwalk` is latency/MLP-bound, and
+    /// `cached` should barely touch memory.
+    pub fn microbenchmarks() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec {
+                name: "stream",
+                lapki: 50.0,
+                write_frac: 0.33, // a[i] = b[i] + c[i]: 2 reads, 1 write
+                hot_frac: 0.0,
+                hot_lines: 1,
+                cold_lines: 4_000_000,
+                seq_run: 512.0,
+                streams: 3,
+                bin: 2,
+            },
+            WorkloadSpec {
+                name: "randomwalk",
+                lapki: 30.0,
+                write_frac: 0.0,
+                hot_frac: 0.0,
+                hot_lines: 1,
+                cold_lines: 8_000_000,
+                seq_run: 1.0,
+                streams: 1,
+                bin: 2,
+            },
+            WorkloadSpec {
+                name: "cached",
+                lapki: 40.0,
+                write_frac: 0.3,
+                hot_frac: 0.999,
+                hot_lines: 2_000,
+                cold_lines: 100_000,
+                seq_run: 1.0,
+                streams: 1,
+                bin: 1,
+            },
+        ]
+    }
+
+    /// Look up a workload by name (paper workloads and microbenchmarks).
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        Self::all()
+            .into_iter()
+            .chain(Self::microbenchmarks())
+            .find(|w| w.name == name)
+    }
+
+    /// Mean instructions between LLC accesses.
+    pub fn instr_per_access(&self) -> f64 {
+        1000.0 / self.lapki
+    }
+}
+
+/// One memory reference produced by a generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// 64B-line-granular address (per-core virtual space; the runner offsets
+    /// per core and maps into the physical space).
+    pub line: u64,
+    pub is_write: bool,
+    /// Instructions executed since the previous reference.
+    pub gap_instr: u32,
+}
+
+/// Stateful per-core generator.
+pub struct Workload {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    /// Concurrent cold streams: (position, remaining run length).
+    cold: Vec<(u64, u32)>,
+    /// Dedicated store streams: writes to the cold footprint cluster into
+    /// output arrays (streaming stores), with longer runs than reads.
+    wcold: Vec<(u64, u32)>,
+}
+
+impl Workload {
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D_F00D);
+        let cold = (0..spec.streams.max(1))
+            .map(|_| (rng.gen_range(0..spec.cold_lines), 0u32))
+            .collect();
+        let wcold = (0..(spec.streams / 2).max(1))
+            .map(|_| (rng.gen_range(0..spec.cold_lines), 0u32))
+            .collect();
+        Workload {
+            spec,
+            rng,
+            cold,
+            wcold,
+        }
+    }
+
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Next memory reference.
+    pub fn next_ref(&mut self) -> MemRef {
+        let s = self.spec;
+        // Geometric gap around the mean instruction distance.
+        let mean = s.instr_per_access();
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap_instr = (-(mean) * u.ln()).round().min(100_000.0) as u32;
+        let is_write = self.rng.gen_bool(s.write_frac);
+        let line = if self.rng.gen_bool(s.hot_frac) {
+            // Hot set: lines [0, hot_lines).
+            self.rng.gen_range(0..s.hot_lines)
+        } else {
+            // Pick one of the concurrent cold streams (stores use the
+            // dedicated, longer-running write streams); continue its
+            // sequential run or jump it somewhere new.
+            let (streams, run_mean) = if is_write {
+                (&mut self.wcold, 2.0 * s.seq_run)
+            } else {
+                (&mut self.cold, s.seq_run)
+            };
+            let k = self.rng.gen_range(0..streams.len());
+            let (ref mut pos, ref mut run_left) = streams[k];
+            if *run_left == 0 {
+                *pos = self.rng.gen_range(0..s.cold_lines);
+                // Geometric run length with the configured mean.
+                let p = 1.0 / run_mean.max(1.0);
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                *run_left = (u.ln() / (1.0 - p).max(1e-9).ln()).ceil().max(1.0) as u32;
+            }
+            *run_left -= 1;
+            *pos = (*pos + 1) % s.cold_lines;
+            // Cold lines sit above the hot set in the address space.
+            s.hot_lines + *pos
+        };
+        MemRef {
+            line,
+            is_write,
+            gap_instr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_workloads_with_even_bins() {
+        let all = WorkloadSpec::all();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all.iter().filter(|w| w.bin == 1).count(), 8);
+        assert_eq!(all.iter().filter(|w| w.bin == 2).count(), 8);
+        for name in BIN1.iter().chain(BIN2.iter()) {
+            let w = WorkloadSpec::by_name(name).expect(name);
+            let expect_bin = if BIN1.contains(name) { 1 } else { 2 };
+            assert_eq!(w.bin, expect_bin, "{name}");
+        }
+    }
+
+    #[test]
+    fn bin2_has_higher_access_rates() {
+        let all = WorkloadSpec::all();
+        let avg = |bin: u8| {
+            let v: Vec<f64> = all.iter().filter(|w| w.bin == bin).map(|w| w.lapki).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(2) > 2.0 * avg(1));
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::by_name("mcf").unwrap();
+        let refs1: Vec<_> = {
+            let mut w = Workload::new(spec, 42);
+            (0..100).map(|_| w.next_ref()).collect()
+        };
+        let refs2: Vec<_> = {
+            let mut w = Workload::new(spec, 42);
+            (0..100).map(|_| w.next_ref()).collect()
+        };
+        assert_eq!(refs1, refs2);
+        let refs3: Vec<_> = {
+            let mut w = Workload::new(spec, 43);
+            (0..100).map(|_| w.next_ref()).collect()
+        };
+        assert_ne!(refs1, refs3);
+    }
+
+    #[test]
+    fn write_fraction_tracks_spec() {
+        let spec = WorkloadSpec::by_name("lbm").unwrap();
+        let mut w = Workload::new(spec, 7);
+        let n = 20_000;
+        let writes = (0..n).filter(|_| w.next_ref().is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - spec.write_frac).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn streaming_workload_has_long_runs() {
+        let sc = WorkloadSpec::by_name("streamcluster").unwrap();
+        let mut w = Workload::new(sc, 9);
+        let refs: Vec<u64> = (0..50_000).map(|_| w.next_ref().line).collect();
+        let seq = refs
+            .windows(2)
+            .filter(|p| p[1] == p[0] + 1)
+            .count() as f64
+            / (refs.len() - 1) as f64;
+        let canneal = WorkloadSpec::by_name("canneal").unwrap();
+        let mut w2 = Workload::new(canneal, 9);
+        let refs2: Vec<u64> = (0..50_000).map(|_| w2.next_ref().line).collect();
+        let seq2 = refs2
+            .windows(2)
+            .filter(|p| p[1] == p[0] + 1)
+            .count() as f64
+            / (refs2.len() - 1) as f64;
+        assert!(
+            seq > 2.0 * seq2,
+            "streamcluster sequentiality {seq} must dwarf canneal {seq2}"
+        );
+    }
+
+    #[test]
+    fn gap_mean_tracks_lapki() {
+        let spec = WorkloadSpec::by_name("sjeng").unwrap();
+        let mut w = Workload::new(spec, 11);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| w.next_ref().gap_instr as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - spec.instr_per_access()).abs() < spec.instr_per_access() * 0.05,
+            "mean gap {mean} vs expected {}",
+            spec.instr_per_access()
+        );
+    }
+}

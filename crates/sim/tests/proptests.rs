@@ -1,0 +1,70 @@
+//! Property-based tests of the full-system simulator's invariants.
+
+use mem_sim::{
+    LlcConfig, RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn quick_cfg(id: SchemeId, wname: &str, seed: u64, accesses: usize) -> RunConfig {
+    let built = SchemeConfig::build(id, SystemScale::QuadEquivalent);
+    let line_bytes = built.mem.line_bytes;
+    let mut cfg = RunConfig::paper(built, WorkloadSpec::by_name(wname).unwrap());
+    cfg.cores = 2;
+    cfg.warmup_per_core = 500;
+    cfg.accesses_per_core = accesses;
+    cfg.seed = seed;
+    cfg.llc = Some(LlcConfig {
+        capacity_bytes: 64 * 1024,
+        ways: 8,
+        line_bytes,
+    });
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn accounting_identities_hold_for_any_seed(
+        seed in any::<u64>(),
+        widx in 0usize..16,
+    ) {
+        let w = WorkloadSpec::all()[widx];
+        let cfg = quick_cfg(SchemeId::Lot5Parity, w.name, seed, 2_000);
+        let r = SimRunner::new(cfg).run();
+        // LLC sees every core reference (plus ECC-line merges).
+        prop_assert!(r.llc.hits + r.llc.misses >= 2 * 2_000);
+        // Traffic: misses produce fills.
+        prop_assert!(r.traffic.data_read_units > 0);
+        // XOR parity traffic is read/write balanced.
+        prop_assert_eq!(r.traffic.ecc_read_units, r.traffic.ecc_write_units);
+        // Energy identity.
+        prop_assert!((r.epi_pj() - (r.dynamic_epi_pj() + r.background_epi_pj())).abs() < 1e-9);
+        // Bandwidth is finite and positive.
+        prop_assert!(r.bandwidth_gbs() > 0.0 && r.bandwidth_gbs() < 200.0);
+    }
+
+    #[test]
+    fn seed_determinism_for_every_scheme(
+        seed in any::<u64>(),
+        sidx in 0usize..8,
+    ) {
+        let id = SchemeId::ALL[sidx];
+        let a = SimRunner::new(quick_cfg(id, "gcc", seed, 1_500)).run();
+        let b = SimRunner::new(quick_cfg(id, "gcc", seed, 1_500)).run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.traffic, b.traffic);
+        prop_assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn more_work_takes_more_time_and_energy(
+        seed in any::<u64>(),
+    ) {
+        let small = SimRunner::new(quick_cfg(SchemeId::Ck18, "milc", seed, 1_000)).run();
+        let large = SimRunner::new(quick_cfg(SchemeId::Ck18, "milc", seed, 4_000)).run();
+        prop_assert!(large.cycles > small.cycles);
+        prop_assert!(large.energy.total_pj() > small.energy.total_pj());
+        prop_assert!(large.instructions > small.instructions);
+    }
+}

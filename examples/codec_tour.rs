@@ -1,0 +1,80 @@
+//! A tour of the functional ECC codecs: encode a line under each scheme,
+//! kill a chip, and watch detection + correction do their jobs — including
+//! the detection/correction **split** that ECC Parity exploits.
+//!
+//! Run with: `cargo run --release --example codec_tour`
+
+use ecc_parity_repro::ecc_codes::traits::{inject_chip_error, DetectOutcome, MemoryEcc};
+use ecc_parity_repro::ecc_codes::{Chipkill18, Chipkill36, LotEcc, Raim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn demo(ecc: &dyn MemoryEcc, kill_chip: usize, rng: &mut StdRng) {
+    let data: Vec<u8> = (0..ecc.data_bytes()).map(|_| rng.gen()).collect();
+    let cw = ecc.encode(&data);
+    println!("\n## {}", ecc.name());
+    println!(
+        "   {} chips/rank | {}B data + {}B detection + {}B correction \
+         (R = {:.3}, total overhead {:.1}%)",
+        ecc.chips_per_rank(),
+        ecc.data_bytes(),
+        ecc.detection_bytes(),
+        ecc.correction_bytes(),
+        ecc.correction_ratio(),
+        ecc.baseline_overhead() * 100.0
+    );
+
+    // Whole-chip random failure.
+    let mut noisy = cw.clone();
+    inject_chip_error(ecc, &mut noisy, kill_chip, |b| *b = rng.gen());
+    let detected = ecc.detect(&noisy.data, &noisy.detection);
+    println!(
+        "   chip {kill_chip} scrambled -> on-the-fly detection: {:?}",
+        detected
+    );
+    let mut repaired = noisy.data.clone();
+    match ecc.correct(&mut repaired, &noisy.detection, &cw.correction, Some(kill_chip)) {
+        Ok(out) => {
+            assert_eq!(repaired, data);
+            println!(
+                "   corrected: {} bytes repaired, data verified bit-exact",
+                out.repaired_bytes
+            );
+        }
+        Err(e) => println!("   correction failed: {e}"),
+    }
+
+    // A second simultaneous chip failure exceeds chipkill's guarantee.
+    if detected == DetectOutcome::ErrorDetected {
+        let other = (kill_chip + 1) % ecc.chips_per_rank();
+        inject_chip_error(ecc, &mut noisy, other, |b| *b ^= 0x77);
+        let mut twice = noisy.data.clone();
+        let res = ecc.correct(&mut twice, &noisy.detection, &cw.correction, None);
+        println!(
+            "   two simultaneous chip failures: {}",
+            match res {
+                Err(_) => "detected uncorrectable (as designed)".to_string(),
+                Ok(_) =>
+                    if twice == data {
+                        "corrected (erasure capacity to spare)".to_string()
+                    } else {
+                        "MISCORRECTED — must not happen".to_string()
+                    },
+            }
+        );
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2014); // the paper's vintage
+    println!("every code implemented bit-for-bit; all corrections verified.");
+    demo(&Chipkill36::new(), 17, &mut rng);
+    demo(&Chipkill18::new(), 5, &mut rng);
+    demo(&LotEcc::five(), 2, &mut rng);
+    demo(&LotEcc::nine(), 6, &mut rng);
+    demo(&Raim::new(), 20, &mut rng);
+    println!(
+        "\nECC Parity stores only the XOR of each scheme's correction bits \
+         across channels — run the quickstart example to see it in action."
+    );
+}

@@ -1,0 +1,183 @@
+//! `eccparity` — command-line front end to the reproduction.
+//!
+//! ```text
+//! eccparity codes                               list the implemented ECCs
+//! eccparity overhead --r 0.25 --channels 8      ECC Parity capacity math
+//! eccparity reliability --fit 44 --window 8     scrub-interval exposure
+//! eccparity mtbf --fit 44                       between-channel fault gap
+//! eccparity simulate --scheme lot5p --workload milc [--scale dual|quad]
+//! ```
+
+use ecc_parity_repro::ecc_codes::{
+    Chipkill18, Chipkill36, ChipkillDouble, LotEcc, MemoryEcc, OverheadModel, Raim,
+};
+use ecc_parity_repro::mem_faults::SystemGeometry;
+use ecc_parity_repro::mem_sim::{
+    RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec,
+};
+use ecc_parity_repro::resilience_analysis::{
+    analytic_mtbf_hours, scrub_bandwidth_fraction, years_per_extra_uncorrectable,
+};
+use ecc_parity_repro::resilience_analysis::scrub::analytic_window_probability;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_codes() {
+    let ck36 = Chipkill36::new();
+    let ck18 = Chipkill18::new();
+    let ckd = ChipkillDouble::new();
+    let lot5 = LotEcc::five();
+    let lot9 = LotEcc::nine();
+    let raim = Raim::new();
+    let codes: Vec<&dyn MemoryEcc> = vec![&ck36, &ck18, &ckd, &lot5, &lot9, &raim];
+    println!("{:<42} {:>6} {:>6} {:>8} {:>8}", "code", "chips", "line", "R", "overhead");
+    for c in codes {
+        println!(
+            "{:<42} {:>6} {:>5}B {:>8.3} {:>7.1}%",
+            c.name(),
+            c.chips_per_rank(),
+            c.data_bytes(),
+            c.correction_ratio(),
+            c.baseline_overhead() * 100.0
+        );
+    }
+}
+
+fn cmd_overhead(flags: &HashMap<String, String>) {
+    let r = flag_f64(flags, "r", 0.25);
+    let channels = flag_f64(flags, "channels", 8.0) as usize;
+    let b = OverheadModel::ecc_parity(r, channels);
+    println!(
+        "ECC Parity over {channels} channels, R = {r}:\n\
+         detection {:.2}% + parity {:.2}% = {:.2}% of data capacity",
+        b.detection * 100.0,
+        b.correction * 100.0,
+        b.total() * 100.0
+    );
+    for frac in [0.002, 0.004, 0.01] {
+        let eol = OverheadModel::ecc_parity_eol(r, channels, frac);
+        println!(
+            "  with {:.1}% of memory migrated to stored ECC bits: {:.2}%",
+            frac * 100.0,
+            eol.total() * 100.0
+        );
+    }
+}
+
+fn cmd_reliability(flags: &HashMap<String, String>) {
+    let fit = flag_f64(flags, "fit", 44.0);
+    let window = flag_f64(flags, "window", 8.0);
+    let geo = SystemGeometry::paper_reliability();
+    let p = analytic_window_probability(&geo, fit, window);
+    println!(
+        "8-channel system at {fit} FIT/chip, scrub window {window} h:\n\
+         P(multi-channel coincidence over 7 years) = {p:.2e}\n\
+         one extra uncorrectable per {:.0} years\n\
+         scrub bandwidth (512GB @ 128GB/s peak): {:.4}%",
+        years_per_extra_uncorrectable(p),
+        scrub_bandwidth_fraction(512e9, window, 128e9) * 100.0
+    );
+}
+
+fn cmd_mtbf(flags: &HashMap<String, String>) {
+    let fit = flag_f64(flags, "fit", 44.0);
+    let geo = SystemGeometry::paper_reliability();
+    let h = analytic_mtbf_hours(&geo, fit);
+    println!(
+        "mean time between faults in different channels (8x4x9 @ {fit} FIT): \
+         {:.0} hours = {:.0} days",
+        h,
+        h / 24.0
+    );
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
+    let scheme = match flags.get("scheme").map(String::as_str) {
+        Some("ck36") => SchemeId::Ck36,
+        Some("ck18") => SchemeId::Ck18,
+        Some("lot5") => SchemeId::Lot5,
+        Some("lot9") => SchemeId::Lot9,
+        Some("multi") => SchemeId::MultiEcc,
+        Some("lot5p") | None => SchemeId::Lot5Parity,
+        Some("raim") => SchemeId::Raim,
+        Some("raimp") => SchemeId::RaimParity,
+        Some(other) => {
+            eprintln!("unknown scheme '{other}' (ck36|ck18|lot5|lot9|multi|lot5p|raim|raimp)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = match flags.get("scale").map(String::as_str) {
+        Some("dual") => SystemScale::DualEquivalent,
+        _ => SystemScale::QuadEquivalent,
+    };
+    let wname = flags.get("workload").map(String::as_str).unwrap_or("milc");
+    let Some(workload) = WorkloadSpec::by_name(wname) else {
+        eprintln!(
+            "unknown workload '{wname}'; available: {}",
+            WorkloadSpec::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let cfg = RunConfig::paper(SchemeConfig::build(scheme, scale), workload);
+    let r = SimRunner::new(cfg).run();
+    println!("scheme    : {}", r.scheme_name);
+    println!("workload  : {} ({} instructions)", r.workload_name, r.instructions);
+    println!("runtime   : {} cycles ({} ns)", r.cycles, r.cycles);
+    println!("EPI       : {:.1} pJ ({:.1} dynamic + {:.1} background)",
+        r.epi_pj(), r.dynamic_epi_pj(), r.background_epi_pj());
+    println!("traffic   : {:.4} 64B-units/instr ({} data R, {} data W, {} ECC R, {} ECC W)",
+        r.units_per_instruction(),
+        r.traffic.data_read_units,
+        r.traffic.data_write_units,
+        r.traffic.ecc_read_units,
+        r.traffic.ecc_write_units);
+    println!("bandwidth : {:.2} GB/s, avg latency {:.1} ns", r.bandwidth_gbs(), r.avg_mem_latency);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(args.get(1..).unwrap_or(&[]));
+    match args.first().map(String::as_str) {
+        Some("codes") => cmd_codes(),
+        Some("overhead") => cmd_overhead(&flags),
+        Some("reliability") => cmd_reliability(&flags),
+        Some("mtbf") => cmd_mtbf(&flags),
+        Some("simulate") => return cmd_simulate(&flags),
+        _ => {
+            eprintln!(
+                "usage: eccparity <codes|overhead|reliability|mtbf|simulate> [--flags]\n\
+                 see the module docs (src/bin/eccparity.rs) for examples"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,28 @@
+//! # ecc-parity-repro — umbrella crate
+//!
+//! Re-exports every workspace crate of the ECC Parity (SC 2014)
+//! reproduction so examples and integration tests can use one dependency:
+//!
+//! * [`ecc_codes`] — the memory ECC codes (chipkill, LOT-ECC, Multi-ECC, RAIM).
+//! * [`mem_faults`] — DRAM fault models and Monte Carlo machinery.
+//! * [`dram_sim`] — the DDR3 timing/power simulator.
+//! * [`ecc_parity`] — the paper's contribution: cross-channel parity of ECC
+//!   correction bits.
+//! * [`mem_sim`] — the full-system simulator (core + LLC + schemes + DRAM).
+//! * [`resilience_analysis`] — reliability/capacity analysis for the paper's
+//!   analytic figures.
+//!
+//! ```
+//! use ecc_parity_repro::ecc_codes::OverheadModel;
+//!
+//! // Table III, 8-channel LOT-ECC5 + ECC Parity: 16.5% capacity overhead.
+//! let b = OverheadModel::ecc_parity(0.25, 8);
+//! assert!((b.total() - 0.165).abs() < 1e-3);
+//! ```
+
+pub use dram_sim;
+pub use ecc_codes;
+pub use ecc_parity;
+pub use mem_faults;
+pub use mem_sim;
+pub use resilience_analysis;

@@ -1,0 +1,206 @@
+//! Cross-crate integration tests: the full stack from fault sampling
+//! (`mem-faults`) through the functional ECC Parity memory (`ecc-parity` +
+//! `ecc-codes`) and the full-system simulator (`mem-sim` + `dram-sim`).
+
+use ecc_parity_repro::ecc_codes::lotecc::LotEcc;
+use ecc_parity_repro::ecc_codes::raim::RaimParityCode;
+use ecc_parity_repro::ecc_parity::layout::LineLoc;
+use ecc_parity_repro::ecc_parity::memory::{ParityConfig, ParityMemory};
+use ecc_parity_repro::mem_faults::{FaultMode, FitTable, LifetimeSim, SystemGeometry};
+use ecc_parity_repro::mem_sim::{
+    CoreConfig, LlcConfig, RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drive a sampled 7-year fault history through the functional memory:
+/// whatever faults arrive, no read may ever return wrong data silently —
+/// it either corrects, reports uncorrectable, or the page was retired.
+#[test]
+fn monte_carlo_fault_history_never_corrupts_silently() {
+    let cfg = ParityConfig {
+        channels: 4,
+        banks_per_channel: 8,
+        data_rows: 6,
+        lines_per_row: 4,
+        threshold: 4,
+    };
+    let geo = SystemGeometry {
+        channels: 4,
+        ranks_per_channel: 1,
+        chips_per_rank: 5,
+        banks_per_chip: 8,
+    };
+    // Inflated FIT so every sampled lifetime has a few hundred faults
+    // (kept moderate: the overlay model pays O(faults) per read, and this
+    // test runs in debug CI).
+    let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(250_000.0));
+    let mut rng = StdRng::seed_from_u64(321);
+
+    for trial in 0..3u64 {
+        let mut mem = ParityMemory::new(LotEcc::five(), cfg);
+        let mut shadow = std::collections::HashMap::new();
+        for c in 0..cfg.channels {
+            for bank in 0..cfg.banks_per_channel {
+                for row in 0..cfg.data_rows {
+                    for line in 0..cfg.lines_per_row {
+                        let d: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+                        mem.write(c, LineLoc { bank, row, line }, &d).unwrap();
+                        shadow.insert((c, bank, row, line), d);
+                    }
+                }
+            }
+        }
+        let mut ev_rng = StdRng::seed_from_u64(trial * 7 + 1);
+        let events = sim.sample(&mut ev_rng);
+        // Interleave faults with scrubs, as wall-clock would.
+        for chunk in events.chunks(2) {
+            for e in chunk {
+                // Clamp coordinates into the toy geometry.
+                let mut f = e.fault;
+                f.row %= cfg.data_rows;
+                f.line %= cfg.lines_per_row;
+                mem.inject_fault(f);
+            }
+            mem.scrub();
+        }
+        mem.scrub();
+        // Every surviving (non-retired) read is either bit-exact or an
+        // explicit error.
+        for ((c, bank, row, line), d) in &shadow {
+            let loc = LineLoc {
+                bank: *bank,
+                row: *row,
+                line: *line,
+            };
+            if mem.health().is_retired(*c, *bank, *row) {
+                continue;
+            }
+            match mem.read(*c, loc) {
+                Ok(got) => assert_eq!(&got, d, "silent corruption at {c}/{loc:?}"),
+                Err(_) => {} // explicit uncorrectable: allowed, counted
+            }
+        }
+        // Capacity accounting stays within sane bounds.
+        let overhead = mem.capacity_overhead();
+        assert!((0.125..1.5).contains(&overhead), "overhead {overhead}");
+    }
+}
+
+/// ECC Parity generalizes across underlying codes: the same memory model
+/// runs with the RAIM-style DIMM-kill code (R = 0.5) and survives a
+/// half-rank (DIMM) failure.
+#[test]
+fn raim_underlying_code_survives_dimm_kill_through_parity() {
+    let cfg = ParityConfig::small(5); // five logical channels, as Table II
+    let mut mem = ParityMemory::new(RaimParityCode::new(), cfg);
+    let mut rng = StdRng::seed_from_u64(5);
+    let loc = LineLoc {
+        bank: 0,
+        row: 1,
+        line: 2,
+    };
+    let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    mem.write(2, loc, &data).unwrap();
+    // Chips 0..9 form DIMM A: kill one whole chip of it across the bank.
+    mem.inject_fault(ecc_parity_repro::mem_faults::FaultInstance {
+        chip: ecc_parity_repro::mem_faults::ChipLocation {
+            channel: 2,
+            rank: 0,
+            chip: 4,
+        },
+        mode: FaultMode::SingleBank,
+        bank: 0,
+        row: 0,
+        line: 0,
+        pattern_seed: 777,
+    });
+    assert_eq!(mem.read(2, loc).unwrap(), data);
+    assert!(mem.stats().parity_reconstructions >= 1);
+}
+
+/// The simulator's energy accounting must respect physical orderings across
+/// schemes regardless of workload: 36 devices per access can never be
+/// cheaper in dynamic energy per access than 5 devices.
+#[test]
+fn dynamic_energy_per_access_ordering_is_physical() {
+    let w = WorkloadSpec::by_name("milc").unwrap();
+    let run = |id| {
+        let mut cfg = RunConfig::paper(SchemeConfig::build(id, SystemScale::QuadEquivalent), w);
+        cfg.cores = 2;
+        cfg.warmup_per_core = 2_000;
+        cfg.accesses_per_core = 6_000;
+        SimRunner::new(cfg).run()
+    };
+    let ck36 = run(SchemeId::Ck36);
+    let lot5p = run(SchemeId::Lot5Parity);
+    let per_access_36 = ck36.energy.dynamic_pj() / ck36.mem_requests as f64;
+    let per_access_5 = lot5p.energy.dynamic_pj() / lot5p.mem_requests as f64;
+    assert!(
+        per_access_36 > 3.0 * per_access_5,
+        "36 x4 chips/access must dwarf 5 wide chips: {per_access_36:.0} vs {per_access_5:.0} pJ"
+    );
+}
+
+/// Scheme glue consistency: inline schemes never emit ECC traffic; parity
+/// schemes emit matched read/write parity traffic; LOT/Multi emit
+/// write-only ECC traffic. (Checked across every scheme at once.)
+#[test]
+fn ecc_traffic_classes_hold_for_every_scheme() {
+    let w = WorkloadSpec::by_name("lbm").unwrap();
+    for id in SchemeId::ALL {
+        let built = SchemeConfig::build(id, SystemScale::QuadEquivalent);
+        let line_bytes = built.mem.line_bytes;
+        let mut cfg = RunConfig::paper(built, w);
+        cfg.cores = 2;
+        cfg.warmup_per_core = 3_000;
+        cfg.accesses_per_core = 6_000;
+        cfg.llc = Some(LlcConfig {
+            capacity_bytes: 128 * 1024,
+            ways: 16,
+            line_bytes,
+        });
+        let r = SimRunner::new(cfg).run();
+        match id {
+            SchemeId::Ck36 | SchemeId::Ck18 | SchemeId::Raim => {
+                assert_eq!(r.traffic.ecc_read_units + r.traffic.ecc_write_units, 0, "{id:?}");
+            }
+            SchemeId::Lot5 | SchemeId::Lot9 | SchemeId::MultiEcc => {
+                assert!(r.traffic.ecc_write_units > 0, "{id:?} must update ECC lines");
+                assert_eq!(r.traffic.ecc_read_units, 0, "{id:?} evictions are write-only");
+            }
+            SchemeId::Lot5Parity | SchemeId::RaimParity => {
+                assert!(r.traffic.ecc_read_units > 0, "{id:?} parity RMW reads");
+                assert_eq!(
+                    r.traffic.ecc_read_units, r.traffic.ecc_write_units,
+                    "{id:?} one read per write"
+                );
+            }
+        }
+    }
+}
+
+/// Full determinism across the whole stack: identical seeds produce
+/// identical energies, cycle counts, and traffic, even with rayon-style
+/// parallel invocation order differences.
+#[test]
+fn whole_stack_determinism() {
+    let w = WorkloadSpec::by_name("canneal").unwrap();
+    let mk = || {
+        let mut cfg = RunConfig::paper(
+            SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::DualEquivalent),
+            w,
+        );
+        cfg.cores = 3;
+        cfg.warmup_per_core = 2_000;
+        cfg.accesses_per_core = 4_000;
+        cfg.core_config = CoreConfig::default();
+        SimRunner::new(cfg).run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.energy, b.energy);
+    assert_eq!(a.instructions, b.instructions);
+}

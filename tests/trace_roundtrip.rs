@@ -1,0 +1,32 @@
+//! Cross-crate test: trace record -> save -> load -> replay equals live.
+
+use ecc_parity_repro::mem_sim::{
+    RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, Trace, WorkloadSpec,
+};
+
+#[test]
+fn trace_file_roundtrip_reproduces_simulation() {
+    let w = WorkloadSpec::by_name("ferret").unwrap();
+    let built = SchemeConfig::build(SchemeId::RaimParity, SystemScale::QuadEquivalent);
+    let mut live_cfg = RunConfig::paper(built, w);
+    live_cfg.cores = 2;
+    live_cfg.warmup_per_core = 1_000;
+    live_cfg.accesses_per_core = 2_500;
+    let live = SimRunner::new(live_cfg.clone()).run();
+
+    // Record, persist to disk, reload, replay.
+    let trace = Trace::record(w, 2, 3_500, live_cfg.seed);
+    let dir = std::env::temp_dir().join("eccparity_root_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ferret.jsonl");
+    trace.save_jsonl(&path).unwrap();
+    let reloaded = Trace::load_jsonl(&path).unwrap();
+    assert_eq!(trace, reloaded);
+
+    let mut replay_cfg = live_cfg;
+    replay_cfg.trace = Some(reloaded);
+    let replay = SimRunner::new(replay_cfg).run();
+    assert_eq!(live.cycles, replay.cycles);
+    assert_eq!(live.energy, replay.energy);
+    assert_eq!(live.traffic, replay.traffic);
+}
