@@ -17,7 +17,7 @@ fn benches(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(3);
             let mut t = 0u64;
             for _ in 0..n {
-                t += rng.gen_range(0..8);
+                t += rng.gen_range(0..8u64);
                 black_box(sys.submit(MemRequest {
                     line_addr: rng.gen_range(0..1_000_000),
                     is_write: rng.gen_bool(0.3),

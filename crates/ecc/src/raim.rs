@@ -398,7 +398,7 @@ mod tests {
         for _ in 0..30 {
             let data = line128(&mut rng);
             let cw = r.encode(&data);
-            let chip = rng.gen_range(0..32); // a data chip
+            let chip = rng.gen_range(0..32usize); // a data chip
             let dimm = chip / 8;
             let off = dimm * 32 + (chip % 8) * 4;
             let mut noisy = data.clone();

@@ -378,7 +378,7 @@ mod tests {
             // plus locator-degree check makes silent corruption of *data*
             // without valid-codeword result impossible.
             for p in [3usize, 17, 29] {
-                cw[p] ^= rng.gen_range(1..=255);
+                cw[p] ^= rng.gen_range(1..=255u8);
             }
             match rs.decode(&mut cw, &[], None) {
                 Err(RsError::DetectedUncorrectable) => {
@@ -419,8 +419,8 @@ mod tests {
             while p2 == p1 {
                 p2 = rng.gen_range(0..cw.len());
             }
-            cw[p1] ^= rng.gen_range(1..=255);
-            cw[p2] ^= rng.gen_range(1..=255);
+            cw[p1] ^= rng.gen_range(1..=255u8);
+            cw[p2] ^= rng.gen_range(1..=255u8);
             assert_eq!(
                 rs.decode(&mut cw, &[], Some(1)),
                 Err(RsError::DetectedUncorrectable),
@@ -469,7 +469,7 @@ mod tests {
             let mut cw = data.clone();
             cw.extend(rs.encode(&data));
             let clean = cw.clone();
-            cw[5] ^= rng.gen_range(1..=255);
+            cw[5] ^= rng.gen_range(1..=255u8);
             cw[9] = rng.gen();
             cw[20] = rng.gen();
             rs.decode(&mut cw, &[9, 20], None).unwrap();

@@ -1,0 +1,238 @@
+//! Offline shim implementing the subset of `criterion` this workspace
+//! uses: `Criterion::benchmark_group` / `bench_function`, `Bencher::iter`,
+//! `black_box`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs batches
+//! whose size doubles until a batch exceeds the measurement window
+//! (`CRITERION_SHIM_MS` per benchmark, default 300 ms), and reports the
+//! best observed ns/iter (minimum over batches — robust to scheduler
+//! noise). If `CRITERION_SHIM_JSON` names a file, all results from the
+//! process are appended there as one JSON object per run, which the
+//! repo's `BENCH_gf_kernels.json` workflow consumes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    ns_per_iter: f64,
+    throughput: Option<Throughput>,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        self.run_one(id, None, f);
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            best_ns_per_iter: f64::INFINITY,
+            window: measurement_window(),
+        };
+        f(&mut bencher);
+        let ns = bencher.best_ns_per_iter;
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(b) => format!(" ({:.1} MiB/s)", b as f64 / ns * 953.674_316),
+            Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / ns * 1000.0),
+        });
+        println!(
+            "bench: {id:<48} {ns:>14.1} ns/iter{}",
+            rate.unwrap_or_default()
+        );
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: ns,
+            throughput,
+        });
+    }
+
+    fn dump_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let tp = match r.throughput {
+                Some(Throughput::Bytes(b)) => format!(",\"throughput_bytes\":{b}"),
+                Some(Throughput::Elements(n)) => format!(",\"throughput_elements\":{n}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  \"{}\": {{\"ns_per_iter\":{}{tp}}}",
+                r.id.replace('"', "'"),
+                r.ns_per_iter
+            ));
+        }
+        out.push_str("\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn measurement_window() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, f);
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    best_ns_per_iter: f64,
+    window: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup: run a few iterations so lazy tables/caches settle.
+        let warmup_until = Instant::now() + self.window / 10;
+        while Instant::now() < warmup_until {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.window;
+        let mut batch: u64 = 1;
+        let mut best = f64::INFINITY;
+        let mut measured_once = false;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            // Only trust batches long enough for timer resolution.
+            if elapsed >= Duration::from_micros(200) {
+                measured_once = true;
+                best = best.min(elapsed.as_nanos() as f64 / batch as f64);
+            }
+            if Instant::now() >= deadline && measured_once {
+                break;
+            }
+            if elapsed < Duration::from_millis(20) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        self.best_ns_per_iter = self.best_ns_per_iter.min(best);
+    }
+}
+
+/// Runs registered benchmark functions; matches upstream's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new_from_env();
+            $( $target(&mut criterion); )+
+            criterion.finish_process();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Used by `criterion_group!`: honors a `--bench <filter>`-style first
+    /// CLI argument the way `cargo bench -- <filter>` passes it through.
+    pub fn new_from_env() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            results: Vec::new(),
+            filter,
+        }
+    }
+
+    pub fn finish_process(&self) {
+        self.dump_json();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::remove_var("CRITERION_SHIM_JSON");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("sum", |b| {
+                b.iter(|| (0..100u64).sum::<u64>());
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter.is_finite());
+        assert!(c.results[0].ns_per_iter > 0.0);
+    }
+}

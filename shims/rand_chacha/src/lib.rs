@@ -1,0 +1,133 @@
+//! Offline shim providing `ChaCha8Rng`: a genuine ChaCha (8 rounds)
+//! stream keyed from a 32-byte seed, zero nonce, 64-bit block counter.
+//! Implements the workspace `rand` shim's `RngCore`/`SeedableRng`.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, matching the upstream type name.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word index in `buf`; 16 means "refill".
+    pos: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16]: nonce, fixed at zero.
+        let initial = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, init) in state.iter_mut().zip(initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buf = state;
+        self.pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *word = u32::from_le_bytes(b);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            pos: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xECC);
+        let mut b = ChaCha8Rng::seed_from_u64(0xECC);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v: u8 = rng.gen_range(1..=255);
+        assert!(v >= 1);
+        let _: f64 = rng.gen();
+    }
+}

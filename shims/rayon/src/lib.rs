@@ -1,0 +1,185 @@
+//! Offline shim implementing the subset of `rayon`'s parallel-iterator
+//! API this workspace uses: `into_par_iter()` / `par_iter()` followed by
+//! `.map(...)` and a terminal `.collect()` / `.sum()` / `.reduce(...)`.
+//!
+//! Work is statically partitioned into contiguous chunks across
+//! `available_parallelism()` scoped OS threads; results are reassembled
+//! in input order, so terminal operations are order-preserving exactly
+//! like rayon's indexed parallel iterators. Simulation cells in this
+//! repo are coarse (milliseconds to seconds each), so static chunking
+//! loses little to rayon's work stealing.
+
+use std::ops::Range;
+
+/// A materialized sequence awaiting a `.map(...)`.
+pub struct ParSeq<T> {
+    items: Vec<T>,
+}
+
+/// A mapped sequence awaiting a terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParSeq<T> {
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        run_ordered(self.items, self.f).into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        run_ordered(self.items, self.f).into_iter().sum()
+    }
+
+    pub fn reduce(self, identity: impl Fn() -> U, op: impl Fn(U, U) -> U) -> U {
+        run_ordered(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let base = n / threads;
+    let extra = n % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        chunks.push(it.by_ref().take(len).collect());
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            // Propagate worker panics, as rayon does.
+            out.extend(h.join().unwrap());
+        }
+        out
+    })
+}
+
+/// `collection.into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParSeq<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParSeq<T> {
+        ParSeq { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParSeq<&'a T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParSeq<&'a T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParSeq<$t> {
+                ParSeq { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+/// `collection.par_iter()` for slices (arrays and `Vec` coerce).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParSeq<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParSeq<&'data T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let names = ["a", "bb", "ccc"];
+        let lens: Vec<usize> = names.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sum_and_reduce() {
+        let s: u64 = (0u64..100).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 4950);
+        let r = (0u64..100)
+            .into_par_iter()
+            .map(|i| i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 4950);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Hand-rolled token parsing (no syn/quote): supports exactly the item
+//! shapes this workspace derives on — non-generic named-field structs,
+//! tuple structs, unit structs, and enums whose variants are unit or
+//! named-field. Unsupported shapes (generics, tuple variants with
+//! attributes we don't understand, `#[serde(...)]` attributes) panic at
+//! expansion time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Named { name: String, fields: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (item `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Field names of a `{ ... }` body, skipping attributes, visibility, and
+/// type tokens (tracking `<`/`>` depth so commas inside generics don't
+/// split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+                }
+                // Skip the type up to a top-level comma.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde shim derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple-struct body (top-level comma count, attribute-aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        variants.push(Variant::Named {
+                            name: vname,
+                            fields: parse_named_fields(g.stream()),
+                        });
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde shim derive: tuple enum variant `{vname}` is not supported"
+                        );
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        panic!(
+                            "serde shim derive: explicit discriminant on `{vname}` not supported"
+                        );
+                    }
+                    _ => variants.push(Variant::Unit(vname)),
+                }
+            }
+            other => panic!("serde shim derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                    ),
+                    Variant::Named { name: vn, fields } => {
+                        let binds = fields.join(", ");
+                        let pairs: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (String::from(\"{vn}\"), ::serde::Value::Object(vec![{pairs}]))\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(obj, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let items = v.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return Err(::serde::Error::custom(\"wrong arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!("\"{vn}\" => Ok({name}::{vn}),")),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Named { name: vn, fields } => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(obj, \"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => {{\n\
+                                 let obj = payload.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object payload\"))?;\n\
+                                 Ok({name}::{vn} {{ {inits} }})\n\
+                             }}"
+                        ))
+                    }
+                    _ => None,
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, payload) = &pairs[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::custom(\"bad value for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
