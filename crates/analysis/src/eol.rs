@@ -61,13 +61,12 @@ pub fn retired_pages_of_history(geo: &SystemGeometry, events: &[FaultEvent]) -> 
 pub fn fig8_point(channels: usize, trials: usize, seed: u64) -> Fig8Point {
     let geo = SystemGeometry::paper_reliability().with_channels(channels);
     let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE);
-    let mut samples: Vec<(f64, u64)> = sim
-        .run_trials(trials, seed, |events| {
-            (
-                faulty_fraction_of_history(&geo, events),
-                retired_pages_of_history(&geo, events),
-            )
-        });
+    let mut samples: Vec<(f64, u64)> = sim.run_trials(trials, seed, |events| {
+        (
+            faulty_fraction_of_history(&geo, events),
+            retired_pages_of_history(&geo, events),
+        )
+    });
     let mean = samples.iter().map(|s| s.0).sum::<f64>() / trials as f64;
     let mean_retired = samples.iter().map(|s| s.1 as f64).sum::<f64>() / trials as f64;
     samples.sort_by(|a, b| a.0.total_cmp(&b.0));

@@ -135,7 +135,7 @@ mod tests {
         let mc = simulate_stall_fraction(&cfg, 600, 17);
         assert!(
             (mc - analytic).abs() < 0.15 * analytic,
-             "MC {mc} vs analytic {analytic}"
+            "MC {mc} vs analytic {analytic}"
         );
     }
 

@@ -34,7 +34,10 @@ pub use channel_mtbf::{analytic_mtbf_hours, fig2_series};
 pub use eol::{fig8_point, Fig8Point};
 pub use hpc::{hpc_stall_fraction, HpcConfig};
 pub use mixed_ranks::{evaluate as evaluate_mixed_ranks, MixedRankDesign, MixedRankOutcome};
-pub use scrub::{analytic_window_probability, fig18_series, scrub_bandwidth_fraction, years_per_extra_uncorrectable};
+pub use scrub::{
+    analytic_window_probability, fig18_series, scrub_bandwidth_fraction,
+    years_per_extra_uncorrectable,
+};
 pub use undetect::undetectable_years_estimate;
 
 /// Seconds in the paper's seven-year lifetime (shared by the §VI analyses).

@@ -1,11 +1,11 @@
 //! Property-based tests of the reliability/capacity analyses.
 
+use ecc_codes::OverheadModel;
 use mem_faults::SystemGeometry;
 use proptest::prelude::*;
 use resilience_analysis::capacity::table3_rows;
 use resilience_analysis::scrub::{analytic_window_probability, scrub_bandwidth_fraction};
 use resilience_analysis::{analytic_mtbf_hours, hpc_stall_fraction, HpcConfig};
-use ecc_codes::OverheadModel;
 
 proptest! {
     #[test]

@@ -46,5 +46,91 @@ fn benches(c: &mut Criterion) {
     bench_codec(c, "raim", &Raim::new());
 }
 
-criterion_group!(codecs, benches);
+/// Old-vs-new GF(2^8) kernels: the exp/log multiply the codecs used to run
+/// on, against the flat 64 KiB table (and, for RS syndromes, the
+/// precomputed per-root contexts). The baselines are kept callable exactly
+/// so this comparison stays honest as the kernels evolve.
+fn bench_gf_kernels(c: &mut Criterion) {
+    use ecc_codes::gf::{Field, Gf256};
+    use ecc_codes::rs::ReedSolomon;
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let pairs: Vec<(u8, u8)> = (0..65536).map(|_| (rng.gen(), rng.gen())).collect();
+
+    let mut g = c.benchmark_group("gf256_mul");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("exp_log_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in black_box(&pairs) {
+                acc ^= Gf256::mul_exp_log(x, y);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("flat_table_kernel", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in black_box(&pairs) {
+                acc ^= Gf256::mul(x, y);
+            }
+            black_box(acc)
+        })
+    });
+    // The shape the codecs actually run: a fixed multiplier (genpoly
+    // coefficient / root power) against a stream of variable operands.
+    let coeff = 0x5au8;
+    g.bench_function("exp_log_fixed_multiplier", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, _) in black_box(&pairs) {
+                acc ^= Gf256::mul_exp_log(coeff, x);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("ctx_row_fixed_multiplier", |b| {
+        let ctx = Gf256::mul_ctx(coeff);
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, _) in black_box(&pairs) {
+                acc ^= Gf256::ctx_mul(ctx, x);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    let rs: ReedSolomon<Gf256> = ReedSolomon::new(4);
+    let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    // `encode` returns the check symbols; the codeword is data ++ parity.
+    let mut cw = data.clone();
+    cw.extend(rs.encode(&data));
+
+    let mut g = c.benchmark_group("rs_syndrome");
+    g.throughput(Throughput::Elements(cw.len() as u64));
+    g.bench_function("exp_log_horner_baseline", |b| {
+        // The pre-optimization syndrome loop: alpha^j hoisted, every
+        // multiply through exp/log.
+        b.iter(|| {
+            let cw = black_box(&cw);
+            let mut out = [0u8; 4];
+            for (j, o) in out.iter_mut().enumerate() {
+                let a = Gf256::alpha_pow(j as i64);
+                let mut acc = 0u8;
+                for &s in cw {
+                    acc = Gf256::add(Gf256::mul_exp_log(acc, a), s);
+                }
+                *o = acc;
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("precomputed_ctx", |b| {
+        b.iter(|| black_box(rs.syndromes(black_box(&cw))))
+    });
+    g.finish();
+}
+
+criterion_group!(codecs, benches, bench_gf_kernels);
 criterion_main!(codecs);

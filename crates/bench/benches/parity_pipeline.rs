@@ -37,7 +37,11 @@ fn benches(c: &mut Criterion) {
     g.bench_function("read_clean", |b| {
         let mut m = mem8();
         let data = vec![7u8; 64];
-        let loc = LineLoc { bank: 1, row: 2, line: 3 };
+        let loc = LineLoc {
+            bank: 1,
+            row: 2,
+            line: 3,
+        };
         m.write(2, loc, &data).unwrap();
         b.iter(|| black_box(m.read(2, loc).unwrap()))
     });
@@ -55,7 +59,11 @@ fn benches(c: &mut Criterion) {
             }
         }
         m.inject_fault(FaultInstance {
-            chip: ChipLocation { channel: 3, rank: 0, chip: 1 },
+            chip: ChipLocation {
+                channel: 3,
+                rank: 0,
+                chip: 1,
+            },
             mode: FaultMode::SingleBank,
             bank: 2,
             row: 0,
@@ -85,10 +93,26 @@ fn benches(c: &mut Criterion) {
         for c in 0..8 {
             for bank in 0..4 {
                 let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
-                m.write(c, LineLoc { bank, row: 0, line: 0 }, &data).unwrap();
+                m.write(
+                    c,
+                    LineLoc {
+                        bank,
+                        row: 0,
+                        line: 0,
+                    },
+                    &data,
+                )
+                .unwrap();
             }
         }
-        let g0 = m.layout().group_of(0, &LineLoc { bank: 0, row: 0, line: 0 });
+        let g0 = m.layout().group_of(
+            0,
+            &LineLoc {
+                bank: 0,
+                row: 0,
+                line: 0,
+            },
+        );
         b.iter(|| black_box(m.compute_parity_from_scratch(&g0)))
     });
     g.finish();

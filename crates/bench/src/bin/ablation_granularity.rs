@@ -34,7 +34,11 @@ fn main() {
     let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE);
     let trials = if fast_mode() { 5_000 } else { 30_000 };
     let mut rows = vec![];
-    for (label, gran_banks) in [("per bank", 1usize), ("bank pair (paper)", 2), ("per rank", 8)] {
+    for (label, gran_banks) in [
+        ("per bank", 1usize),
+        ("bank pair (paper)", 2),
+        ("per rank", 8),
+    ] {
         let total_banks = geo.channels * geo.ranks_per_channel * geo.banks_per_chip;
         let fractions = sim.run_trials(trials, 99, |events| {
             let mut marked: HashSet<(usize, usize, usize)> = HashSet::new();
@@ -42,8 +46,7 @@ fn main() {
                 let n = banks_marked(e.fault.mode, gran_banks);
                 for k in 0..n {
                     let unit = (e.fault.bank as usize + k) % geo.banks_per_chip
-                        + ((e.fault.chip.rank + k / geo.banks_per_chip)
-                            % geo.ranks_per_channel)
+                        + ((e.fault.chip.rank + k / geo.banks_per_chip) % geo.ranks_per_channel)
                             * geo.banks_per_chip;
                     marked.insert((e.fault.chip.channel, unit / gran_banks, gran_banks));
                 }
@@ -63,7 +66,12 @@ fn main() {
     }
     print_table(
         "Ablation — health-table granularity (8-chan LOT-ECC5 + ECC Parity)",
-        &["granularity", "SRAM", "EOL migrated fraction", "EOL capacity overhead"],
+        &[
+            "granularity",
+            "SRAM",
+            "EOL migrated fraction",
+            "EOL capacity overhead",
+        ],
         &rows,
     );
     println!(

@@ -4,8 +4,8 @@
 //! the latter wastes the bank-level parallelism close-page depends on.
 
 use dram_sim::MapPolicy;
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
@@ -15,9 +15,10 @@ fn main() {
         .map(|&name| {
             let w = WorkloadSpec::by_name(name).unwrap();
             let run = |policy| {
-                let mut scheme = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
+                let mut scheme =
+                    SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
                 scheme.mem.map_policy = policy;
-                SimRunner::new(cell_config(scheme, w)).run()
+                cached_run(&cell_config(scheme, w))
             };
             let hp = run(MapPolicy::HighPerformance);
             let rl = run(MapPolicy::RowLocality);
@@ -25,14 +26,24 @@ fn main() {
                 name.to_string(),
                 format!("{}", hp.cycles),
                 format!("{}", rl.cycles),
-                format!("{:.1}%", (rl.cycles as f64 / hp.cycles as f64 - 1.0) * 100.0),
+                format!(
+                    "{:.1}%",
+                    (rl.cycles as f64 / hp.cycles as f64 - 1.0) * 100.0
+                ),
                 format!("{:.1} / {:.1}", hp.avg_mem_latency, rl.avg_mem_latency),
             ]
         })
         .collect();
     print_table(
         "Ablation — intra-channel mapping (LOT-ECC5 + ECC Parity, quad-equivalent)",
-        &["workload", "high-perf cycles", "row-local cycles", "slowdown", "avg latency (hp/rl)"],
+        &[
+            "workload",
+            "high-perf cycles",
+            "row-local cycles",
+            "slowdown",
+            "avg latency (hp/rl)",
+        ],
         &results,
     );
+    print_cache_summary();
 }

@@ -5,8 +5,8 @@
 //! standby, forfeiting the sleep residency the energy results rest on.
 
 use dram_sim::RowPolicy;
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
                 let mut scheme =
                     SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
                 scheme.mem.row_policy = policy;
-                SimRunner::new(cell_config(scheme, w)).run()
+                cached_run(&cell_config(scheme, w))
             };
             let close = run(RowPolicy::ClosePage);
             let open = run(RowPolicy::OpenPage);
@@ -33,7 +33,10 @@ fn main() {
                     close.background_epi_pj(),
                     open.background_epi_pj()
                 ),
-                format!("{:+.1}%", (close.cycles as f64 / open.cycles as f64 - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (close.cycles as f64 / open.cycles as f64 - 1.0) * 100.0
+                ),
             ]
         })
         .collect();
@@ -53,4 +56,5 @@ fn main() {
         "\nthe close-page choice trades row-hit latency for sleep residency; \
          with many small ranks the background savings dominate (paper §IV-B)."
     );
+    print_cache_summary();
 }

@@ -5,8 +5,8 @@
 //! buys — and why deferred ECC-parity writes are harmless in a real
 //! controller but poisonous under FIFO (head-of-line blocking).
 
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
             let run = |strict| {
                 let mut scheme = SchemeConfig::build(*id, SystemScale::QuadEquivalent);
                 scheme.mem.strict_fifo = strict;
-                SimRunner::new(cell_config(scheme, w)).run()
+                cached_run(&cell_config(scheme, w))
             };
             let reorder = run(false);
             let fifo = run(true);
@@ -32,14 +32,26 @@ fn main() {
                 label.to_string(),
                 format!("{}", reorder.cycles),
                 format!("{}", fifo.cycles),
-                format!("{:+.1}%", (fifo.cycles as f64 / reorder.cycles as f64 - 1.0) * 100.0),
-                format!("{:.0} / {:.0}", reorder.avg_mem_latency, fifo.avg_mem_latency),
+                format!(
+                    "{:+.1}%",
+                    (fifo.cycles as f64 / reorder.cycles as f64 - 1.0) * 100.0
+                ),
+                format!(
+                    "{:.0} / {:.0}",
+                    reorder.avg_mem_latency, fifo.avg_mem_latency
+                ),
             ]
         })
         .collect();
     print_table(
         "Ablation — controller reordering vs strict FIFO (quad-equivalent)",
-        &["cell", "reorder cycles", "FIFO cycles", "FIFO slowdown", "avg latency (re/fifo)"],
+        &[
+            "cell",
+            "reorder cycles",
+            "FIFO cycles",
+            "FIFO slowdown",
+            "avg latency (re/fifo)",
+        ],
         &rows,
     );
     println!(
@@ -49,4 +61,5 @@ fn main() {
          the one-rank 36-device organization suffers most, and all of the \
          paper's comparative results presume a reordering controller."
     );
+    print_cache_summary();
 }

@@ -65,7 +65,13 @@ fn main() {
     }
     print_table(
         "Ablation — error-counter threshold (bank fault in one channel)",
-        &["threshold", "scrubs to migrate", "pages retired", "migrations", "capacity overhead"],
+        &[
+            "threshold",
+            "scrubs to migrate",
+            "pages retired",
+            "migrations",
+            "capacity overhead",
+        ],
         &rows,
     );
     println!(

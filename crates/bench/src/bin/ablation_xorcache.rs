@@ -3,8 +3,8 @@
 //! old data value when the LLC can't supply it); with it, deltas accumulate
 //! in the LLC and only XOR-cacheline evictions touch memory.
 
-use eccparity_bench::{cell_config, print_table, workloads};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table, workloads};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale};
 use rayon::prelude::*;
 
 fn main() {
@@ -12,9 +12,8 @@ fn main() {
     let results: Vec<(String, f64, f64, f64)> = workloads()
         .into_par_iter()
         .map(|w| {
-            let r = SimRunner::new(cell_config(scheme.clone(), w)).run();
-            let cached_overhead =
-                (r.traffic.ecc_read_units + r.traffic.ecc_write_units) as f64;
+            let r = cached_run(&cell_config(scheme.clone(), *w));
+            let cached_overhead = (r.traffic.ecc_read_units + r.traffic.ecc_write_units) as f64;
             // Uncompacted: each data writeback performs one parity read +
             // one parity write (equation (1) per line).
             let naive_overhead = 2.0 * r.traffic.data_write_units as f64;
@@ -45,4 +44,5 @@ fn main() {
     );
     let avg: f64 = results.iter().map(|r| r.3).sum::<f64>() / results.len() as f64;
     println!("\naverage parity-update traffic reduction from compaction: {avg:.1}x");
+    print_cache_summary();
 }

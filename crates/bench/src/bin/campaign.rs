@@ -30,7 +30,12 @@ struct Tally {
     silent: u64,
 }
 
-fn random_fault(rng: &mut StdRng, cfg: &ParityConfig, mode: FaultMode, channel: usize) -> FaultInstance {
+fn random_fault(
+    rng: &mut StdRng,
+    cfg: &ParityConfig,
+    mode: FaultMode,
+    channel: usize,
+) -> FaultInstance {
     FaultInstance {
         chip: ChipLocation {
             channel,

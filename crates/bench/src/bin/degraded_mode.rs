@@ -6,8 +6,8 @@
 //! The paper argues the overall impact is small because only the faulty
 //! region pays, and its ECC lines cache well — this binary quantifies that.
 
-use eccparity_bench::{cell_config, print_table, workloads};
-use mem_sim::{DegradedConfig, SchemeConfig, SchemeId, SimRunner, SystemScale};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table, workloads};
+use mem_sim::{DegradedConfig, SchemeConfig, SchemeId, SystemScale};
 use rayon::prelude::*;
 
 fn main() {
@@ -15,12 +15,15 @@ fn main() {
     let rows: Vec<Vec<String>> = workloads()
         .into_par_iter()
         .map(|w| {
-            let mut healthy_cfg = cell_config(scheme.clone(), w);
+            let mut healthy_cfg = cell_config(scheme.clone(), *w);
             let mut degraded_cfg = healthy_cfg.clone();
             healthy_cfg.degraded = None;
-            degraded_cfg.degraded = Some(DegradedConfig { channel: 0, pair: 0 });
-            let h = SimRunner::new(healthy_cfg).run();
-            let d = SimRunner::new(degraded_cfg).run();
+            degraded_cfg.degraded = Some(DegradedConfig {
+                channel: 0,
+                pair: 0,
+            });
+            let h = cached_run(&healthy_cfg);
+            let d = cached_run(&degraded_cfg);
             vec![
                 w.name.to_string(),
                 format!("{:.2}%", (d.cycles as f64 / h.cycles as f64 - 1.0) * 100.0),
@@ -34,7 +37,12 @@ fn main() {
         .collect();
     print_table(
         "Degraded mode — one migrated bank pair (LOT-ECC5+Parity, quad-equivalent)",
-        &["workload", "runtime overhead", "EPI overhead", "step-B/D traffic share"],
+        &[
+            "workload",
+            "runtime overhead",
+            "EPI overhead",
+            "step-B/D traffic share",
+        ],
         &rows,
     );
     println!(
@@ -42,4 +50,5 @@ fn main() {
          the most expensive added step, but its cost is confined to the \
          faulty pair's share of traffic."
     );
+    print_cache_summary();
 }

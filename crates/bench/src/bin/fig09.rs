@@ -2,8 +2,8 @@
 //! commercial ECC memory system (the paper's workload characterization; all
 //! selected workloads consume at least 1% of total bandwidth).
 
-use eccparity_bench::{cell_config, print_table, workloads};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table, workloads};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale};
 use rayon::prelude::*;
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
     let mut results: Vec<(String, u8, f64, f64)> = workloads()
         .into_par_iter()
         .map(|w| {
-            let r = SimRunner::new(cell_config(scheme.clone(), w)).run();
+            let r = cached_run(&cell_config(scheme.clone(), *w));
             (
                 w.name.to_string(),
                 w.bin,
@@ -44,4 +44,5 @@ fn main() {
         "\npaper selection criterion: every workload uses >= 1% of bandwidth \
          (ours: minimum {min_util:.1}%); Bin2 = the eight highest access rates."
     );
+    print_cache_summary();
 }

@@ -12,9 +12,34 @@ fn main() {
         Metric::TotalEpi,
     );
     println!("\npaper averages (Bin1, Bin2):");
-    println!("  vs 36-dev     {:?}   ours ({:.1}, {:.1})", paper::FIG10_VS_CK36, sums[0].0, sums[0].1);
-    println!("  vs 18-dev     {:?}   ours ({:.1}, {:.1})", paper::FIG10_VS_CK18, sums[1].0, sums[1].1);
-    println!("  vs LOT-ECC9   {:?}   ours ({:.1}, {:.1})", paper::FIG10_VS_LOT9, sums[2].0, sums[2].1);
-    println!("  vs Multi-ECC  {:?}   ours ({:.1}, {:.1})", paper::FIG10_VS_MULTI, sums[3].0, sums[3].1);
-    println!("  RAIM+P vs RAIM{:?}   ours ({:.1}, {:.1})", paper::FIG10_RAIM, sums[5].0, sums[5].1);
+    println!(
+        "  vs 36-dev     {:?}   ours ({:.1}, {:.1})",
+        paper::FIG10_VS_CK36,
+        sums[0].0,
+        sums[0].1
+    );
+    println!(
+        "  vs 18-dev     {:?}   ours ({:.1}, {:.1})",
+        paper::FIG10_VS_CK18,
+        sums[1].0,
+        sums[1].1
+    );
+    println!(
+        "  vs LOT-ECC9   {:?}   ours ({:.1}, {:.1})",
+        paper::FIG10_VS_LOT9,
+        sums[2].0,
+        sums[2].1
+    );
+    println!(
+        "  vs Multi-ECC  {:?}   ours ({:.1}, {:.1})",
+        paper::FIG10_VS_MULTI,
+        sums[3].0,
+        sums[3].1
+    );
+    println!(
+        "  RAIM+P vs RAIM{:?}   ours ({:.1}, {:.1})",
+        paper::FIG10_RAIM,
+        sums[5].0,
+        sums[5].1
+    );
 }

@@ -2,19 +2,18 @@
 //! any single detection window (scrub interval) during a seven-year
 //! lifetime, for per-chip fault rates of 22/44/100 FIT.
 
-use eccparity_bench::{fast_mode, print_table};
-use resilience_analysis::{fig18_series, scrub_bandwidth_fraction, years_per_extra_uncorrectable};
-use resilience_analysis::scrub::analytic_window_probability;
+use eccparity_bench::print_table;
 use mem_faults::SystemGeometry;
+use resilience_analysis::scrub::analytic_window_probability;
+use resilience_analysis::{fig18_series, scrub_bandwidth_fraction, years_per_extra_uncorrectable};
 
 fn main() {
     let windows = [0.25, 1.0, 4.0, 8.0, 24.0, 72.0, 168.0];
     let fits = [22.0, 44.0, 100.0];
     // Monte Carlo at these rates needs enormous trial counts to resolve
     // 1e-4 probabilities; run it only as a sanity check at inflated rates in
-    // the test suite, and print the analytic curve here (plus MC if slow
-    // mode is acceptable to the caller).
-    let mc_trials = if fast_mode() { 0 } else { 0 };
+    // the test suite, and print the analytic curve here.
+    let mc_trials = 0;
     let series = fig18_series(&windows, &fits, mc_trials, 7);
     let mut rows = vec![];
     for &w in &windows {

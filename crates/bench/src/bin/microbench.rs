@@ -11,8 +11,8 @@
 //! credibility: if the simulator mishandled bandwidth or latency limits,
 //! it would show here first.
 
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 
 fn main() {
     let scheme = SchemeConfig::build(SchemeId::Ck18, SystemScale::QuadEquivalent);
@@ -25,7 +25,7 @@ fn main() {
             // dependent pointer chasing: one outstanding load at a time
             cfg.core_config.mlp = 1;
         }
-        let r = SimRunner::new(cfg).run();
+        let r = cached_run(&cfg);
         rows.push(vec![
             w.name.to_string(),
             format!("{:.2}", r.bandwidth_gbs()),
@@ -40,7 +40,14 @@ fn main() {
     }
     print_table(
         "Microbenchmark validation (18-device chipkill, quad-equivalent)",
-        &["microbench", "GB/s", "bus util", "avg latency", "bg energy share", "units/instr"],
+        &[
+            "microbench",
+            "GB/s",
+            "bus util",
+            "avg latency",
+            "bg energy share",
+            "units/instr",
+        ],
         &rows,
     );
     println!(
@@ -48,4 +55,5 @@ fn main() {
          MLP 1) -> near-unloaded latency, low utilization; cached -> ~zero \
          traffic, background-dominated energy."
     );
+    print_cache_summary();
 }

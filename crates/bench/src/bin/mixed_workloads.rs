@@ -4,8 +4,8 @@
 //! headline EPI reduction survives when Bin1 and Bin2 applications share
 //! the memory system.
 
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn mix(names: [&str; 8]) -> Vec<WorkloadSpec> {
@@ -19,15 +19,28 @@ fn main() {
     let mixes: Vec<(&str, [&str; 8])> = vec![
         (
             "half&half",
-            ["milc", "lbm", "canneal", "mcf", "sjeng", "omnetpp", "gcc", "astar"],
+            [
+                "milc", "lbm", "canneal", "mcf", "sjeng", "omnetpp", "gcc", "astar",
+            ],
         ),
         (
             "one-hog",
-            ["lbm", "sjeng", "gcc", "astar", "ferret", "facesim", "omnetpp", "soplex"],
+            [
+                "lbm", "sjeng", "gcc", "astar", "ferret", "facesim", "omnetpp", "soplex",
+            ],
         ),
         (
             "all-bin2",
-            ["milc", "lbm", "canneal", "mcf", "GemsFDTD", "leslie3d", "libquantum", "streamcluster"],
+            [
+                "milc",
+                "lbm",
+                "canneal",
+                "mcf",
+                "GemsFDTD",
+                "leslie3d",
+                "libquantum",
+                "streamcluster",
+            ],
         ),
     ];
     let rows: Vec<Vec<String>> = mixes
@@ -39,7 +52,7 @@ fn main() {
                     WorkloadSpec::by_name(names[0]).unwrap(),
                 );
                 cfg.per_core_workloads = Some(mix(*names));
-                SimRunner::new(cfg).run()
+                cached_run(&cfg)
             };
             let ck36 = run(SchemeId::Ck36);
             let ck18 = run(SchemeId::Ck18);
@@ -55,11 +68,18 @@ fn main() {
         .collect();
     print_table(
         "Extension — heterogeneous mixes (LOT-ECC5+Parity, quad-equivalent)",
-        &["mix", "EPI pJ", "EPI red. vs 36-dev", "vs 18-dev", "perf vs 36-dev"],
+        &[
+            "mix",
+            "EPI pJ",
+            "EPI red. vs 36-dev",
+            "vs 18-dev",
+            "perf vs 36-dev",
+        ],
         &rows,
     );
     println!(
         "\nthe paper's homogeneous-mix EPI reductions survive consolidation: \
          heterogeneous mixes land between the Bin1 and Bin2 averages."
     );
+    print_cache_summary();
 }

@@ -2,8 +2,8 @@
 //! Table II organization on one workload — the decomposition behind
 //! Figs 10-13 at full resolution.
 
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 use std::env;
 
@@ -17,7 +17,7 @@ fn main() {
         .par_iter()
         .map(|&id| {
             let cfg = cell_config(SchemeConfig::build(id, SystemScale::QuadEquivalent), w);
-            SimRunner::new(cfg).run()
+            cached_run(&cfg)
         })
         .collect();
     let rows: Vec<Vec<String>> = results
@@ -40,7 +40,9 @@ fn main() {
         .collect();
     print_table(
         &format!("Energy profile on {wname} (pJ/instruction, quad-equivalent)"),
-        &["scheme", "ACT", "RD", "WR", "REF", "bgACT", "bgSTBY", "bgSLEEP", "total"],
+        &[
+            "scheme", "ACT", "RD", "WR", "REF", "bgACT", "bgSTBY", "bgSLEEP", "total",
+        ],
         &rows,
     );
     println!(
@@ -48,4 +50,5 @@ fn main() {
          energy in ACT (36-45 chips per access); the ECC Parity rows shift \
          the profile toward background, most of it in cheap sleep residency."
     );
+    print_cache_summary();
 }

@@ -40,7 +40,16 @@ fn main() {
     }
     print_table(
         "probe (quad-equivalent)",
-        &["workload", "scheme", "EPI pJ", "dynEPI", "bgEPI", "units/instr", "cycles", "GB/s"],
+        &[
+            "workload",
+            "scheme",
+            "EPI pJ",
+            "dynEPI",
+            "bgEPI",
+            "units/instr",
+            "cycles",
+            "GB/s",
+        ],
         &rows,
     );
 
@@ -48,7 +57,13 @@ fn main() {
     for w in ["milc", "sjeng"] {
         let p = &m[&(SchemeId::Lot5Parity, w)];
         println!("\n-- {w} --");
-        for s in [SchemeId::Ck36, SchemeId::Ck18, SchemeId::Lot9, SchemeId::MultiEcc, SchemeId::Lot5] {
+        for s in [
+            SchemeId::Ck36,
+            SchemeId::Ck18,
+            SchemeId::Lot9,
+            SchemeId::MultiEcc,
+            SchemeId::Lot5,
+        ] {
             let b = &m[&(s, w)];
             println!(
                 "LOT5+Parity vs {:<12?}: EPI {:+.1}%  units {:+.1}%  perf {:+.1}%",

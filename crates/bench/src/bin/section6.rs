@@ -2,12 +2,12 @@
 //! interpretation of the scrub analysis (VI-C), and the undetectable-error
 //! estimate for the RS-based encoding (VI-D).
 
+use mem_faults::SystemGeometry;
 use resilience_analysis::hpc::{hpc_stall_fraction, HpcConfig};
 use resilience_analysis::mixed_ranks::{evaluate as evaluate_mixed, MixedRankDesign};
 use resilience_analysis::scrub::analytic_window_probability;
 use resilience_analysis::undetect::{undetectable_years_estimate, UndetectConfig};
 use resilience_analysis::years_per_extra_uncorrectable;
-use mem_faults::SystemGeometry;
 
 fn main() {
     println!("== Section VI — system-level analyses ==\n");

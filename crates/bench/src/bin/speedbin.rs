@@ -9,8 +9,8 @@
 //! This binary reproduces both halves: the EPI cost of a 16% faster bin,
 //! and the runtime recovered on a bandwidth-hungry workload.
 
-use eccparity_bench::{cell_config, print_table};
-use mem_sim::{SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table};
+use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
                 let mut scheme =
                     SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
                 scheme.mem.speed_factor = factor;
-                SimRunner::new(cell_config(scheme, w)).run()
+                cached_run(&cell_config(scheme, w))
             };
             let base = run(1.0);
             let fast = run(1.16);
@@ -31,17 +31,27 @@ fn main() {
                 format!("{:.0}", base.epi_pj()),
                 format!("{:.0}", fast.epi_pj()),
                 format!("{:+.1}%", (fast.epi_pj() / base.epi_pj() - 1.0) * 100.0),
-                format!("{:+.1}%", (base.cycles as f64 / fast.cycles as f64 - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (base.cycles as f64 / fast.cycles as f64 - 1.0) * 100.0
+                ),
             ]
         })
         .collect();
     print_table(
         "§V-D — 16% faster speed bin (LOT-ECC5 + ECC Parity, quad-equivalent)",
-        &["workload", "EPI base", "EPI fast bin", "EPI cost", "runtime gain"],
+        &[
+            "workload",
+            "EPI base",
+            "EPI fast bin",
+            "EPI cost",
+            "runtime gain",
+        ],
         &rows,
     );
     println!(
         "\npaper anchor: a 16% faster bin costs ~5% memory EPI — small \
          against the ~49% reduction vs the 18-device baseline."
     );
+    print_cache_summary();
 }

@@ -8,7 +8,10 @@ fn main() {
     let rows = vec![
         vec!["Issue width".into(), c.issue_width.to_string()],
         vec!["Type".into(), "OoO (bounded-MLP model)".into()],
-        vec!["LSQ size".into(), format!("{}LQ/{}SQ", c.lq_size, c.sq_size)],
+        vec![
+            "LSQ size".into(),
+            format!("{}LQ/{}SQ", c.lq_size, c.sq_size),
+        ],
         vec!["ROB size".into(), c.rob_size.to_string()],
         vec!["L1 line size".into(), "64B".into()],
         vec!["L1 D$, I$".into(), format!("{} KB", c.l1_bytes / 1024)],
@@ -18,5 +21,9 @@ fn main() {
         vec!["Clock".into(), format!("{} GHz", c.freq_ghz)],
         vec!["MLP window".into(), format!("{} fills", c.mlp)],
     ];
-    print_table("Table I — processor microarchitecture", &["parameter", "value"], &rows);
+    print_table(
+        "Table I — processor microarchitecture",
+        &["parameter", "value"],
+        &rows,
+    );
 }

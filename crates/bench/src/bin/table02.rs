@@ -20,7 +20,14 @@ fn main() {
     }
     print_table(
         "Table II — evaluated ECC organizations (dual-, quad-equivalent)",
-        &["scheme", "rank", "line", "ranks/chan", "logical channels", "total pins"],
+        &[
+            "scheme",
+            "rank",
+            "line",
+            "ranks/chan",
+            "logical channels",
+            "total pins",
+        ],
         &rows,
     );
 }

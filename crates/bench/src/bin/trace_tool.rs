@@ -10,9 +10,7 @@
 //! Replay accepts traces produced elsewhere too: one JSON object per line,
 //! `{"core":0,"line":123,"is_write":false,"gap_instr":25}`.
 
-use mem_sim::{
-    RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, Trace, WorkloadSpec,
-};
+use mem_sim::{RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, Trace, WorkloadSpec};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
@@ -43,10 +41,17 @@ fn main() -> ExitCode {
             };
             let cores: usize = f.get("cores").and_then(|v| v.parse().ok()).unwrap_or(8);
             let refs: usize = f.get("refs").and_then(|v| v.parse().ok()).unwrap_or(50_000);
-            let out = f.get("out").cloned().unwrap_or_else(|| format!("{wname}.jsonl"));
+            let out = f
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| format!("{wname}.jsonl"));
             let t = Trace::record(spec, cores, refs, 0xECC_9A817);
             t.save_jsonl(Path::new(&out)).expect("write trace");
-            println!("recorded {} refs ({} cores) to {out}", t.total_refs(), t.cores());
+            println!(
+                "recorded {} refs ({} cores) to {out}",
+                t.total_refs(),
+                t.cores()
+            );
         }
         Some("inspect") => {
             let path = f.get("trace").expect("--trace <file>");
@@ -87,10 +92,8 @@ fn main() -> ExitCode {
             };
             let cores = t.cores();
             let per_core = t.per_core[0].len();
-            let mut cfg = RunConfig::paper(
-                SchemeConfig::build(scheme, scale),
-                WorkloadSpec::all()[0],
-            );
+            let mut cfg =
+                RunConfig::paper(SchemeConfig::build(scheme, scale), WorkloadSpec::all()[0]);
             cfg.cores = cores;
             cfg.warmup_per_core = (per_core / 3).min(50_000);
             cfg.accesses_per_core = (per_core - cfg.warmup_per_core).min(100_000);
@@ -99,7 +102,11 @@ fn main() -> ExitCode {
             println!("scheme   : {}", r.scheme_name);
             println!("EPI      : {:.1} pJ/instr", r.epi_pj());
             println!("traffic  : {:.4} units/instr", r.units_per_instruction());
-            println!("runtime  : {} cycles, {:.2} GB/s", r.cycles, r.bandwidth_gbs());
+            println!(
+                "runtime  : {} cycles, {:.2} GB/s",
+                r.cycles,
+                r.bandwidth_gbs()
+            );
         }
         _ => {
             eprintln!("usage: trace_tool <record|inspect|replay> [--flags]");

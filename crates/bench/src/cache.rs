@@ -1,0 +1,221 @@
+//! Content-addressed cache of simulation results.
+//!
+//! Every (scheme, workload, scale, knobs) cell a figure binary needs is
+//! fully determined by its [`RunConfig`] — the simulator is deterministic
+//! by contract (DESIGN.md §6) — so a cell only ever needs to be simulated
+//! once per model version. The cache keys each cell by an FNV-1a hash of
+//! the config's `Debug` rendering prefixed with a model-version stamp,
+//! memoizes results in-process (figure binaries sharing a scale reuse one
+//! matrix), and persists them under `results/cache/` so back-to-back
+//! invocations of the fig09–fig17 and ablation binaries skip identical
+//! simulations entirely.
+//!
+//! Safety properties:
+//! - The full key string (stamp + config `Debug`) is stored inside every
+//!   cache file and compared on load, so a 64-bit hash collision degrades
+//!   to a miss, never to a wrong result.
+//! - [`MODEL_VERSION`] must be bumped whenever a change alters simulated
+//!   numbers; stale disk entries then stop matching.
+//! - Trace-replay runs (`cfg.trace.is_some()`) bypass the cache: traces
+//!   are external inputs not captured by the config's identity.
+//! - `ECC_PARITY_NO_CACHE=1` disables the global cache entirely.
+//!
+//! The per-process `cache:` summary line goes to **stderr**: stdout of
+//! every figure binary stays byte-identical between cold and warm runs,
+//! preserving the determinism contract.
+
+use mem_sim::{RunConfig, RunResult, SimRunner};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Bump on any change that alters simulated numbers (timing model, energy
+/// model, scheme traffic rules, RNG streams). Old `results/cache/` entries
+/// then miss instead of resurrecting stale results.
+pub const MODEL_VERSION: &str = "eccparity-model-v1";
+
+/// 64-bit FNV-1a. Stable, dependency-free, and plenty for a cache whose
+/// entries also carry the full key string for collision rejection.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// On-disk representation of one cached cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheEntry {
+    /// Full key string (stamp + config `Debug`), for collision rejection.
+    key: String,
+    result: RunResult,
+}
+
+/// A run cache: in-process memoization plus optional disk persistence.
+///
+/// Figure binaries use the env-configured [`global()`] instance; tests
+/// construct explicit instances against temp dirs so they are immune to
+/// environment races.
+pub struct RunCache {
+    /// Persistence directory; `None` = memoize in-process only.
+    dir: Option<PathBuf>,
+    /// When false, every call simulates fresh (the escape hatch).
+    enabled: bool,
+    /// Version stamp mixed into every key.
+    stamp: String,
+    memo: Mutex<HashMap<u64, RunResult>>,
+    simulated: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl RunCache {
+    /// A cache persisting to `dir` under the default model version.
+    pub fn new(dir: Option<PathBuf>) -> RunCache {
+        Self::with_stamp(dir, MODEL_VERSION)
+    }
+
+    /// A cache with an explicit version stamp (tests exercise stamp
+    /// invalidation through this).
+    pub fn with_stamp(dir: Option<PathBuf>, stamp: &str) -> RunCache {
+        RunCache {
+            dir,
+            enabled: true,
+            stamp: stamp.to_string(),
+            memo: Mutex::new(HashMap::new()),
+            simulated: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled cache: every run simulates fresh, counters still tick.
+    pub fn disabled() -> RunCache {
+        RunCache {
+            enabled: false,
+            ..Self::new(None)
+        }
+    }
+
+    /// The full (pre-hash) cache key of a config under this cache's stamp.
+    pub fn key_string(&self, cfg: &RunConfig) -> String {
+        format!("{}|{:?}", self.stamp, cfg)
+    }
+
+    fn entry_path(&self, hash: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{hash:016x}.json")))
+    }
+
+    fn load_disk(&self, hash: u64, key: &str) -> Option<RunResult> {
+        let path = self.entry_path(hash)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        // Reject hash collisions and stamp/config drift.
+        (entry.key == key).then_some(entry.result)
+    }
+
+    fn store_disk(&self, hash: u64, key: &str, result: &RunResult) {
+        let Some(path) = self.entry_path(hash) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let entry = CacheEntry {
+            key: key.to_string(),
+            result: result.clone(),
+        };
+        let Ok(text) = serde_json::to_string_pretty(&entry) else {
+            return;
+        };
+        // Atomic publish: concurrent writers of the same cell race benignly
+        // (same bytes), and readers never observe a torn file.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Run `cfg`, reusing a memoized or persisted result when its identity
+    /// matches. Cache-transparent by construction: a hit returns bytes that
+    /// a fresh simulation would also have produced.
+    pub fn run(&self, cfg: &RunConfig) -> RunResult {
+        if !self.enabled || cfg.trace.is_some() {
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            return SimRunner::new(cfg.clone()).run();
+        }
+        let key = self.key_string(cfg);
+        let hash = fnv1a64(key.as_bytes());
+        if let Some(r) = self.memo.lock().unwrap().get(&hash) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return r.clone();
+        }
+        if let Some(r) = self.load_disk(hash, &key) {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            self.memo.lock().unwrap().insert(hash, r.clone());
+            return r;
+        }
+        let r = SimRunner::new(cfg.clone()).run();
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        self.store_disk(hash, &key, &r);
+        self.memo.lock().unwrap().insert(hash, r.clone());
+        r
+    }
+
+    /// (cells simulated, cells reused) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.simulated.load(Ordering::Relaxed),
+            self.reused.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Print the per-run counter line to stderr (stdout stays
+    /// byte-identical between cold and warm runs).
+    pub fn print_summary(&self) {
+        let (sim, reused) = self.counters();
+        let suffix = if self.enabled {
+            ""
+        } else {
+            " [cache disabled]"
+        };
+        eprintln!("cache: {sim} cells simulated, {reused} reused{suffix}");
+    }
+}
+
+static GLOBAL: OnceLock<RunCache> = OnceLock::new();
+
+/// Default persistence directory of the global cache.
+pub fn cache_dir() -> &'static Path {
+    Path::new("results/cache")
+}
+
+/// The process-wide cache used by every figure/ablation binary. Persists
+/// to `results/cache/`; `ECC_PARITY_NO_CACHE=1` turns it off.
+pub fn global() -> &'static RunCache {
+    GLOBAL.get_or_init(|| {
+        let off = std::env::var("ECC_PARITY_NO_CACHE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        if off {
+            RunCache::disabled()
+        } else {
+            RunCache::new(Some(cache_dir().to_path_buf()))
+        }
+    })
+}
+
+/// Run one cell through the global cache.
+pub fn cached_run(cfg: &RunConfig) -> RunResult {
+    global().run(cfg)
+}
+
+/// Print the global cache's counter line (call once per binary, at exit).
+pub fn print_cache_summary() {
+    global().print_summary();
+}

@@ -1,6 +1,7 @@
 //! Shared harness: matrix runner, aggregation, and table rendering.
 
-use mem_sim::{RunConfig, RunResult, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use crate::cache::cached_run;
+use mem_sim::{RunConfig, RunResult, SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -8,7 +9,9 @@ use std::path::PathBuf;
 /// Simulation effort knob: `ECC_PARITY_FAST=1` shrinks runs ~8x for smoke
 /// testing; figures default to paper-shaped runs.
 pub fn fast_mode() -> bool {
-    std::env::var("ECC_PARITY_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ECC_PARITY_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Build the run configuration for one (scheme, workload) cell.
@@ -81,15 +84,15 @@ pub fn run_matrix(
     jobs.into_par_iter()
         .map(|(s, w)| {
             let cfg = cell_config(SchemeConfig::build(s, scale), w);
-            let r = SimRunner::new(cfg).run();
+            let r = cached_run(&cfg);
             ((s, w.name), r)
         })
         .collect()
 }
 
-/// All sixteen paper workloads.
-pub fn workloads() -> Vec<WorkloadSpec> {
-    WorkloadSpec::all()
+/// All sixteen paper workloads (one shared static table).
+pub fn workloads() -> &'static [WorkloadSpec] {
+    WorkloadSpec::all_static()
 }
 
 /// Mean of `f` over the workloads of one bin.
@@ -99,12 +102,13 @@ pub fn bin_mean(
     bin: u8,
     f: impl Fn(&RunResult) -> f64,
 ) -> f64 {
-    let ws: Vec<&WorkloadSpec> = Box::leak(Box::new(WorkloadSpec::all()))
-        .iter()
-        .filter(|w| w.bin == bin)
-        .collect();
-    let sum: f64 = ws.iter().map(|w| f(&matrix[&(scheme, w.name)])).sum();
-    sum / ws.len() as f64
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for w in workloads().iter().filter(|w| w.bin == bin) {
+        sum += f(&matrix[&(scheme, w.name)]);
+        n += 1;
+    }
+    sum / n as f64
 }
 
 /// Percentage-reduction helper: how much smaller `ours` is than `base`.
@@ -133,7 +137,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -205,7 +212,11 @@ pub const COMPARISONS: [(&str, SchemeId, SchemeId); 6] = [
     ("LOT5+P vs 36-dev", SchemeId::Lot5Parity, SchemeId::Ck36),
     ("LOT5+P vs 18-dev", SchemeId::Lot5Parity, SchemeId::Ck18),
     ("LOT5+P vs LOT-ECC9", SchemeId::Lot5Parity, SchemeId::Lot9),
-    ("LOT5+P vs Multi-ECC", SchemeId::Lot5Parity, SchemeId::MultiEcc),
+    (
+        "LOT5+P vs Multi-ECC",
+        SchemeId::Lot5Parity,
+        SchemeId::MultiEcc,
+    ),
     ("LOT5+P vs LOT-ECC5", SchemeId::Lot5Parity, SchemeId::Lot5),
     ("RAIM+P vs RAIM", SchemeId::RaimParity, SchemeId::Raim),
 ];
@@ -213,7 +224,7 @@ pub const COMPARISONS: [(&str, SchemeId, SchemeId); 6] = [
 /// Run the full matrix and print one comparison figure. Returns
 /// (bin1 averages, bin2 averages) per comparison for EXPERIMENTS.md checks.
 pub fn comparison_figure(title: &str, scale: SystemScale, metric: Metric) -> Vec<(f64, f64)> {
-    let matrix = run_matrix(scale, &SchemeId::ALL, &workloads());
+    let matrix = run_matrix(scale, &SchemeId::ALL, workloads());
     dump_matrix_json(title, &matrix);
     let mut rows: Vec<Vec<String>> = vec![];
     for w in workloads() {
@@ -232,9 +243,7 @@ pub fn comparison_figure(title: &str, scale: SystemScale, metric: Metric) -> Vec
             let vals: Vec<f64> = workloads()
                 .iter()
                 .filter(|w| w.bin == bin)
-                .map(|w| {
-                    metric.value(&matrix[&(base_id, w.name)], &matrix[&(ours_id, w.name)])
-                })
+                .map(|w| metric.value(&matrix[&(base_id, w.name)], &matrix[&(ours_id, w.name)]))
                 .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             row.push(metric.fmt(mean));
@@ -245,6 +254,7 @@ pub fn comparison_figure(title: &str, scale: SystemScale, metric: Metric) -> Vec
     let mut headers = vec!["workload", "bin"];
     headers.extend(COMPARISONS.iter().map(|c| c.0));
     print_table(title, &headers, &rows);
+    crate::cache::print_cache_summary();
     // reshape: per comparison (bin1, bin2)
     (0..COMPARISONS.len())
         .map(|i| (summaries[i], summaries[COMPARISONS.len() + i]))

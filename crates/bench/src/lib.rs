@@ -6,6 +6,8 @@
 //! statistics, and rendering aligned text tables with the paper's reported
 //! values alongside ours.
 
+pub mod cache;
 pub mod harness;
 
+pub use cache::{cached_run, print_cache_summary, RunCache, MODEL_VERSION};
 pub use harness::*;

@@ -1,0 +1,136 @@
+//! Correctness contract of the run cache: a cache hit must be
+//! bit-identical to a fresh simulation, and any change to the run's
+//! identity — config contents or model-version stamp — must miss.
+//!
+//! All tests use explicit [`RunCache`] instances against private temp
+//! dirs, so they are immune to `ECC_PARITY_NO_CACHE` in the environment
+//! and to each other.
+
+use eccparity_bench::RunCache;
+use mem_sim::{RunConfig, RunResult, SchemeConfig, SchemeId, SystemScale, Trace, WorkloadSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Fresh private temp dir per test (pid + counter; no tempfile dep).
+fn temp_dir() -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eccparity_cache_test_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small but real run: full paper config shrunk to hundreds of accesses.
+fn small_config() -> RunConfig {
+    let scheme = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
+    let workload = WorkloadSpec::by_name("milc").unwrap();
+    let mut cfg = RunConfig::paper(scheme, workload);
+    cfg.warmup_per_core = 200;
+    cfg.accesses_per_core = 500;
+    cfg
+}
+
+/// Bit-identity via the same serialization the JSON dumps use.
+fn bytes(r: &RunResult) -> String {
+    serde_json::to_string_pretty(r).unwrap()
+}
+
+#[test]
+fn hit_is_bit_identical_to_fresh_run() {
+    let cache = RunCache::new(Some(temp_dir()));
+    let cfg = small_config();
+    let fresh = cache.run(&cfg);
+    let hit = cache.run(&cfg);
+    assert_eq!(bytes(&fresh), bytes(&hit));
+    assert_eq!(cache.counters(), (1, 1), "second run must be a reuse");
+    // ... and identical to a run through a completely unrelated cache.
+    let other = RunCache::new(Some(temp_dir()));
+    assert_eq!(bytes(&other.run(&cfg)), bytes(&fresh));
+}
+
+#[test]
+fn disk_persistence_survives_process_restart() {
+    // Two cache instances over one dir model two back-to-back invocations.
+    let dir = temp_dir();
+    let cfg = small_config();
+    let first = RunCache::new(Some(dir.clone()));
+    let cold = first.run(&cfg);
+    drop(first);
+    let second = RunCache::new(Some(dir));
+    let warm = second.run(&cfg);
+    assert_eq!(
+        second.counters(),
+        (0, 1),
+        "restart must reuse the disk entry"
+    );
+    assert_eq!(bytes(&cold), bytes(&warm));
+}
+
+#[test]
+fn changed_config_misses() {
+    let cache = RunCache::new(Some(temp_dir()));
+    let cfg = small_config();
+    cache.run(&cfg);
+    let mut tweaked = cfg.clone();
+    tweaked.seed ^= 1;
+    cache.run(&tweaked);
+    assert_eq!(
+        cache.counters(),
+        (2, 0),
+        "a changed seed must simulate fresh"
+    );
+}
+
+#[test]
+fn changed_model_version_stamp_misses() {
+    let dir = temp_dir();
+    let cfg = small_config();
+    let v1 = RunCache::with_stamp(Some(dir.clone()), "model-v1");
+    v1.run(&cfg);
+    // Same dir, bumped stamp: the persisted entry must not resurrect.
+    let v2 = RunCache::with_stamp(Some(dir.clone()), "model-v2");
+    v2.run(&cfg);
+    assert_eq!(
+        v2.counters(),
+        (1, 0),
+        "a stamp bump must invalidate disk entries"
+    );
+    // Unchanged stamp still hits.
+    let v1_again = RunCache::with_stamp(Some(dir), "model-v1");
+    v1_again.run(&cfg);
+    assert_eq!(v1_again.counters(), (0, 1));
+}
+
+#[test]
+fn trace_replay_bypasses_cache() {
+    let dir = temp_dir();
+    let cache = RunCache::new(Some(dir.clone()));
+    let mut cfg = small_config();
+    cfg.trace = Some(Trace::record(cfg.workload, cfg.cores, 700, cfg.seed));
+    let a = cache.run(&cfg);
+    let b = cache.run(&cfg);
+    assert_eq!(
+        cache.counters(),
+        (2, 0),
+        "trace runs must never hit the cache"
+    );
+    // Determinism still holds; only the caching is bypassed.
+    assert_eq!(bytes(&a), bytes(&b));
+    assert!(
+        !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+        "trace runs must not write cache entries"
+    );
+}
+
+#[test]
+fn disabled_cache_always_simulates() {
+    let cache = RunCache::disabled();
+    let cfg = small_config();
+    let a = cache.run(&cfg);
+    let b = cache.run(&cfg);
+    assert_eq!(cache.counters(), (2, 0));
+    assert_eq!(bytes(&a), bytes(&b));
+}

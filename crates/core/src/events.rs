@@ -141,15 +141,12 @@ mod tests {
     fn count_filters_by_kind() {
         let mut log = EventLog::new(16);
         log.push(ev(1));
-        log.push(MemEvent::PairMigrated { channel: 2, pair: 0 });
+        log.push(MemEvent::PairMigrated {
+            channel: 2,
+            pair: 0,
+        });
         log.push(ev(2));
-        assert_eq!(
-            log.count(|e| matches!(e, MemEvent::PageRetired { .. })),
-            2
-        );
-        assert_eq!(
-            log.count(|e| matches!(e, MemEvent::PairMigrated { .. })),
-            1
-        );
+        assert_eq!(log.count(|e| matches!(e, MemEvent::PageRetired { .. })), 2);
+        assert_eq!(log.count(|e| matches!(e, MemEvent::PairMigrated { .. })), 1);
     }
 }

@@ -192,9 +192,27 @@ mod tests {
         let mut h = HealthTable::new(2, 4, 2);
         h.record_error(0, 0);
         h.record_error(1, 0);
-        assert_eq!(h.counter(PairId { channel: 0, pair: 0 }), 1);
-        assert_eq!(h.counter(PairId { channel: 1, pair: 0 }), 1);
-        assert_eq!(h.counter(PairId { channel: 0, pair: 1 }), 0);
+        assert_eq!(
+            h.counter(PairId {
+                channel: 0,
+                pair: 0
+            }),
+            1
+        );
+        assert_eq!(
+            h.counter(PairId {
+                channel: 1,
+                pair: 0
+            }),
+            1
+        );
+        assert_eq!(
+            h.counter(PairId {
+                channel: 0,
+                pair: 1
+            }),
+            0
+        );
     }
 
     #[test]
@@ -213,7 +231,13 @@ mod tests {
         let mut h = HealthTable::new(4, 8, 1);
         assert_eq!(h.faulty_fraction(), 0.0);
         h.record_error(2, 6); // threshold 1: immediate migration
-        assert_eq!(h.faulty_pairs(), vec![PairId { channel: 2, pair: 3 }]);
+        assert_eq!(
+            h.faulty_pairs(),
+            vec![PairId {
+                channel: 2,
+                pair: 3
+            }]
+        );
         assert!((h.faulty_fraction() - 1.0 / 16.0).abs() < 1e-12);
     }
 
@@ -228,7 +252,10 @@ mod tests {
     #[test]
     fn mark_faulty_bypasses_counter() {
         let mut h = HealthTable::new(2, 4, 4);
-        h.mark_faulty(PairId { channel: 1, pair: 1 });
+        h.mark_faulty(PairId {
+            channel: 1,
+            pair: 1,
+        });
         assert!(h.is_faulty(1, 2));
         assert!(h.is_faulty(1, 3));
         assert_eq!(h.record_error(1, 2), HealthAction::AlreadyFaulty);

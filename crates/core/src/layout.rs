@@ -375,7 +375,11 @@ mod tests {
         // correction bits (overhead R/(N-1) = R), as the paper's formula says.
         let l = ParityLayout::new(2, 2, 8, 2, 1, 4);
         for row in 0..8 {
-            let loc = LineLoc { bank: 0, row, line: 0 };
+            let loc = LineLoc {
+                bank: 0,
+                row,
+                line: 0,
+            };
             let g0 = l.group_of(0, &loc);
             assert_eq!(g0.g, 1);
             assert_eq!(l.members(&g0).len(), 1);

@@ -212,7 +212,10 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     /// Inject a *permanent* device fault: an overlay that corrupts every
     /// subsequent read whose coordinates it covers (stuck-at semantics).
     pub fn inject_fault(&mut self, fault: FaultInstance) {
-        assert!(fault.chip.channel < self.cfg.channels, "fault channel out of range");
+        assert!(
+            fault.chip.channel < self.cfg.channels,
+            "fault channel out of range"
+        );
         self.faults.push(fault);
     }
 
@@ -222,7 +225,10 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     /// is written back), so transients never accumulate toward migration
     /// beyond their first detection.
     pub fn inject_transient(&mut self, fault: FaultInstance) {
-        assert!(fault.chip.channel < self.cfg.channels, "fault channel out of range");
+        assert!(
+            fault.chip.channel < self.cfg.channels,
+            "fault channel out of range"
+        );
         let chips = self.ecc.chips_per_rank();
         let layout = self.ecc.chip_layout();
         let chip = fault.chip.chip % chips;
@@ -276,7 +282,12 @@ impl<S: CorrectionSplit> ParityMemory<S> {
                     // Correction bits are not stored inline under ECC Parity.
                     Region::Correction => continue,
                 };
-                f.corrupt(buf, loc.bank as u32, loc.row, loc.line ^ ((span.start as u32) << 8));
+                f.corrupt(
+                    buf,
+                    loc.bank as u32,
+                    loc.row,
+                    loc.line ^ ((span.start as u32) << 8),
+                );
             }
         }
         (data, det)
@@ -314,7 +325,11 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     /// Fig 6 step C: rebuild the correction bits of `(channel, loc)` from
     /// its group parity plus the correction bits of the other members,
     /// which are recomputed from their (verified-clean) data.
-    fn reconstruct_correction(&mut self, channel: usize, loc: &LineLoc) -> Result<Vec<u8>, MemError> {
+    fn reconstruct_correction(
+        &mut self,
+        channel: usize,
+        loc: &LineLoc,
+    ) -> Result<Vec<u8>, MemError> {
         let group = self.layout.group_of(channel, loc);
         let mut corr = self.parity(group).clone();
         let members = self.layout.members(&group);
@@ -379,7 +394,8 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     pub fn migrate_pair(&mut self, channel: usize, pair: usize) {
         let banks = [2 * pair, 2 * pair + 1];
         // Mark first so parity materialization during the sweep excludes us.
-        self.health.mark_faulty(crate::health::PairId { channel, pair });
+        self.health
+            .mark_faulty(crate::health::PairId { channel, pair });
         for &bank in &banks {
             for row in 0..self.cfg.data_rows {
                 for line in 0..self.cfg.lines_per_row {
@@ -542,9 +558,9 @@ impl<S: CorrectionSplit> ParityMemory<S> {
                                             let fixed_det = self.ecc.detection_of(&d);
                                             // Keep parity consistent via the
                                             // standard write-path identity.
-                                            let old_corr = self.ecc.correction_of(
-                                                &self.store[channel][idx].data,
-                                            );
+                                            let old_corr = self
+                                                .ecc
+                                                .correction_of(&self.store[channel][idx].data);
                                             let new_corr = self.ecc.correction_of(&d);
                                             let group = self.layout.group_of(channel, &loc);
                                             let p = self.parity(group);

@@ -104,11 +104,8 @@ impl XorCache {
     /// Flush everything (e.g. at shutdown or before migration recomputes
     /// parities): every resident delta is surrendered to the caller.
     pub fn flush_all(&mut self) -> Vec<(GroupId, Vec<u8>)> {
-        let mut out: Vec<(GroupId, Vec<u8>)> = self
-            .lines
-            .drain()
-            .map(|(g, (acc, _))| (g, acc))
-            .collect();
+        let mut out: Vec<(GroupId, Vec<u8>)> =
+            self.lines.drain().map(|(g, (acc, _))| (g, acc)).collect();
         out.sort_by_key(|(g, _)| *g);
         self.stats.evictions += out.len() as u64;
         out

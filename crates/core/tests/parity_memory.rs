@@ -4,8 +4,8 @@
 
 use ecc_codes::lotecc::LotEcc;
 use ecc_codes::traits::MemoryEcc;
-use ecc_parity::memory::{MemError, ParityConfig, ParityMemory};
 use ecc_parity::layout::LineLoc;
+use ecc_parity::memory::{MemError, ParityConfig, ParityMemory};
 use mem_faults::{ChipLocation, FaultInstance, FaultMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,18 +117,35 @@ fn scrub_escalates_bank_fault_to_migration() {
     // Populate bank 0 of channel 2.
     for row in 0..m.config().data_rows {
         for l in 0..m.config().lines_per_row {
-            m.write(2, LineLoc { bank: 0, row, line: l }, &line(&mut rng))
-                .unwrap();
+            m.write(
+                2,
+                LineLoc {
+                    bank: 0,
+                    row,
+                    line: l,
+                },
+                &line(&mut rng),
+            )
+            .unwrap();
         }
     }
     m.inject_fault(bank_fault(2, 2, 0));
     let report = m.scrub();
     assert!(report.errors_detected >= 4);
-    assert_eq!(report.pairs_migrated, 1, "threshold 4 must migrate the pair");
+    assert_eq!(
+        report.pairs_migrated, 1,
+        "threshold 4 must migrate the pair"
+    );
     assert!(report.pages_retired > 0, "first errors retire pages");
-    assert_eq!(report.uncorrectable, 0, "single-channel fault stays correctable");
+    assert_eq!(
+        report.uncorrectable, 0,
+        "single-channel fault stays correctable"
+    );
     assert!(m.health().is_faulty(2, 0));
-    assert!(m.health().is_faulty(2, 1), "partner bank marked with the pair");
+    assert!(
+        m.health().is_faulty(2, 1),
+        "partner bank marked with the pair"
+    );
 }
 
 #[test]
@@ -139,8 +156,24 @@ fn migrated_bank_reads_correct_via_stored_ecc_lines() {
     for row in 0..m.config().data_rows {
         for l in 0..m.config().lines_per_row {
             let d = line(&mut rng);
-            m.write(0, LineLoc { bank: 0, row, line: l }, &d).unwrap();
-            written.push((LineLoc { bank: 0, row, line: l }, d));
+            m.write(
+                0,
+                LineLoc {
+                    bank: 0,
+                    row,
+                    line: l,
+                },
+                &d,
+            )
+            .unwrap();
+            written.push((
+                LineLoc {
+                    bank: 0,
+                    row,
+                    line: l,
+                },
+                d,
+            ));
         }
     }
     m.inject_fault(bank_fault(0, 3, 0));
@@ -297,10 +330,7 @@ fn scrub_clean_memory_reports_nothing() {
     assert_eq!(report.errors_detected, 0);
     assert_eq!(report.pages_retired, 0);
     assert_eq!(report.pairs_migrated, 0);
-    assert_eq!(
-        report.lines_scanned,
-        4 * m.config().lines_per_channel()
-    );
+    assert_eq!(report.lines_scanned, 4 * m.config().lines_per_channel());
 }
 
 #[test]
@@ -433,8 +463,16 @@ fn permanent_fault_not_healed_by_scrub() {
     let mut rng = StdRng::seed_from_u64(91);
     for row in 0..m.config().data_rows {
         for l in 0..m.config().lines_per_row {
-            m.write(3, LineLoc { bank: 0, row, line: l }, &line(&mut rng))
-                .unwrap();
+            m.write(
+                3,
+                LineLoc {
+                    bank: 0,
+                    row,
+                    line: l,
+                },
+                &line(&mut rng),
+            )
+            .unwrap();
         }
     }
     // Permanent column fault: scrub cannot repair it in place; the counter
@@ -453,7 +491,10 @@ fn permanent_fault_not_healed_by_scrub() {
     });
     let rep = m.scrub();
     assert!(rep.errors_detected >= 4);
-    assert_eq!(rep.pairs_migrated, 1, "permanent faults escalate to migration");
+    assert_eq!(
+        rep.pairs_migrated, 1,
+        "permanent faults escalate to migration"
+    );
 }
 
 #[test]
@@ -484,7 +525,11 @@ fn scrub_writeback_keeps_parity_consistent() {
     m.scrub();
     for c in 0..4 {
         for bank in 0..4 {
-            let loc = LineLoc { bank, row: 0, line: 0 };
+            let loc = LineLoc {
+                bank,
+                row: 0,
+                line: 0,
+            };
             let g = m.layout().group_of(c, &loc);
             let scratch = m.compute_parity_from_scratch(&g);
             let again = m.compute_parity_from_scratch(&g);
@@ -509,8 +554,16 @@ fn event_log_records_the_resilience_story() {
     let mut rng = StdRng::seed_from_u64(95);
     for row in 0..m.config().data_rows {
         for l in 0..m.config().lines_per_row {
-            m.write(0, LineLoc { bank: 0, row, line: l }, &line(&mut rng))
-                .unwrap();
+            m.write(
+                0,
+                LineLoc {
+                    bank: 0,
+                    row,
+                    line: l,
+                },
+                &line(&mut rng),
+            )
+            .unwrap();
         }
     }
     m.inject_fault(bank_fault(0, 1, 0));
@@ -518,10 +571,19 @@ fn event_log_records_the_resilience_story() {
     let log = m.event_log();
     assert!(log.count(|e| matches!(e, MemEvent::PageRetired { .. })) > 0);
     assert_eq!(
-        log.count(|e| matches!(e, MemEvent::PairMigrated { channel: 0, pair: 0 })),
+        log.count(|e| matches!(
+            e,
+            MemEvent::PairMigrated {
+                channel: 0,
+                pair: 0
+            }
+        )),
         1
     );
-    assert_eq!(log.count(|e| matches!(e, MemEvent::Uncorrectable { .. })), 0);
+    assert_eq!(
+        log.count(|e| matches!(e, MemEvent::Uncorrectable { .. })),
+        0
+    );
     // sequence numbers strictly increase
     let seqs: Vec<u64> = log.events().map(|(s, _)| *s).collect();
     assert!(seqs.windows(2).all(|w| w[0] < w[1]));
@@ -542,7 +604,11 @@ fn ecc_parity_over_the_rs_variant_detects_address_style_errors() {
     };
     let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
     m.write(2, loc, &data).unwrap();
-    assert_eq!(m.ecc().correction_ratio(), 0.25, "same R as baseline LOT-ECC5");
+    assert_eq!(
+        m.ecc().correction_ratio(),
+        0.25,
+        "same R as baseline LOT-ECC5"
+    );
     // Whole-chip failure in channel 2: detected by the inter-chip RS
     // symbol, corrected through the parity.
     m.inject_fault(bank_fault(2, 1, 1));

@@ -61,7 +61,7 @@ impl RankState {
             act_slots: if config.strict_fifo {
                 BusLedger::strict()
             } else {
-                BusLedger::default()
+                BusLedger::new()
             },
             act_slot: t.t_rrd.max(t.t_faw.div_ceil(4)),
             active_until: 0,
@@ -106,10 +106,23 @@ struct BusLedger {
 }
 
 impl BusLedger {
+    /// Typical live-interval count stays in the low tens (pruning drops
+    /// everything older than a few tRC); reserving up front keeps the hot
+    /// reserve/prune path free of reallocation.
+    const PREALLOC: usize = 64;
+
+    fn new() -> Self {
+        BusLedger {
+            busy: VecDeque::with_capacity(Self::PREALLOC),
+            strict: false,
+            watermark: 0,
+        }
+    }
+
     fn strict() -> Self {
         BusLedger {
             strict: true,
-            ..Default::default()
+            ..Self::new()
         }
     }
 
@@ -182,7 +195,7 @@ impl Channel {
         let bus = if config.strict_fifo {
             BusLedger::strict()
         } else {
-            BusLedger::default()
+            BusLedger::new()
         };
         Channel {
             config,
@@ -194,7 +207,13 @@ impl Channel {
 
     /// Schedule one line access (close-page path; see
     /// [`Channel::schedule_row`] for the policy-dispatching entry point).
-    pub fn schedule(&mut self, rank: usize, bank: usize, is_write: bool, arrival: u64) -> Completion {
+    pub fn schedule(
+        &mut self,
+        rank: usize,
+        bank: usize,
+        is_write: bool,
+        arrival: u64,
+    ) -> Completion {
         self.schedule_row(rank, bank, 0, is_write, arrival)
     }
 
@@ -464,7 +483,7 @@ mod ledger_tests {
         let mut l = BusLedger::default();
         l.reserve(0, 4); // [0,4)
         l.reserve(6, 4); // [6,10)
-        // a 4-wide slot at >=1 doesn't fit in [4,6): lands at 10
+                         // a 4-wide slot at >=1 doesn't fit in [4,6): lands at 10
         assert_eq!(l.reserve(1, 4), 10);
         // a 2-wide slot does fit the [4,6) gap
         assert_eq!(l.reserve(1, 2), 4);
@@ -670,7 +689,10 @@ mod tests {
         };
         let close = mk(crate::config::RowPolicy::ClosePage);
         let open = mk(crate::config::RowPolicy::OpenPage);
-        assert!(close.bg_sleep_pj > 0.0, "close page sleeps between accesses");
+        assert!(
+            close.bg_sleep_pj > 0.0,
+            "close page sleeps between accesses"
+        );
         assert_eq!(open.bg_sleep_pj, 0.0, "open rows pin CKE high");
         assert!(
             open.background_pj() > 1.5 * close.background_pj(),

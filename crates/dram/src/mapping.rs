@@ -42,6 +42,20 @@ pub struct AddressMapping {
     pub policy: MapPolicy,
 }
 
+/// Divide-and-remainder with a shift/mask fast path for power-of-two
+/// divisors. Every paper geometry except the 5- and 10-channel RAIM
+/// organizations is all-powers-of-two, so the decode below becomes pure
+/// bit arithmetic on the hot path; RAIM falls back to real division for
+/// its channel term only.
+#[inline(always)]
+fn divmod(v: u64, d: u64) -> (u64, u64) {
+    if d.is_power_of_two() {
+        (v >> d.trailing_zeros(), v & (d - 1))
+    } else {
+        (v / d, v % d)
+    }
+}
+
 impl AddressMapping {
     pub fn new(channels: usize, ranks: usize, banks: usize, line_bytes: usize) -> Self {
         AddressMapping {
@@ -56,46 +70,44 @@ impl AddressMapping {
 
     /// Total lines the mapping covers.
     pub fn total_lines(&self) -> u64 {
-        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows
+        self.channels as u64
+            * self.ranks as u64
+            * self.banks as u64
+            * self.rows
             * self.lines_per_row
     }
 
     /// Decode a flat line address (bijective over `0..total_lines()`).
     pub fn map(&self, line_addr: u64) -> LineAddress {
         let lines_per_page = self.lines_per_row;
-        let page = line_addr / lines_per_page;
-        let line_in_page = line_addr % lines_per_page;
-        let channel = (page % self.channels as u64) as usize;
-        let page_in_channel = page / self.channels as u64;
+        let (page, line_in_page) = divmod(line_addr, lines_per_page);
+        let (page_in_channel, channel) = divmod(page, self.channels as u64);
+        let channel = channel as usize;
         // Flat index within the channel.
         let idx = page_in_channel * lines_per_page + line_in_page;
         match self.policy {
             MapPolicy::HighPerformance => {
-                let bank = (idx % self.banks as u64) as usize;
-                let r1 = idx / self.banks as u64;
-                let rank = (r1 % self.ranks as u64) as usize;
-                let r2 = r1 / self.ranks as u64;
-                let line_in_row = r2 % self.lines_per_row;
-                let row = (r2 / self.lines_per_row) % self.rows;
+                let (r1, bank) = divmod(idx, self.banks as u64);
+                let (r2, rank) = divmod(r1, self.ranks as u64);
+                let (r3, line_in_row) = divmod(r2, self.lines_per_row);
+                let (_, row) = divmod(r3, self.rows);
                 LineAddress {
                     channel,
-                    rank,
-                    bank,
+                    rank: rank as usize,
+                    bank: bank as usize,
                     row,
                     line_in_row,
                 }
             }
             MapPolicy::RowLocality => {
-                let line_in_row = idx % self.lines_per_row;
-                let r1 = idx / self.lines_per_row;
-                let bank = (r1 % self.banks as u64) as usize;
-                let r2 = r1 / self.banks as u64;
-                let rank = (r2 % self.ranks as u64) as usize;
-                let row = (r2 / self.ranks as u64) % self.rows;
+                let (r1, line_in_row) = divmod(idx, self.lines_per_row);
+                let (r2, bank) = divmod(r1, self.banks as u64);
+                let (r3, rank) = divmod(r2, self.ranks as u64);
+                let (_, row) = divmod(r3, self.rows);
                 LineAddress {
                     channel,
-                    rank,
-                    bank,
+                    rank: rank as usize,
+                    bank: bank as usize,
                     row,
                     line_in_row,
                 }
@@ -154,6 +166,22 @@ mod tests {
             }
             assert_eq!(seen.len() as u64, total);
         }
+    }
+
+    #[test]
+    fn non_pow2_channel_count_stays_bijective() {
+        // RAIM's 5-channel geometry exercises the division fallback of the
+        // pow2 fast-path decode.
+        let mut m = AddressMapping::new(5, 2, 4, 64);
+        m.rows = 16;
+        let total = m.total_lines();
+        let mut seen = HashSet::new();
+        for a in 0..total {
+            let la = m.map(a);
+            assert!(la.channel < 5);
+            assert!(seen.insert(la), "collision at address {a}");
+        }
+        assert_eq!(seen.len() as u64, total);
     }
 
     #[test]

@@ -104,10 +104,10 @@ impl PowerModel {
             // Burst current above standby, plus I/O + termination per pin
             // (termination power tracks the interface rate).
             let pins = kind.width() as f64;
-            p_rd += p.vdd * (p.idd4r - p.idd3n)
-                + pins * TERM_MW_PER_PIN_READ * speed_factor.powf(1.6);
-            p_wr += p.vdd * (p.idd4w - p.idd3n)
-                + pins * TERM_MW_PER_PIN_WRITE * speed_factor.powf(1.6);
+            p_rd +=
+                p.vdd * (p.idd4r - p.idd3n) + pins * TERM_MW_PER_PIN_READ * speed_factor.powf(1.6);
+            p_wr +=
+                p.vdd * (p.idd4w - p.idd3n) + pins * TERM_MW_PER_PIN_WRITE * speed_factor.powf(1.6);
             e_ref += p.vdd * (p.idd5b - p.idd2n) * timing.t_rfc as f64;
             p_act += p.vdd * p.idd3n;
             p_stby += p.vdd * p.idd2n;

@@ -158,7 +158,11 @@ mod tests {
         let s0: HashSet<usize> = (0..8).map(|b| l.slot_of_bit(b).beat).collect();
         let s1: HashSet<usize> = (8..16).map(|b| l.slot_of_bit(b).beat).collect();
         assert_eq!(s0, HashSet::from([0]));
-        assert_eq!(s1, HashSet::from([0]), "symbols 0 and 1 ride beat 0 together");
+        assert_eq!(
+            s1,
+            HashSet::from([0]),
+            "symbols 0 and 1 ride beat 0 together"
+        );
     }
 
     #[test]

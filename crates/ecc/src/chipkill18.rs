@@ -14,8 +14,7 @@
 use crate::gf::Gf256;
 use crate::rs::{ReedSolomon, RsError};
 use crate::traits::{
-    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
-    Region,
+    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc, Region,
 };
 
 const DATA_SYMBOLS: usize = 16;
@@ -130,9 +129,9 @@ impl MemoryEcc for Chipkill18 {
 
     fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
         assert_eq!(data.len(), LINE_BYTES);
-        for w in 0..WORDS_PER_LINE {
+        for (w, &det) in detection.iter().enumerate().take(WORDS_PER_LINE) {
             let checks = self.word_checks(data, w);
-            if checks[0] != detection[w] {
+            if checks[0] != det {
                 return DetectOutcome::ErrorDetected;
             }
         }

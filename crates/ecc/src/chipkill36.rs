@@ -16,8 +16,7 @@
 use crate::gf::Gf256;
 use crate::rs::{ReedSolomon, RsError};
 use crate::traits::{
-    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
-    Region,
+    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc, Region,
 };
 
 const DATA_SYMBOLS: usize = 32;
@@ -306,8 +305,8 @@ mod tests {
                     Region::Detection => &mut det_seen,
                     Region::Correction => &mut corr_seen,
                 };
-                for i in s.start..s.start + s.len {
-                    target[i] += 1;
+                for t in target.iter_mut().skip(s.start).take(s.len) {
+                    *t += 1;
                 }
             }
         }

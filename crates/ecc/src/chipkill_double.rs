@@ -15,8 +15,7 @@
 use crate::gf::Gf256;
 use crate::rs::{ReedSolomon, RsError};
 use crate::traits::{
-    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
-    Region,
+    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc, Region,
 };
 
 const DATA_SYMBOLS: usize = 32;
@@ -242,7 +241,10 @@ mod tests {
                 noisy[w * DATA_SYMBOLS + c1] ^= 0x41;
                 noisy[w * DATA_SYMBOLS + c2] ^= 0x87;
             }
-            assert_eq!(d.detect(&noisy, &cw.detection), DetectOutcome::ErrorDetected);
+            assert_eq!(
+                d.detect(&noisy, &cw.detection),
+                DetectOutcome::ErrorDetected
+            );
         }
     }
 

@@ -1,11 +1,24 @@
 //! Galois-field arithmetic over GF(2^8) and GF(2^16).
 //!
-//! Both fields are implemented with exp/log tables built once at first use.
 //! GF(2^8) uses the primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1`
 //! (0x11D), the conventional choice for byte-oriented Reed–Solomon codes.
 //! GF(2^16) uses `x^16 + x^12 + x^3 + x + 1` (0x1100B), a primitive
 //! polynomial commonly used for 16-bit symbol codes such as the
 //! Reed–Solomon variant in Section VI-D of the paper.
+//!
+//! Both fields build exp/log tables once at first use. GF(2^8)
+//! additionally materializes a flat 64 KiB full multiplication table and a
+//! 256-byte inverse table from them, so the hot [`Field::mul`] path is a
+//! single branchless lookup instead of two log lookups, an add, and an exp
+//! lookup behind two zero checks. The original exp/log product survives as
+//! [`Gf256::mul_exp_log`] so benchmarks can compare the kernels.
+//!
+//! For loops that multiply many values by one fixed operand (Horner
+//! evaluation, the Reed–Solomon encode LFSR and syndrome loops), the
+//! [`Field::mul_ctx`] / [`Field::ctx_mul`] pair lets the caller hoist the
+//! per-operand table work out of the loop: for GF(2^8) the context is the
+//! fixed operand's 256-byte row of the multiplication table, making each
+//! in-loop multiply one indexed load from an L1-resident slice.
 
 use std::sync::OnceLock;
 
@@ -25,6 +38,12 @@ pub trait Field: Copy + Clone + Send + Sync + 'static {
         + Send
         + Sync
         + 'static;
+
+    /// Precomputed context for repeated multiplication by one fixed
+    /// operand. For GF(2^8) this is the operand's row of the full
+    /// multiplication table; for GF(2^16) (where a full table would be
+    /// 8 GiB) it is just the operand itself.
+    type MulCtx: Copy + Clone + Send + Sync + 'static;
 
     /// Number of elements in the field.
     const ORDER: usize;
@@ -53,6 +72,11 @@ pub trait Field: Copy + Clone + Send + Sync + 'static {
     fn from_usize(v: usize) -> Self::Elem;
     /// Convert to `usize`.
     fn to_usize(a: Self::Elem) -> usize;
+    /// Build the reusable context for multiplying by fixed operand `a`.
+    fn mul_ctx(a: Self::Elem) -> Self::MulCtx;
+    /// Multiply by the fixed operand captured in `ctx`:
+    /// `ctx_mul(mul_ctx(a), b) == mul(a, b)`.
+    fn ctx_mul(ctx: Self::MulCtx, b: Self::Elem) -> Self::Elem;
 
     /// Field subtraction; identical to addition in characteristic 2.
     #[inline]
@@ -107,14 +131,55 @@ pub struct Gf256;
 
 static GF256_TABLES: OnceLock<Tables<u16>> = OnceLock::new();
 
+/// Flat 256×256 multiplication table plus the 256-entry inverse table,
+/// derived from the exp/log tables once at first use. 64 KiB + 256 B.
+struct Gf256Kernels {
+    mul: Box<[u8; 65536]>,
+    inv: [u8; 256],
+}
+
+static GF256_KERNELS: OnceLock<Gf256Kernels> = OnceLock::new();
+
 impl Gf256 {
     fn tables() -> &'static Tables<u16> {
         GF256_TABLES.get_or_init(|| build_tables_u16(8, 0x11D))
+    }
+
+    fn kernels() -> &'static Gf256Kernels {
+        GF256_KERNELS.get_or_init(|| {
+            let t = Self::tables();
+            let mut mul = vec![0u8; 65536].into_boxed_slice();
+            let mut inv = [0u8; 256];
+            for a in 1..256usize {
+                let la = t.log[a];
+                let row = &mut mul[a << 8..(a << 8) + 256];
+                for (b, slot) in row.iter_mut().enumerate().skip(1) {
+                    *slot = t.exp[(la + t.log[b]) as usize] as u8;
+                }
+                inv[a] = t.exp[255 - la as usize] as u8;
+            }
+            Gf256Kernels {
+                mul: mul.try_into().expect("mul table is 65536 bytes"),
+                inv,
+            }
+        })
+    }
+
+    /// Baseline exp/log multiplication — the pre-table kernel, kept public
+    /// so benchmarks can measure the flat-table speedup against it.
+    #[inline]
+    pub fn mul_exp_log(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let t = Self::tables();
+        t.exp[(t.log[a as usize] + t.log[b as usize]) as usize] as u8
     }
 }
 
 impl Field for Gf256 {
     type Elem = u8;
+    type MulCtx = &'static [u8; 256];
     const ORDER: usize = 256;
     const BITS: usize = 8;
 
@@ -141,18 +206,14 @@ impl Field for Gf256 {
 
     #[inline]
     fn mul(a: u8, b: u8) -> u8 {
-        if a == 0 || b == 0 {
-            return 0;
-        }
-        let t = Self::tables();
-        t.exp[(t.log[a as usize] + t.log[b as usize]) as usize] as u8
+        // Zero rows/columns are part of the table: no branches.
+        Self::kernels().mul[((a as usize) << 8) | b as usize]
     }
 
     #[inline]
     fn inv(a: u8) -> u8 {
         assert!(a != 0, "GF(256) inverse of zero");
-        let t = Self::tables();
-        t.exp[(Self::ORDER - 1) - t.log[a as usize] as usize] as u8
+        Self::kernels().inv[a as usize]
     }
 
     #[inline]
@@ -176,6 +237,19 @@ impl Field for Gf256 {
     fn to_usize(a: u8) -> usize {
         a as usize
     }
+
+    #[inline]
+    fn mul_ctx(a: u8) -> &'static [u8; 256] {
+        let off = (a as usize) << 8;
+        (&Self::kernels().mul[off..off + 256])
+            .try_into()
+            .expect("row is 256 bytes")
+    }
+
+    #[inline]
+    fn ctx_mul(ctx: &'static [u8; 256], b: u8) -> u8 {
+        ctx[b as usize]
+    }
 }
 
 /// GF(2^16) with primitive polynomial 0x1100B.
@@ -192,6 +266,7 @@ impl Gf65536 {
 
 impl Field for Gf65536 {
     type Elem = u16;
+    type MulCtx = u16;
     const ORDER: usize = 65536;
     const BITS: usize = 16;
 
@@ -253,6 +328,16 @@ impl Field for Gf65536 {
     fn to_usize(a: u16) -> usize {
         a as usize
     }
+
+    #[inline]
+    fn mul_ctx(a: u16) -> u16 {
+        a
+    }
+
+    #[inline]
+    fn ctx_mul(ctx: u16, b: u16) -> u16 {
+        Self::mul(ctx, b)
+    }
 }
 
 /// Polynomial helpers over an arbitrary [`Field`]. Polynomials are stored
@@ -260,11 +345,13 @@ impl Field for Gf65536 {
 pub mod poly {
     use super::Field;
 
-    /// Evaluate `p` at `x` by Horner's rule.
+    /// Evaluate `p` at `x` by Horner's rule. The multiplier `x` is fixed
+    /// across the loop, so its multiplication context is hoisted once.
     pub fn eval<F: Field>(p: &[F::Elem], x: F::Elem) -> F::Elem {
+        let ctx = F::mul_ctx(x);
         let mut acc = F::zero();
         for &c in p.iter().rev() {
-            acc = F::add(F::mul(acc, x), c);
+            acc = F::add(F::ctx_mul(ctx, acc), c);
         }
         acc
     }
@@ -279,8 +366,9 @@ pub mod poly {
             if F::is_zero(ai) {
                 continue;
             }
+            let ctx = F::mul_ctx(ai);
             for (j, &bj) in b.iter().enumerate() {
-                out[i + j] = F::add(out[i + j], F::mul(ai, bj));
+                out[i + j] = F::add(out[i + j], F::ctx_mul(ctx, bj));
             }
         }
         out
@@ -300,7 +388,8 @@ pub mod poly {
 
     /// Scale a polynomial by a field element.
     pub fn scale<F: Field>(p: &[F::Elem], s: F::Elem) -> Vec<F::Elem> {
-        p.iter().map(|&c| F::mul(c, s)).collect()
+        let ctx = F::mul_ctx(s);
+        p.iter().map(|&c| F::ctx_mul(ctx, c)).collect()
     }
 
     /// Formal derivative (characteristic 2: odd-degree terms survive).
@@ -348,10 +437,7 @@ mod tests {
                 assert_eq!(F::mul(a, b), F::mul(b, a));
                 for &c in sample {
                     // distributivity
-                    assert_eq!(
-                        F::mul(a, F::add(b, c)),
-                        F::add(F::mul(a, b), F::mul(a, c))
-                    );
+                    assert_eq!(F::mul(a, F::add(b, c)), F::add(F::mul(a, b), F::mul(a, c)));
                     // associativity
                     assert_eq!(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
                 }
@@ -437,6 +523,41 @@ mod tests {
         let sq = poly::mul::<Gf256>(&p, &p);
         assert_eq!(sq, vec![1, 0, 1]);
         assert_eq!(poly::degree::<Gf256>(&sq), 2);
+    }
+
+    #[test]
+    fn gf256_table_kernel_matches_exp_log_exhaustive() {
+        // The flat 64 KiB table and the exp/log baseline must agree on all
+        // 65536 operand pairs, including the zero row and column.
+        for a in 0..256usize {
+            let ctx = Gf256::mul_ctx(a as u8);
+            for b in 0..256usize {
+                let want = Gf256::mul_exp_log(a as u8, b as u8);
+                assert_eq!(Gf256::mul(a as u8, b as u8), want);
+                assert_eq!(Gf256::ctx_mul(ctx, b as u8), want);
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_inv_table_matches_exp_log() {
+        let t = |a: u8| {
+            // exp/log formulation the table was built from
+            Gf256::alpha_pow(255 - Gf256::log(a) as i64)
+        };
+        for a in 1..=255u8 {
+            assert_eq!(Gf256::inv(a), t(a));
+        }
+    }
+
+    #[test]
+    fn gf65536_ctx_mul_matches_mul() {
+        for a in [0u16, 1, 2, 0x1234, 0xABCD, 0xFFFF] {
+            let ctx = Gf65536::mul_ctx(a);
+            for b in [0u16, 1, 3, 0x8000, 0xFFFE] {
+                assert_eq!(Gf65536::ctx_mul(ctx, b), Gf65536::mul(a, b));
+            }
+        }
     }
 
     #[test]

@@ -49,6 +49,4 @@ pub use lotecc::{LotEcc, LotEcc5Rs, LotEccVariant};
 pub use multiecc::MultiEcc;
 pub use overhead::{CapacityBreakdown, OverheadModel};
 pub use raim::Raim;
-pub use traits::{
-    Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
-};
+pub use traits::{Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc};

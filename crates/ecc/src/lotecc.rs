@@ -27,8 +27,7 @@ use crate::checksum::{checksum16, checksum8};
 use crate::gf::Gf65536;
 use crate::rs::ReedSolomon;
 use crate::traits::{
-    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
-    Region,
+    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc, Region,
 };
 
 /// Which LOT-ECC rank organization.
@@ -447,7 +446,9 @@ impl MemoryEcc for LotEcc5Rs {
                 correction[w * 2 + 1],
             ]));
             let erasures: Vec<usize> = if let Some(&c) = bad.first() {
-                (0..RS5_SYMS).filter(|&j| Self::chip_of_symbol(j) == c).collect()
+                (0..RS5_SYMS)
+                    .filter(|&j| Self::chip_of_symbol(j) == c)
+                    .collect()
             } else {
                 vec![]
             };

@@ -218,7 +218,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn group(rng: &mut StdRng, n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|_| (0..LINE).map(|_| rng.gen()).collect()).collect()
+        (0..n)
+            .map(|_| (0..LINE).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]

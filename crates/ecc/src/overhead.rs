@@ -115,8 +115,8 @@ impl OverheadModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Chipkill18, Chipkill36, LotEcc, Raim};
     use crate::raim::RaimParityCode;
+    use crate::{Chipkill18, Chipkill36, LotEcc, Raim};
 
     #[test]
     fn fig1_totals_match_paper() {
@@ -126,8 +126,8 @@ mod tests {
         assert!((totals[1] - 0.40625).abs() < 1e-9); // RAIM 40.6%
         assert!((totals[2] - 0.2656).abs() < 1e-3); // LOT-ECC I 26.5%
         assert!((totals[3] - 0.40625).abs() < 1e-9); // LOT-ECC II 40.6%
-        // "Typically 50% or more of the ECC capacity overhead comes from the
-        // ECC correction bits" — check the claim holds for all rows.
+                                                     // "Typically 50% or more of the ECC capacity overhead comes from the
+                                                     // ECC correction bits" — check the claim holds for all rows.
         for (name, b) in &rows {
             assert!(
                 b.correction >= b.detection * 0.99,

@@ -22,8 +22,7 @@
 
 use crate::checksum::checksum16;
 use crate::traits::{
-    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc,
-    Region,
+    ChipSpan, Codeword, CorrectOutcome, CorrectionSplit, DetectOutcome, EccError, MemoryEcc, Region,
 };
 
 const CHIP_BYTES: usize = 4; // bytes each x4 chip supplies per line

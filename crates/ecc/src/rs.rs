@@ -62,11 +62,26 @@ impl std::error::Error for RsError {}
 /// rs.decode(&mut codeword, &[], None).unwrap();
 /// assert_eq!(&codeword[..data.len()], &data[..]);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ReedSolomon<F: Field> {
     nroots: usize,
     /// Generator polynomial, lowest-degree-first, `genpoly.len() == nroots+1`.
     genpoly: Vec<F::Elem>,
+    /// `mul_ctx(genpoly[j])`: the encode LFSR multiplies the feedback symbol
+    /// by fixed generator coefficients, so their contexts are hoisted here.
+    gen_ctx: Vec<F::MulCtx>,
+    /// `mul_ctx(alpha^j)` for `j in 0..nroots`: the syndrome Horner loops
+    /// multiply the accumulator by a fixed root power.
+    synd_ctx: Vec<F::MulCtx>,
+}
+
+impl<F: Field> std::fmt::Debug for ReedSolomon<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReedSolomon")
+            .field("nroots", &self.nroots)
+            .field("genpoly", &self.genpoly)
+            .finish()
+    }
 }
 
 impl<F: Field> ReedSolomon<F> {
@@ -82,7 +97,16 @@ impl<F: Field> ReedSolomon<F> {
             genpoly = poly::mul::<F>(&genpoly, &[root, F::one()]);
         }
         debug_assert_eq!(genpoly.len(), nroots + 1);
-        Self { nroots, genpoly }
+        let gen_ctx = genpoly.iter().map(|&g| F::mul_ctx(g)).collect();
+        let synd_ctx = (0..nroots)
+            .map(|j| F::mul_ctx(F::alpha_pow(j as i64)))
+            .collect();
+        Self {
+            nroots,
+            genpoly,
+            gen_ctx,
+            synd_ctx,
+        }
     }
 
     /// Number of check symbols.
@@ -108,10 +132,10 @@ impl<F: Field> ReedSolomon<F> {
                 for j in 0..self.nroots - 1 {
                     parity[j] = F::add(
                         parity[j + 1],
-                        F::mul(feedback, self.genpoly[self.nroots - 1 - j]),
+                        F::ctx_mul(self.gen_ctx[self.nroots - 1 - j], feedback),
                     );
                 }
-                parity[self.nroots - 1] = F::mul(feedback, self.genpoly[0]);
+                parity[self.nroots - 1] = F::ctx_mul(self.gen_ctx[0], feedback);
             } else {
                 parity.rotate_left(1);
                 parity[self.nroots - 1] = F::zero();
@@ -123,15 +147,15 @@ impl<F: Field> ReedSolomon<F> {
     /// Compute syndromes `S_j = c(alpha^j)` for `j in 0..nroots`.
     /// All-zero syndromes <=> the codeword is a valid codeword.
     pub fn syndromes(&self, codeword: &[F::Elem]) -> Vec<F::Elem> {
-        let n = codeword.len();
         let mut synd = vec![F::zero(); self.nroots];
         for (j, s) in synd.iter_mut().enumerate() {
             // S_j = sum_i cw[i] * alpha^(j*(n-1-i)) — Horner over the
-            // codeword read left (highest degree) to right.
-            let aj = F::alpha_pow(j as i64);
+            // codeword read left (highest degree) to right, multiplying by
+            // the precomputed context of the fixed root power alpha^j.
+            let ctx = self.synd_ctx[j];
             let mut acc = F::zero();
-            for i in 0..n {
-                acc = F::add(F::mul(acc, aj), codeword[i]);
+            for &c in codeword {
+                acc = F::add(F::ctx_mul(ctx, acc), c);
             }
             *s = acc;
         }
@@ -383,13 +407,16 @@ mod tests {
             match rs.decode(&mut cw, &[], None) {
                 Err(RsError::DetectedUncorrectable) => {
                     detected += 1;
-                    assert_eq!(&cw[..], &{
-                        let mut c = clean.clone();
-                        c[3] = cw[3];
-                        c[17] = cw[17];
-                        c[29] = cw[29];
-                        c
-                    }[..]);
+                    assert_eq!(
+                        &cw[..],
+                        &{
+                            let mut c = clean.clone();
+                            c[3] = cw[3];
+                            c[17] = cw[17];
+                            c[29] = cw[29];
+                            c
+                        }[..]
+                    );
                 }
                 Ok(_) => {
                     // Miscorrection to a *different* valid codeword is
@@ -400,7 +427,10 @@ mod tests {
             }
         }
         // The vast majority of 3-error patterns must be detected.
-        assert!(detected > trials * 9 / 10, "detected only {detected}/{trials}");
+        assert!(
+            detected > trials * 9 / 10,
+            "detected only {detected}/{trials}"
+        );
     }
 
     #[test]

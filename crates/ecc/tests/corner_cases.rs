@@ -147,7 +147,8 @@ fn lotecc_all_zero_and_all_ones_lines() {
             let cw = l.encode(&data);
             assert_eq!(l.detect(&cw.data, &cw.detection), DetectOutcome::Clean);
             let mut d = cw.data.clone();
-            l.correct(&mut d, &cw.detection, &cw.correction, None).unwrap();
+            l.correct(&mut d, &cw.detection, &cw.correction, None)
+                .unwrap();
             assert_eq!(d, data);
         }
     }
@@ -166,7 +167,8 @@ fn multiecc_group_of_identical_lines() {
     for b in &mut lines[2][8..16] {
         *b = 0;
     }
-    m.correct_in_group(&mut lines, 2, &det, &parity, None).unwrap();
+    m.correct_in_group(&mut lines, 2, &det, &parity, None)
+        .unwrap();
     assert_eq!(lines[2], line);
 }
 

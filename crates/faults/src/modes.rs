@@ -174,9 +174,7 @@ mod tests {
         let t = FitTable::DDR3_AVERAGE.scaled_to(100.0);
         assert!((t.total() - 100.0).abs() < 1e-9);
         let base = FitTable::DDR3_AVERAGE;
-        assert!(
-            (t.single_bank / t.single_bit - base.single_bank / base.single_bit).abs() < 1e-12
-        );
+        assert!((t.single_bank / t.single_bit - base.single_bank / base.single_bit).abs() < 1e-12);
     }
 
     #[test]
@@ -194,8 +192,12 @@ mod tests {
     fn bank_pairs_marked_monotone_in_mode_size() {
         let b = 8;
         assert_eq!(FaultMode::SingleRow.bank_pairs_marked(b), 0);
-        assert!(FaultMode::SingleBank.bank_pairs_marked(b) <= FaultMode::MultiBank.bank_pairs_marked(b));
-        assert!(FaultMode::MultiBank.bank_pairs_marked(b) <= FaultMode::MultiRank.bank_pairs_marked(b));
+        assert!(
+            FaultMode::SingleBank.bank_pairs_marked(b) <= FaultMode::MultiBank.bank_pairs_marked(b)
+        );
+        assert!(
+            FaultMode::MultiBank.bank_pairs_marked(b) <= FaultMode::MultiRank.bank_pairs_marked(b)
+        );
         assert_eq!(FaultMode::MultiRank.bank_pairs_marked(b), 8);
     }
 

@@ -244,10 +244,7 @@ mod tests {
 
     #[test]
     fn expected_events_for_paper_geometry() {
-        let sim = LifetimeSim::new(
-            SystemGeometry::paper_reliability(),
-            FitTable::DDR3_AVERAGE,
-        );
+        let sim = LifetimeSim::new(SystemGeometry::paper_reliability(), FitTable::DDR3_AVERAGE);
         // 288 chips * 44e-9/h * 61320h = 0.777 events per lifetime
         assert!((sim.expected_events() - 0.777).abs() < 0.01);
     }

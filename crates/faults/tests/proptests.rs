@@ -1,8 +1,6 @@
 //! Property-based tests of the fault-model invariants.
 
-use mem_faults::{
-    ChipLocation, FaultInstance, FaultMode, FitTable, LifetimeSim, SystemGeometry,
-};
+use mem_faults::{ChipLocation, FaultInstance, FaultMode, FitTable, LifetimeSim, SystemGeometry};
 use proptest::prelude::*;
 
 proptest! {

@@ -21,6 +21,6 @@ pub mod workloads;
 pub use cpu::CoreConfig;
 pub use llc::{AccessOutcome, Llc, LlcConfig};
 pub use runner::{DegradedConfig, RunConfig, RunResult, SimRunner};
-pub use trace::{Trace, TraceCursor, TraceEvent};
 pub use schemes::{EccTraffic, SchemeConfig, SchemeId, SystemScale};
+pub use trace::{Trace, TraceCursor, TraceEvent};
 pub use workloads::{Workload, WorkloadSpec, BIN1, BIN2};

@@ -57,9 +57,16 @@ pub struct LlcStats {
 }
 
 /// The cache. Addresses are line-granular in units of `line_bytes`.
+///
+/// Ways are stored as one flat array (`set * ways + way`) rather than a
+/// vec-of-vecs: the per-access set lookup is then a mask plus one offset
+/// with no second pointer chase, and a set's ways share cache lines.
 pub struct Llc {
     config: LlcConfig,
-    sets: Vec<Vec<Way>>,
+    ways: Vec<Way>,
+    ways_per_set: usize,
+    /// `nsets - 1`; set count is asserted to be a power of two.
+    set_mask: u64,
     clock: u64,
     stats: LlcStats,
 }
@@ -70,7 +77,9 @@ impl Llc {
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
         Llc {
             config,
-            sets: vec![vec![Way::default(); config.ways]; nsets],
+            ways: vec![Way::default(); config.ways * nsets],
+            ways_per_set: config.ways,
+            set_mask: nsets as u64 - 1,
             clock: 0,
             stats: LlcStats::default(),
         }
@@ -84,16 +93,16 @@ impl Llc {
         &self.stats
     }
 
-    fn set_of(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+    fn set_base(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize * self.ways_per_set
     }
 
     /// Access `line`; on miss, fill it (write-allocate). Returns hit status
     /// and any dirty victim.
     pub fn access(&mut self, line: u64, is_write: bool) -> AccessOutcome {
         self.clock += 1;
-        let set_idx = self.set_of(line);
-        let ways = &mut self.sets[set_idx];
+        let base = self.set_base(line);
+        let ways = &mut self.ways[base..base + self.ways_per_set];
         let tag = line;
         // hit?
         for w in ways.iter_mut() {
@@ -142,19 +151,19 @@ impl Llc {
 
     /// Probe without modifying state (used by tests).
     pub fn contains(&self, line: u64) -> bool {
-        let set_idx = self.set_of(line);
-        self.sets[set_idx].iter().any(|w| w.valid && w.tag == line)
+        let base = self.set_base(line);
+        self.ways[base..base + self.ways_per_set]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
     }
 
     /// Drain every dirty line (end-of-simulation flush). Returns their tags.
     pub fn flush_dirty(&mut self) -> Vec<u64> {
         let mut out = vec![];
-        for set in &mut self.sets {
-            for w in set {
-                if w.valid && w.dirty {
-                    out.push(w.tag);
-                    w.dirty = false;
-                }
+        for w in &mut self.ways {
+            if w.valid && w.dirty {
+                out.push(w.tag);
+                w.dirty = false;
             }
         }
         out.sort_unstable();

@@ -220,8 +220,9 @@ impl SimRunner {
         // ---- warmup: fills the LLC; throwaway memory system paces cores ----
         {
             let mut mem = MemorySystem::new(cfg.scheme.mem.clone());
-            let mut cores: Vec<CoreState> =
-                (0..cfg.cores).map(|_| CoreState::new(cfg.core_config)).collect();
+            let mut cores: Vec<CoreState> = (0..cfg.cores)
+                .map(|_| CoreState::new(cfg.core_config))
+                .collect();
             let mut traffic = TrafficCounters::default();
             let mut reqs = 0u64;
             self.phase(
@@ -239,8 +240,9 @@ impl SimRunner {
         // ---- measurement: fresh clocks and a fresh memory system ----
         let llc_before = *llc.stats();
         let mut mem = MemorySystem::new(cfg.scheme.mem.clone());
-        let mut cores: Vec<CoreState> =
-            (0..cfg.cores).map(|_| CoreState::new(cfg.core_config)).collect();
+        let mut cores: Vec<CoreState> = (0..cfg.cores)
+            .map(|_| CoreState::new(cfg.core_config))
+            .collect();
         let mut traffic = TrafficCounters::default();
         let mut reqs = 0u64;
         self.phase(
@@ -477,9 +479,7 @@ mod tests {
         assert!(r.traffic.data_read_units > 0);
         assert!(r.energy.total_pj() > 0.0);
         assert!(r.epi_pj() > 0.0);
-        assert!(
-            (r.epi_pj() - (r.dynamic_epi_pj() + r.background_epi_pj())).abs() < 1e-9
-        );
+        assert!((r.epi_pj() - (r.dynamic_epi_pj() + r.background_epi_pj())).abs() < 1e-9);
         // inline scheme: zero ECC traffic
         assert_eq!(r.traffic.ecc_read_units, 0);
         assert_eq!(r.traffic.ecc_write_units, 0);
@@ -498,7 +498,10 @@ mod tests {
     #[test]
     fn parity_scheme_produces_xor_rmw_traffic() {
         let r = quick(SchemeId::Lot5Parity, "lbm");
-        assert!(r.traffic.ecc_read_units > 0, "XOR evictions read the parity");
+        assert!(
+            r.traffic.ecc_read_units > 0,
+            "XOR evictions read the parity"
+        );
         assert_eq!(
             r.traffic.ecc_read_units, r.traffic.ecc_write_units,
             "each XOR eviction is one read + one write"
@@ -569,7 +572,10 @@ mod tests {
             SimRunner::new(cfg).run()
         };
         let healthy = mk(None);
-        let degraded = mk(Some(DegradedConfig { channel: 0, pair: 0 }));
+        let degraded = mk(Some(DegradedConfig {
+            channel: 0,
+            pair: 0,
+        }));
         assert_eq!(healthy.traffic.faulty_ecc_units, 0);
         assert!(
             degraded.traffic.faulty_ecc_units > 0,

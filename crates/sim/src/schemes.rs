@@ -164,7 +164,12 @@ impl SchemeConfig {
                     id,
                     name: "RAIM + ECC Parity",
                     traffic: EccTraffic::XorParity { quad: 4 },
-                    mem: MemoryConfig::new(channels, 1, RankConfig::uniform(DeviceKind::X4, 18), 64),
+                    mem: MemoryConfig::new(
+                        channels,
+                        1,
+                        RankConfig::uniform(DeviceKind::X4, 18),
+                        64,
+                    ),
                     capacity_overhead: OverheadModel::ecc_parity(0.5, channels).total(),
                 }
             }
@@ -173,7 +178,10 @@ impl SchemeConfig {
 
     /// All eight organizations at a scale.
     pub fn all(scale: SystemScale) -> Vec<SchemeConfig> {
-        SchemeId::ALL.iter().map(|&id| Self::build(id, scale)).collect()
+        SchemeId::ALL
+            .iter()
+            .map(|&id| Self::build(id, scale))
+            .collect()
     }
 
     /// Address of the ECC/XOR cacheline covering 64B data line `line64`, or
@@ -214,16 +222,30 @@ mod tests {
 
     #[test]
     fn table2_logical_channels() {
-        let quad = |id| SchemeConfig::build(id, SystemScale::QuadEquivalent).mem.channels;
-        let dual = |id| SchemeConfig::build(id, SystemScale::DualEquivalent).mem.channels;
+        let quad = |id| {
+            SchemeConfig::build(id, SystemScale::QuadEquivalent)
+                .mem
+                .channels
+        };
+        let dual = |id| {
+            SchemeConfig::build(id, SystemScale::DualEquivalent)
+                .mem
+                .channels
+        };
         assert_eq!((quad(SchemeId::Ck36), dual(SchemeId::Ck36)), (4, 2));
         assert_eq!((quad(SchemeId::Ck18), dual(SchemeId::Ck18)), (8, 4));
         assert_eq!((quad(SchemeId::Lot5), dual(SchemeId::Lot5)), (8, 4));
         assert_eq!((quad(SchemeId::Lot9), dual(SchemeId::Lot9)), (8, 4));
         assert_eq!((quad(SchemeId::MultiEcc), dual(SchemeId::MultiEcc)), (8, 4));
-        assert_eq!((quad(SchemeId::Lot5Parity), dual(SchemeId::Lot5Parity)), (8, 4));
+        assert_eq!(
+            (quad(SchemeId::Lot5Parity), dual(SchemeId::Lot5Parity)),
+            (8, 4)
+        );
         assert_eq!((quad(SchemeId::Raim), dual(SchemeId::Raim)), (4, 2));
-        assert_eq!((quad(SchemeId::RaimParity), dual(SchemeId::RaimParity)), (10, 5));
+        assert_eq!(
+            (quad(SchemeId::RaimParity), dual(SchemeId::RaimParity)),
+            (10, 5)
+        );
     }
 
     #[test]

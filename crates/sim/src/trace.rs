@@ -149,8 +149,16 @@ mod tests {
     #[test]
     fn cursor_wraps_around() {
         let refs = vec![
-            MemRef { line: 1, is_write: false, gap_instr: 10 },
-            MemRef { line: 2, is_write: true, gap_instr: 20 },
+            MemRef {
+                line: 1,
+                is_write: false,
+                gap_instr: 10,
+            },
+            MemRef {
+                line: 2,
+                is_write: true,
+                gap_instr: 20,
+            },
         ];
         let mut c = TraceCursor::new(refs.clone());
         assert_eq!(c.next_ref(), refs[0]);

@@ -62,46 +62,214 @@ pub const BIN2: [&str; 8] = [
     "streamcluster",
 ];
 
+static ALL_SPECS: std::sync::OnceLock<Vec<WorkloadSpec>> = std::sync::OnceLock::new();
+
 impl WorkloadSpec {
+    /// [`Self::all`] built once and borrowed forever — for harness code
+    /// that walks the table per row/cell and shouldn't rebuild it.
+    pub fn all_static() -> &'static [WorkloadSpec] {
+        ALL_SPECS.get_or_init(Self::all)
+    }
+
     /// All sixteen evaluated workloads (12 SPEC + 4 PARSEC).
     pub fn all() -> Vec<WorkloadSpec> {
         vec![
             // ---- Bin2: memory-intensive ----
             // mcf: pointer chasing over a huge footprint, low spatial locality
-            WorkloadSpec { name: "mcf", lapki: 27.0, write_frac: 0.28, hot_frac: 0.35, hot_lines: 6_000, cold_lines: 3_000_000, seq_run: 1.3, streams: 2, bin: 2 },
+            WorkloadSpec {
+                name: "mcf",
+                lapki: 27.0,
+                write_frac: 0.28,
+                hot_frac: 0.35,
+                hot_lines: 6_000,
+                cold_lines: 3_000_000,
+                seq_run: 1.3,
+                streams: 2,
+                bin: 2,
+            },
             // lbm: streaming stencil, long runs, write heavy
-            WorkloadSpec { name: "lbm", lapki: 25.2, write_frac: 0.45, hot_frac: 0.20, hot_lines: 4_000, cold_lines: 2_500_000, seq_run: 12.0, streams: 8, bin: 2 },
+            WorkloadSpec {
+                name: "lbm",
+                lapki: 25.2,
+                write_frac: 0.45,
+                hot_frac: 0.20,
+                hot_lines: 4_000,
+                cold_lines: 2_500_000,
+                seq_run: 12.0,
+                streams: 8,
+                bin: 2,
+            },
             // milc: lattice QCD, large streams, moderate locality
-            WorkloadSpec { name: "milc", lapki: 22.8, write_frac: 0.35, hot_frac: 0.25, hot_lines: 5_000, cold_lines: 2_000_000, seq_run: 4.0, streams: 6, bin: 2 },
+            WorkloadSpec {
+                name: "milc",
+                lapki: 22.8,
+                write_frac: 0.35,
+                hot_frac: 0.25,
+                hot_lines: 5_000,
+                cold_lines: 2_000_000,
+                seq_run: 4.0,
+                streams: 6,
+                bin: 2,
+            },
             // libquantum: perfectly streaming over one big vector
-            WorkloadSpec { name: "libquantum", lapki: 24.0, write_frac: 0.25, hot_frac: 0.10, hot_lines: 2_000, cold_lines: 1_500_000, seq_run: 16.0, streams: 3, bin: 2 },
+            WorkloadSpec {
+                name: "libquantum",
+                lapki: 24.0,
+                write_frac: 0.25,
+                hot_frac: 0.10,
+                hot_lines: 2_000,
+                cold_lines: 1_500_000,
+                seq_run: 16.0,
+                streams: 3,
+                bin: 2,
+            },
             // leslie3d: multigrid CFD, mixed streams
-            WorkloadSpec { name: "leslie3d", lapki: 19.8, write_frac: 0.35, hot_frac: 0.30, hot_lines: 6_000, cold_lines: 1_800_000, seq_run: 6.0, streams: 8, bin: 2 },
+            WorkloadSpec {
+                name: "leslie3d",
+                lapki: 19.8,
+                write_frac: 0.35,
+                hot_frac: 0.30,
+                hot_lines: 6_000,
+                cold_lines: 1_800_000,
+                seq_run: 6.0,
+                streams: 8,
+                bin: 2,
+            },
             // GemsFDTD: FDTD solver, large working set, fair locality
-            WorkloadSpec { name: "GemsFDTD", lapki: 21.0, write_frac: 0.38, hot_frac: 0.30, hot_lines: 8_000, cold_lines: 2_200_000, seq_run: 5.0, streams: 8, bin: 2 },
+            WorkloadSpec {
+                name: "GemsFDTD",
+                lapki: 21.0,
+                write_frac: 0.38,
+                hot_frac: 0.30,
+                hot_lines: 8_000,
+                cold_lines: 2_200_000,
+                seq_run: 5.0,
+                streams: 8,
+                bin: 2,
+            },
             // canneal (PARSEC): random pointer walks over a huge netlist
-            WorkloadSpec { name: "canneal", lapki: 21.6, write_frac: 0.22, hot_frac: 0.30, hot_lines: 8_000, cold_lines: 4_000_000, seq_run: 1.15, streams: 2, bin: 2 },
+            WorkloadSpec {
+                name: "canneal",
+                lapki: 21.6,
+                write_frac: 0.22,
+                hot_frac: 0.30,
+                hot_lines: 8_000,
+                cold_lines: 4_000_000,
+                seq_run: 1.15,
+                streams: 2,
+                bin: 2,
+            },
             // streamcluster (PARSEC): dense distance computations — the
             // paper's showcase of high spatial locality (~20% faster on
             // 128B-line systems)
-            WorkloadSpec { name: "streamcluster", lapki: 24.0, write_frac: 0.15, hot_frac: 0.22, hot_lines: 4_000, cold_lines: 1_200_000, seq_run: 48.0, streams: 4, bin: 2 },
+            WorkloadSpec {
+                name: "streamcluster",
+                lapki: 24.0,
+                write_frac: 0.15,
+                hot_frac: 0.22,
+                hot_lines: 4_000,
+                cold_lines: 1_200_000,
+                seq_run: 48.0,
+                streams: 4,
+                bin: 2,
+            },
             // ---- Bin1: moderate access rates (all >= 1% bandwidth) ----
             // sjeng: game tree search, small hot set, sparse misses
-            WorkloadSpec { name: "sjeng", lapki: 4.8, write_frac: 0.30, hot_frac: 0.80, hot_lines: 10_000, cold_lines: 700_000, seq_run: 1.2, streams: 2, bin: 1 },
+            WorkloadSpec {
+                name: "sjeng",
+                lapki: 4.8,
+                write_frac: 0.30,
+                hot_frac: 0.80,
+                hot_lines: 10_000,
+                cold_lines: 700_000,
+                seq_run: 1.2,
+                streams: 2,
+                bin: 1,
+            },
             // omnetpp: discrete event simulation, heap-heavy, poor locality
-            WorkloadSpec { name: "omnetpp", lapki: 8.4, write_frac: 0.35, hot_frac: 0.65, hot_lines: 12_000, cold_lines: 1_500_000, seq_run: 1.2, streams: 2, bin: 1 },
+            WorkloadSpec {
+                name: "omnetpp",
+                lapki: 8.4,
+                write_frac: 0.35,
+                hot_frac: 0.65,
+                hot_lines: 12_000,
+                cold_lines: 1_500_000,
+                seq_run: 1.2,
+                streams: 2,
+                bin: 1,
+            },
             // astar: pathfinding, moderate reuse
-            WorkloadSpec { name: "astar", lapki: 7.2, write_frac: 0.28, hot_frac: 0.70, hot_lines: 9_000, cold_lines: 900_000, seq_run: 1.5, streams: 2, bin: 1 },
+            WorkloadSpec {
+                name: "astar",
+                lapki: 7.2,
+                write_frac: 0.28,
+                hot_frac: 0.70,
+                hot_lines: 9_000,
+                cold_lines: 900_000,
+                seq_run: 1.5,
+                streams: 2,
+                bin: 1,
+            },
             // gcc: compiler, bursty small structures
-            WorkloadSpec { name: "gcc", lapki: 6.0, write_frac: 0.32, hot_frac: 0.72, hot_lines: 11_000, cold_lines: 800_000, seq_run: 2.0, streams: 3, bin: 1 },
+            WorkloadSpec {
+                name: "gcc",
+                lapki: 6.0,
+                write_frac: 0.32,
+                hot_frac: 0.72,
+                hot_lines: 11_000,
+                cold_lines: 800_000,
+                seq_run: 2.0,
+                streams: 3,
+                bin: 1,
+            },
             // soplex: sparse LP solver, moderate streams
-            WorkloadSpec { name: "soplex", lapki: 10.8, write_frac: 0.25, hot_frac: 0.55, hot_lines: 8_000, cold_lines: 1_200_000, seq_run: 3.0, streams: 4, bin: 1 },
+            WorkloadSpec {
+                name: "soplex",
+                lapki: 10.8,
+                write_frac: 0.25,
+                hot_frac: 0.55,
+                hot_lines: 8_000,
+                cold_lines: 1_200_000,
+                seq_run: 3.0,
+                streams: 4,
+                bin: 1,
+            },
             // bwaves: blast-wave CFD, streaming but cache-friendlier blocks
-            WorkloadSpec { name: "bwaves", lapki: 12.0, write_frac: 0.30, hot_frac: 0.50, hot_lines: 10_000, cold_lines: 1_600_000, seq_run: 8.0, streams: 6, bin: 1 },
+            WorkloadSpec {
+                name: "bwaves",
+                lapki: 12.0,
+                write_frac: 0.30,
+                hot_frac: 0.50,
+                hot_lines: 10_000,
+                cold_lines: 1_600_000,
+                seq_run: 8.0,
+                streams: 6,
+                bin: 1,
+            },
             // facesim (PARSEC): physics solver, mixed
-            WorkloadSpec { name: "facesim", lapki: 9.6, write_frac: 0.35, hot_frac: 0.60, hot_lines: 9_000, cold_lines: 1_000_000, seq_run: 4.0, streams: 4, bin: 1 },
+            WorkloadSpec {
+                name: "facesim",
+                lapki: 9.6,
+                write_frac: 0.35,
+                hot_frac: 0.60,
+                hot_lines: 9_000,
+                cold_lines: 1_000_000,
+                seq_run: 4.0,
+                streams: 4,
+                bin: 1,
+            },
             // ferret (PARSEC): similarity search pipeline
-            WorkloadSpec { name: "ferret", lapki: 7.8, write_frac: 0.22, hot_frac: 0.68, hot_lines: 10_000, cold_lines: 1_100_000, seq_run: 2.5, streams: 3, bin: 1 },
+            WorkloadSpec {
+                name: "ferret",
+                lapki: 7.8,
+                write_frac: 0.22,
+                hot_frac: 0.68,
+                hot_lines: 10_000,
+                cold_lines: 1_100_000,
+                seq_run: 2.5,
+                streams: 3,
+                bin: 1,
+            },
         ]
     }
 
@@ -267,7 +435,11 @@ mod tests {
     fn bin2_has_higher_access_rates() {
         let all = WorkloadSpec::all();
         let avg = |bin: u8| {
-            let v: Vec<f64> = all.iter().filter(|w| w.bin == bin).map(|w| w.lapki).collect();
+            let v: Vec<f64> = all
+                .iter()
+                .filter(|w| w.bin == bin)
+                .map(|w| w.lapki)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(avg(2) > 2.0 * avg(1));
@@ -307,19 +479,13 @@ mod tests {
         let sc = WorkloadSpec::by_name("streamcluster").unwrap();
         let mut w = Workload::new(sc, 9);
         let refs: Vec<u64> = (0..50_000).map(|_| w.next_ref().line).collect();
-        let seq = refs
-            .windows(2)
-            .filter(|p| p[1] == p[0] + 1)
-            .count() as f64
-            / (refs.len() - 1) as f64;
+        let seq =
+            refs.windows(2).filter(|p| p[1] == p[0] + 1).count() as f64 / (refs.len() - 1) as f64;
         let canneal = WorkloadSpec::by_name("canneal").unwrap();
         let mut w2 = Workload::new(canneal, 9);
         let refs2: Vec<u64> = (0..50_000).map(|_| w2.next_ref().line).collect();
-        let seq2 = refs2
-            .windows(2)
-            .filter(|p| p[1] == p[0] + 1)
-            .count() as f64
-            / (refs2.len() - 1) as f64;
+        let seq2 =
+            refs2.windows(2).filter(|p| p[1] == p[0] + 1).count() as f64 / (refs2.len() - 1) as f64;
         assert!(
             seq > 2.0 * seq2,
             "streamcluster sequentiality {seq} must dwarf canneal {seq2}"

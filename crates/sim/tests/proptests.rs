@@ -1,8 +1,6 @@
 //! Property-based tests of the full-system simulator's invariants.
 
-use mem_sim::{
-    LlcConfig, RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec,
-};
+use mem_sim::{LlcConfig, RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
 use proptest::prelude::*;
 
 fn quick_cfg(id: SchemeId, wname: &str, seed: u64, accesses: usize) -> RunConfig {

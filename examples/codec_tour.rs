@@ -33,7 +33,12 @@ fn demo(ecc: &dyn MemoryEcc, kill_chip: usize, rng: &mut StdRng) {
         detected
     );
     let mut repaired = noisy.data.clone();
-    match ecc.correct(&mut repaired, &noisy.detection, &cw.correction, Some(kill_chip)) {
+    match ecc.correct(
+        &mut repaired,
+        &noisy.detection,
+        &cw.correction,
+        Some(kill_chip),
+    ) {
         Ok(out) => {
             assert_eq!(repaired, data);
             println!(

@@ -40,7 +40,10 @@ fn main() {
         let r = SimRunner::new(cfg).run();
         results.push(r);
     }
-    println!("\n{:<32} {:>10} {:>10} {:>10}", "scheme", "EPI (pJ)", "dyn (pJ)", "bg (pJ)");
+    println!(
+        "\n{:<32} {:>10} {:>10} {:>10}",
+        "scheme", "EPI (pJ)", "dyn (pJ)", "bg (pJ)"
+    );
     for r in &results {
         println!(
             "{:<32} {:>10.1} {:>10.1} {:>10.1}",

@@ -49,7 +49,11 @@ fn main() {
             }
         }
     }
-    println!("wrote {} lines across {} channels", shadow.len(), config.channels);
+    println!(
+        "wrote {} lines across {} channels",
+        shadow.len(),
+        config.channels
+    );
 
     // A DRAM device dies: chip 2 of channel 3 develops a bank fault.
     memory.inject_fault(FaultInstance {

@@ -19,7 +19,11 @@ fn print_new_events(mem: &ParityMemory<LotEcc>, since: &mut u64) {
             continue;
         }
         let line = match ev {
-            MemEvent::ErrorDetected { channel, loc, resolved } => format!(
+            MemEvent::ErrorDetected {
+                channel,
+                loc,
+                resolved,
+            } => format!(
                 "error detected   ch{channel} bank{} row{} line{} -> {resolved:?}",
                 loc.bank, loc.row, loc.line
             ),
@@ -64,7 +68,11 @@ fn main() {
 
     println!("== event 1: a cosmic-ray strike (transient) in channel 5 ==");
     mem.inject_transient(FaultInstance {
-        chip: ChipLocation { channel: 5, rank: 0, chip: 0 },
+        chip: ChipLocation {
+            channel: 5,
+            rank: 0,
+            chip: 0,
+        },
         mode: FaultMode::SingleBit,
         bank: 3,
         row: 2,
@@ -72,7 +80,10 @@ fn main() {
         pattern_seed: 1,
     });
     let rep = mem.scrub();
-    println!("scrub: {} error(s) found, {} page(s) retired", rep.errors_detected, rep.pages_retired);
+    println!(
+        "scrub: {} error(s) found, {} page(s) retired",
+        rep.errors_detected, rep.pages_retired
+    );
     print_new_events(&mem, &mut cursor);
     let rep = mem.scrub();
     println!(
@@ -82,7 +93,11 @@ fn main() {
 
     println!("== event 2: a device develops a permanent bank fault in channel 1 ==");
     mem.inject_fault(FaultInstance {
-        chip: ChipLocation { channel: 1, rank: 0, chip: 2 },
+        chip: ChipLocation {
+            channel: 1,
+            rank: 0,
+            chip: 2,
+        },
         mode: FaultMode::SingleBank,
         bank: 0,
         row: 0,
@@ -97,7 +112,11 @@ fn main() {
     print_new_events(&mem, &mut cursor);
 
     println!("\n== steady state: reads through the dead bank ==");
-    let loc = LineLoc { bank: 0, row: 5, line: 0 };
+    let loc = LineLoc {
+        bank: 0,
+        row: 5,
+        line: 0,
+    };
     let before = mem.stats().ecc_line_corrections;
     let _ = mem.read(1, loc).unwrap();
     println!(

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example server_fleet_reliability`
 
 use ecc_parity_repro::mem_faults::{FitTable, LifetimeSim, SystemGeometry};
-use ecc_parity_repro::resilience_analysis::scrub::analytic_window_probability;
 use ecc_parity_repro::resilience_analysis::eol::fig8_point;
+use ecc_parity_repro::resilience_analysis::scrub::analytic_window_probability;
 use ecc_parity_repro::resilience_analysis::years_per_extra_uncorrectable;
 
 fn main() {

@@ -197,9 +197,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
                         i += 1;
                     }
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                        panic!(
-                            "serde shim derive: tuple enum variant `{vname}` is not supported"
-                        );
+                        panic!("serde shim derive: tuple enum variant `{vname}` is not supported");
                     }
                     Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
                         panic!(
@@ -223,9 +221,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pairs: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
-                    )
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),")
                 })
                 .collect();
             format!(
@@ -257,9 +253,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: String = variants
                 .iter()
                 .map(|v| match v {
-                    Variant::Unit(vn) => format!(
-                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
-                    ),
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),")
+                    }
                     Variant::Named { name: vn, fields } => {
                         let binds = fields.join(", ");
                         let pairs: String = fields

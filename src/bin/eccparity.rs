@@ -15,10 +15,10 @@ use ecc_parity_repro::mem_faults::SystemGeometry;
 use ecc_parity_repro::mem_sim::{
     RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec,
 };
+use ecc_parity_repro::resilience_analysis::scrub::analytic_window_probability;
 use ecc_parity_repro::resilience_analysis::{
     analytic_mtbf_hours, scrub_bandwidth_fraction, years_per_extra_uncorrectable,
 };
-use ecc_parity_repro::resilience_analysis::scrub::analytic_window_probability;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -53,7 +53,10 @@ fn cmd_codes() {
     let lot9 = LotEcc::nine();
     let raim = Raim::new();
     let codes: Vec<&dyn MemoryEcc> = vec![&ck36, &ck18, &ckd, &lot5, &lot9, &raim];
-    println!("{:<42} {:>6} {:>6} {:>8} {:>8}", "code", "chips", "line", "R", "overhead");
+    println!(
+        "{:<42} {:>6} {:>6} {:>8} {:>8}",
+        "code", "chips", "line", "R", "overhead"
+    );
     for c in codes {
         println!(
             "{:<42} {:>6} {:>5}B {:>8.3} {:>7.1}%",
@@ -148,17 +151,30 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
     let cfg = RunConfig::paper(SchemeConfig::build(scheme, scale), workload);
     let r = SimRunner::new(cfg).run();
     println!("scheme    : {}", r.scheme_name);
-    println!("workload  : {} ({} instructions)", r.workload_name, r.instructions);
+    println!(
+        "workload  : {} ({} instructions)",
+        r.workload_name, r.instructions
+    );
     println!("runtime   : {} cycles ({} ns)", r.cycles, r.cycles);
-    println!("EPI       : {:.1} pJ ({:.1} dynamic + {:.1} background)",
-        r.epi_pj(), r.dynamic_epi_pj(), r.background_epi_pj());
-    println!("traffic   : {:.4} 64B-units/instr ({} data R, {} data W, {} ECC R, {} ECC W)",
+    println!(
+        "EPI       : {:.1} pJ ({:.1} dynamic + {:.1} background)",
+        r.epi_pj(),
+        r.dynamic_epi_pj(),
+        r.background_epi_pj()
+    );
+    println!(
+        "traffic   : {:.4} 64B-units/instr ({} data R, {} data W, {} ECC R, {} ECC W)",
         r.units_per_instruction(),
         r.traffic.data_read_units,
         r.traffic.data_write_units,
         r.traffic.ecc_read_units,
-        r.traffic.ecc_write_units);
-    println!("bandwidth : {:.2} GB/s, avg latency {:.1} ns", r.bandwidth_gbs(), r.avg_mem_latency);
+        r.traffic.ecc_write_units
+    );
+    println!(
+        "bandwidth : {:.2} GB/s, avg latency {:.1} ns",
+        r.bandwidth_gbs(),
+        r.avg_mem_latency
+    );
     ExitCode::SUCCESS
 }
 

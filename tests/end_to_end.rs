@@ -76,9 +76,9 @@ fn monte_carlo_fault_history_never_corrupts_silently() {
             if mem.health().is_retired(*c, *bank, *row) {
                 continue;
             }
-            match mem.read(*c, loc) {
-                Ok(got) => assert_eq!(&got, d, "silent corruption at {c}/{loc:?}"),
-                Err(_) => {} // explicit uncorrectable: allowed, counted
+            // Err = explicit uncorrectable: allowed, counted.
+            if let Ok(got) = mem.read(*c, loc) {
+                assert_eq!(&got, d, "silent corruption at {c}/{loc:?}");
             }
         }
         // Capacity accounting stays within sane bounds.
@@ -163,11 +163,21 @@ fn ecc_traffic_classes_hold_for_every_scheme() {
         let r = SimRunner::new(cfg).run();
         match id {
             SchemeId::Ck36 | SchemeId::Ck18 | SchemeId::Raim => {
-                assert_eq!(r.traffic.ecc_read_units + r.traffic.ecc_write_units, 0, "{id:?}");
+                assert_eq!(
+                    r.traffic.ecc_read_units + r.traffic.ecc_write_units,
+                    0,
+                    "{id:?}"
+                );
             }
             SchemeId::Lot5 | SchemeId::Lot9 | SchemeId::MultiEcc => {
-                assert!(r.traffic.ecc_write_units > 0, "{id:?} must update ECC lines");
-                assert_eq!(r.traffic.ecc_read_units, 0, "{id:?} evictions are write-only");
+                assert!(
+                    r.traffic.ecc_write_units > 0,
+                    "{id:?} must update ECC lines"
+                );
+                assert_eq!(
+                    r.traffic.ecc_read_units, 0,
+                    "{id:?} evictions are write-only"
+                );
             }
             SchemeId::Lot5Parity | SchemeId::RaimParity => {
                 assert!(r.traffic.ecc_read_units > 0, "{id:?} parity RMW reads");

@@ -6,7 +6,9 @@
 
 use ecc_parity_repro::ecc_codes::OverheadModel;
 use ecc_parity_repro::mem_faults::SystemGeometry;
-use ecc_parity_repro::mem_sim::{RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec};
+use ecc_parity_repro::mem_sim::{
+    RunConfig, SchemeConfig, SchemeId, SimRunner, SystemScale, WorkloadSpec,
+};
 use ecc_parity_repro::resilience_analysis::scrub::analytic_window_probability;
 use ecc_parity_repro::resilience_analysis::{analytic_mtbf_hours, fig8_point, table3_rows};
 
@@ -22,7 +24,11 @@ fn table3_static_overheads() {
     check(0.5, 10, 0.188); // 10-chan RAIM + Parity
     check(0.5, 5, 0.266); // 5-chan
     for row in table3_rows(0, 0) {
-        assert!((row.static_overhead - row.paper_value).abs() < 0.002, "{}", row.name);
+        assert!(
+            (row.static_overhead - row.paper_value).abs() < 0.002,
+            "{}",
+            row.name
+        );
     }
 }
 
@@ -33,7 +39,10 @@ fn fig2_mean_time_between_channel_faults_anchor() {
     let days = analytic_mtbf_hours(&geo, 44.0) / 24.0;
     assert!((3_000.0..4_500.0).contains(&days), "got {days}");
     let days800 = analytic_mtbf_hours(&geo, 800.0) / 24.0;
-    assert!((150.0..300.0).contains(&days800), "100s of days at high FIT");
+    assert!(
+        (150.0..300.0).contains(&days800),
+        "100s of days at high FIT"
+    );
 }
 
 #[test]
