@@ -30,6 +30,7 @@ fn banks_marked(mode: mem_faults::FaultMode, granularity_banks: usize) -> usize 
 }
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("ablation_granularity");
     let geo = SystemGeometry::paper_reliability();
     let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE);
     let trials = if fast_mode() { 5_000 } else { 30_000 };

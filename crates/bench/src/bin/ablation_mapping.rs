@@ -9,6 +9,7 @@ use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("ablation_mapping");
     let names = ["milc", "lbm", "streamcluster", "omnetpp"];
     let results: Vec<Vec<String>> = names
         .par_iter()

@@ -10,6 +10,7 @@ use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("ablation_rowpolicy");
     let names = ["milc", "lbm", "streamcluster", "sjeng", "omnetpp"];
     let rows: Vec<Vec<String>> = names
         .par_iter()

@@ -10,6 +10,7 @@ use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("ablation_scheduler");
     let cells: Vec<(&str, SchemeId)> = vec![
         ("milc/LOT5+P", SchemeId::Lot5Parity),
         ("milc/36-dev", SchemeId::Ck36),

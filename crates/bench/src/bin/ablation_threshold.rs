@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("ablation_threshold");
     let mut rows = vec![];
     for threshold in [1u8, 2, 4, 8, 16] {
         let cfg = ParityConfig {

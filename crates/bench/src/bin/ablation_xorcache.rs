@@ -8,6 +8,7 @@ use mem_sim::{SchemeConfig, SchemeId, SystemScale};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("ablation_xorcache");
     let scheme = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
     let results: Vec<(String, f64, f64, f64)> = workloads()
         .into_par_iter()

@@ -108,6 +108,7 @@ fn run_trial(seed: u64, mode: FaultMode, double: bool) -> Tally {
 }
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("campaign");
     let trials: u64 = if fast_mode() { 40 } else { 150 };
     let mut rows = vec![];
     let mut total_silent = 0u64;

@@ -11,6 +11,7 @@ use mem_sim::{DegradedConfig, SchemeConfig, SchemeId, SystemScale};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("degraded_mode");
     let scheme = SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);
     let rows: Vec<Vec<String>> = workloads()
         .into_par_iter()

@@ -7,6 +7,7 @@ use eccparity_bench::print_table;
 use resilience_analysis::capacity::figure1_rows;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig01");
     let rows: Vec<Vec<String>> = figure1_rows()
         .into_iter()
         .map(|(name, b)| {

@@ -5,6 +5,7 @@ use eccparity_bench::{fast_mode, print_table};
 use resilience_analysis::fig2_series;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig02");
     let fits = [10.0, 25.0, 44.0, 100.0, 200.0, 400.0, 800.0];
     let trials = if fast_mode() { 100 } else { 400 };
     let series = fig2_series(&fits, trials, 2024);

@@ -6,6 +6,7 @@ use eccparity_bench::{fast_mode, print_table};
 use resilience_analysis::fig8_point;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig08");
     let trials = if fast_mode() { 5_000 } else { 40_000 };
     let rows: Vec<Vec<String>> = [2usize, 4, 8, 16]
         .iter()

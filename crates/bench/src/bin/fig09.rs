@@ -7,6 +7,7 @@ use mem_sim::{SchemeConfig, SchemeId, SystemScale};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig09");
     let scheme = SchemeConfig::build(SchemeId::Ck36, SystemScale::DualEquivalent);
     let burst = scheme.mem.burst_cycles();
     let channels = scheme.mem.channels;

@@ -6,6 +6,7 @@ use eccparity_bench::{comparison_figure, paper, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig10");
     let sums = comparison_figure(
         "Fig 10 — memory EPI reduction, quad-channel-equivalent systems",
         SystemScale::QuadEquivalent,

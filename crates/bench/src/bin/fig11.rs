@@ -6,6 +6,7 @@ use eccparity_bench::{comparison_figure, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig11");
     let sums = comparison_figure(
         "Fig 11 — memory EPI reduction, dual-channel-equivalent systems",
         SystemScale::DualEquivalent,

@@ -5,6 +5,7 @@ use eccparity_bench::{comparison_figure, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig13");
     comparison_figure(
         "Fig 13 — background EPI reduction, quad-channel-equivalent systems",
         SystemScale::QuadEquivalent,

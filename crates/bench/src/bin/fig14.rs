@@ -5,6 +5,7 @@ use eccparity_bench::{comparison_figure, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig14");
     let sums = comparison_figure(
         "Fig 14 — performance normalized to baselines, quad-channel-equivalent",
         SystemScale::QuadEquivalent,

@@ -5,6 +5,7 @@ use eccparity_bench::{comparison_figure, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig15");
     comparison_figure(
         "Fig 15 — performance normalized to baselines, dual-channel-equivalent",
         SystemScale::DualEquivalent,

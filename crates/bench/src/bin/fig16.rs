@@ -6,6 +6,7 @@ use eccparity_bench::{comparison_figure, paper, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig16");
     let sums = comparison_figure(
         "Fig 16 — 64B accesses per instruction normalized, quad-channel-equivalent",
         SystemScale::QuadEquivalent,

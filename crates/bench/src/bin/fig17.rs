@@ -7,6 +7,7 @@ use eccparity_bench::{comparison_figure, Metric};
 use mem_sim::SystemScale;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig17");
     let sums = comparison_figure(
         "Fig 17 — 64B accesses per instruction normalized, dual-channel-equivalent",
         SystemScale::DualEquivalent,

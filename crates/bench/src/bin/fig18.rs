@@ -8,6 +8,7 @@ use resilience_analysis::scrub::analytic_window_probability;
 use resilience_analysis::{fig18_series, scrub_bandwidth_fraction, years_per_extra_uncorrectable};
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("fig18");
     let windows = [0.25, 1.0, 4.0, 8.0, 24.0, 72.0, 168.0];
     let fits = [22.0, 44.0, 100.0];
     // Monte Carlo at these rates needs enormous trial counts to resolve

@@ -15,6 +15,7 @@ use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table}
 use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("microbench");
     let scheme = SchemeConfig::build(SchemeId::Ck18, SystemScale::QuadEquivalent);
     let channels = scheme.mem.channels;
     let burst = scheme.mem.burst_cycles();

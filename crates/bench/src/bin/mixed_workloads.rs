@@ -16,6 +16,7 @@ fn mix(names: [&str; 8]) -> Vec<WorkloadSpec> {
 }
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("mixed_workloads");
     let mixes: Vec<(&str, [&str; 8])> = vec![
         (
             "half&half",

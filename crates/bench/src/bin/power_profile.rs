@@ -8,6 +8,7 @@ use rayon::prelude::*;
 use std::env;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("power_profile");
     let wname = env::args().nth(1).unwrap_or_else(|| "milc".to_string());
     let Some(w) = WorkloadSpec::by_name(&wname) else {
         eprintln!("unknown workload {wname}");

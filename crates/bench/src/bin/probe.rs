@@ -6,6 +6,7 @@ use eccparity_bench::*;
 use mem_sim::{SchemeId, SystemScale, WorkloadSpec};
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("probe");
     let schemes = [
         SchemeId::Ck36,
         SchemeId::Ck18,

@@ -10,6 +10,7 @@ use resilience_analysis::undetect::{undetectable_years_estimate, UndetectConfig}
 use resilience_analysis::years_per_extra_uncorrectable;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("section6");
     println!("== Section VI — system-level analyses ==\n");
 
     println!("VI-A  mixed narrow/wide ranks (hot pages in wide ranks):");

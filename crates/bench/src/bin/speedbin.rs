@@ -14,6 +14,7 @@ use mem_sim::{SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("speedbin");
     let rows: Vec<Vec<String>> = ["milc", "lbm", "libquantum", "canneal"]
         .par_iter()
         .map(|&name| {

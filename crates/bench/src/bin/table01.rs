@@ -4,6 +4,7 @@ use eccparity_bench::print_table;
 use mem_sim::CoreConfig;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("table01");
     let c = CoreConfig::default();
     let rows = vec![
         vec!["Issue width".into(), c.issue_width.to_string()],

@@ -5,6 +5,7 @@ use eccparity_bench::print_table;
 use mem_sim::{SchemeConfig, SchemeId, SystemScale};
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("table02");
     let mut rows = vec![];
     for id in SchemeId::ALL {
         let q = SchemeConfig::build(id, SystemScale::QuadEquivalent);

@@ -5,6 +5,7 @@ use eccparity_bench::{fast_mode, print_table};
 use resilience_analysis::table3_rows;
 
 fn main() {
+    let _run = eccparity_bench::RunMeter::start("table03");
     let trials = if fast_mode() { 4_000 } else { 25_000 };
     let rows: Vec<Vec<String>> = table3_rows(trials, 33)
         .into_iter()

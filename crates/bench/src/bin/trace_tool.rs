@@ -30,6 +30,7 @@ fn flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn main() -> ExitCode {
+    let _run = eccparity_bench::RunMeter::start("trace_tool");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let f = flags(args.get(1..).unwrap_or(&[]));
     match args.first().map(String::as_str) {

@@ -70,6 +70,9 @@ pub struct RunCache {
     memo: Mutex<HashMap<u64, RunResult>>,
     simulated: AtomicU64,
     reused: AtomicU64,
+    /// Order-independent fold (wrapping sum) of every requested cell's key
+    /// hash — the run's *config digest*, stamped into provenance manifests.
+    digest: AtomicU64,
 }
 
 impl RunCache {
@@ -88,6 +91,7 @@ impl RunCache {
             memo: Mutex::new(HashMap::new()),
             simulated: AtomicU64::new(0),
             reused: AtomicU64::new(0),
+            digest: AtomicU64::new(0),
         }
     }
 
@@ -115,7 +119,11 @@ impl RunCache {
         let text = std::fs::read_to_string(path).ok()?;
         let entry: CacheEntry = serde_json::from_str(&text).ok()?;
         // Reject hash collisions and stamp/config drift.
-        (entry.key == key).then_some(entry.result)
+        if entry.key != key {
+            obs::counter!("cache.stamp_misses").inc();
+            return None;
+        }
+        Some(entry.result)
     }
 
     fn store_disk(&self, hash: u64, key: &str, result: &RunResult) {
@@ -145,26 +153,58 @@ impl RunCache {
     /// matches. Cache-transparent by construction: a hit returns bytes that
     /// a fresh simulation would also have produced.
     pub fn run(&self, cfg: &RunConfig) -> RunResult {
-        if !self.enabled || cfg.trace.is_some() {
-            self.simulated.fetch_add(1, Ordering::Relaxed);
-            return SimRunner::new(cfg.clone()).run();
-        }
         let key = self.key_string(cfg);
         let hash = fnv1a64(key.as_bytes());
+        // fetch_add wraps on overflow; order-independent under rayon.
+        self.digest.fetch_add(hash, Ordering::Relaxed);
+        if !self.enabled || cfg.trace.is_some() {
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cache.bypass").inc();
+            return SimRunner::new(cfg.clone()).run();
+        }
         if let Some(r) = self.memo.lock().unwrap().get(&hash) {
             self.reused.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cache.memo_hits").inc();
+            self.trace_lookup("cache.hit", hash, "memo");
             return r.clone();
         }
         if let Some(r) = self.load_disk(hash, &key) {
             self.reused.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cache.disk_hits").inc();
+            self.trace_lookup("cache.hit", hash, "disk");
             self.memo.lock().unwrap().insert(hash, r.clone());
             return r;
         }
+        obs::counter!("cache.misses").inc();
+        self.trace_lookup("cache.miss", hash, "simulated");
         let r = SimRunner::new(cfg.clone()).run();
         self.simulated.fetch_add(1, Ordering::Relaxed);
         self.store_disk(hash, &key, &r);
         self.memo.lock().unwrap().insert(hash, r.clone());
         r
+    }
+
+    fn trace_lookup(&self, kind: &str, hash: u64, source: &str) {
+        if obs::trace::enabled() {
+            obs::trace::event(
+                kind,
+                &[
+                    ("cell", obs::trace::Value::Str(&format!("{hash:016x}"))),
+                    ("source", obs::trace::Value::Str(source)),
+                ],
+            );
+        }
+    }
+
+    /// Order-independent digest of every cell key requested through this
+    /// cache so far (provenance manifests record it as the config hash).
+    pub fn config_digest(&self) -> u64 {
+        self.digest.load(Ordering::Relaxed)
+    }
+
+    /// This cache's model-version stamp.
+    pub fn stamp(&self) -> &str {
+        &self.stamp
     }
 
     /// (cells simulated, cells reused) so far.

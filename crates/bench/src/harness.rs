@@ -108,6 +108,11 @@ pub fn bin_mean(
         sum += f(&matrix[&(scheme, w.name)]);
         n += 1;
     }
+    assert!(
+        n > 0,
+        "bin_mean: no workload belongs to bin {bin} (scheme {scheme:?}); \
+         a mean over zero workloads is undefined — check WorkloadSpec bin labels"
+    );
     sum / n as f64
 }
 

@@ -8,6 +8,8 @@
 
 pub mod cache;
 pub mod harness;
+pub mod provenance;
 
 pub use cache::{cached_run, print_cache_summary, RunCache, MODEL_VERSION};
 pub use harness::*;
+pub use provenance::RunMeter;

@@ -1,0 +1,111 @@
+//! Run provenance: one manifest per figure-binary invocation.
+//!
+//! Reproduction results are only as trustworthy as the record of *how* they
+//! were produced. [`RunMeter`] is an RAII guard every bench binary creates
+//! as the first line of `main`; when it drops at process exit it
+//!
+//! 1. records the run's wall time as the `run.wall_ms` gauge,
+//! 2. writes the metrics snapshot if `ECC_PARITY_METRICS=<path>` is set,
+//! 3. flushes the event-trace sink (`ECC_PARITY_TRACE`),
+//! 4. writes `<bin>.provenance.json` into `ECC_PARITY_JSON_DIR` (when set)
+//!    recording the config digest of every simulated/reused cell, the
+//!    model-version stamp, cache hit ratio, wall time, and git revision.
+//!
+//! The manifest makes a results directory self-describing: given only the
+//! JSON dumps, one can tell which model version produced them, whether the
+//! run was `ECC_PARITY_FAST`, and whether it came from cache or fresh
+//! simulation.
+
+use crate::cache;
+use std::time::Instant;
+
+/// Schema identifier stamped into every provenance manifest.
+pub const PROVENANCE_SCHEMA: &str = "eccparity-provenance-v1";
+
+/// RAII run guard: construct first thing in `main`, keep alive until exit.
+///
+/// ```no_run
+/// let _run = eccparity_bench::provenance::RunMeter::start("fig99");
+/// // ... produce the figure ...
+/// // scope end drops the guard: snapshot + trace flush + provenance manifest
+/// ```
+pub struct RunMeter {
+    bin: &'static str,
+    start: Instant,
+}
+
+impl RunMeter {
+    /// Start metering the run of binary `bin` (the manifest's file stem).
+    pub fn start(bin: &'static str) -> RunMeter {
+        if obs::trace::enabled() {
+            obs::trace::event("run.start", &[("bin", obs::trace::Value::Str(bin))]);
+        }
+        RunMeter {
+            bin,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a git checkout.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl Drop for RunMeter {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed();
+        let (simulated, reused) = cache::global().counters();
+        let requested = simulated + reused;
+        let hit_ratio = if requested == 0 {
+            0.0
+        } else {
+            reused as f64 / requested as f64
+        };
+        if obs::metrics::enabled() {
+            obs::gauge!("run.wall_ms").set(wall.as_millis() as u64);
+            obs::counter!("run.cells_simulated").add(simulated);
+            obs::counter!("run.cells_reused").add(reused);
+        }
+        if obs::trace::enabled() {
+            obs::trace::event(
+                "run.end",
+                &[
+                    ("bin", obs::trace::Value::Str(self.bin)),
+                    ("wall_ms", obs::trace::Value::U64(wall.as_millis() as u64)),
+                    ("cells_simulated", obs::trace::Value::U64(simulated)),
+                    ("cells_reused", obs::trace::Value::U64(reused)),
+                ],
+            );
+        }
+        obs::metrics::write_snapshot_if_configured(self.bin);
+        obs::trace::flush();
+
+        let Some(dir) = crate::harness::json_dir() else {
+            return;
+        };
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let manifest = serde_json::json!({
+            "schema": PROVENANCE_SCHEMA,
+            "bin": self.bin,
+            "model_version": cache::global().stamp(),
+            "config_digest": format!("{:016x}", cache::global().config_digest()),
+            "cells_simulated": simulated,
+            "cells_reused": reused,
+            "cache_hit_ratio": hit_ratio,
+            "wall_time_s": wall.as_secs_f64(),
+            "git_revision": git_revision(),
+            "fast_mode": crate::harness::fast_mode(),
+        });
+        let path = dir.join(format!("{}.provenance.json", self.bin));
+        let _ = std::fs::write(path, serde_json::to_string_pretty(&manifest).unwrap());
+    }
+}

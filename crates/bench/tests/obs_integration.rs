@@ -1,0 +1,195 @@
+//! End-to-end checks of the observability contract on a real figure binary.
+//!
+//! `fig01` is analytic (no Monte-Carlo simulation), so it runs in
+//! milliseconds; these tests drive the compiled binary via
+//! `CARGO_BIN_EXE_fig01` and verify the two halves of the contract:
+//!
+//! 1. with `ECC_PARITY_METRICS` / `ECC_PARITY_TRACE` unset, enabling them
+//!    must not perturb stdout by a single byte, and
+//! 2. when set, the emitted artifacts follow their documented schemas
+//!    (`eccparity-metrics-v1`, `eccparity-trace-v1`,
+//!    `eccparity-provenance-v1`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The environment knobs the harness reads (see EXPERIMENTS.md); every run
+/// starts from a clean slate so the ambient test environment can't leak in.
+const KNOBS: &[&str] = &[
+    "ECC_PARITY_FAST",
+    "ECC_PARITY_NO_CACHE",
+    "ECC_PARITY_JSON_DIR",
+    "ECC_PARITY_METRICS",
+    "ECC_PARITY_TRACE",
+];
+
+fn run_fig01(workdir: &Path, envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig01"));
+    for k in KNOBS {
+        cmd.env_remove(k);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd
+        .current_dir(workdir)
+        .output()
+        .expect("failed to spawn fig01");
+    assert!(
+        out.status.success(),
+        "fig01 exited nonzero: {:?}",
+        out.status
+    );
+    out
+}
+
+fn temp_workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eccparity-obs-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Observability off must be the default, and turning it on must not change
+/// what the figure prints: downstream tooling diffs stdout across revisions.
+#[test]
+fn stdout_byte_identical_with_observability_enabled() {
+    let dir = temp_workdir("stdout");
+    let baseline = run_fig01(&dir, &[]);
+    let metrics = dir.join("metrics.json");
+    let trace = dir.join("trace.jsonl");
+    let instrumented = run_fig01(
+        &dir,
+        &[
+            ("ECC_PARITY_METRICS", metrics.to_str().unwrap()),
+            ("ECC_PARITY_TRACE", trace.to_str().unwrap()),
+        ],
+    );
+    assert!(
+        !baseline.stdout.is_empty(),
+        "fig01 prints its table to stdout"
+    );
+    assert_eq!(
+        baseline.stdout, instrumented.stdout,
+        "enabling metrics + tracing changed figure stdout"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The metrics snapshot must parse as JSON and follow the documented
+/// `eccparity-metrics-v1` shape, with the run-provenance gauge present and
+/// every histogram carrying exactly 65 buckets.
+#[test]
+fn metrics_snapshot_follows_schema() {
+    let dir = temp_workdir("metrics");
+    let metrics = dir.join("metrics.json");
+    run_fig01(&dir, &[("ECC_PARITY_METRICS", metrics.to_str().unwrap())]);
+
+    let text = std::fs::read_to_string(&metrics).expect("snapshot written at exit");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("snapshot is valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some(obs::metrics::SNAPSHOT_SCHEMA)
+    );
+    assert_eq!(v.get("title").and_then(|s| s.as_str()), Some("fig01"));
+
+    for section in ["counters", "gauges", "histograms"] {
+        assert!(
+            v.get(section).is_some(),
+            "snapshot is missing the {section} section"
+        );
+    }
+    // RunMeter::drop always records wall time while metrics are on.
+    assert!(
+        v.get("gauges")
+            .and_then(|g| g.get("run.wall_ms"))
+            .and_then(|w| w.as_u64())
+            .is_some(),
+        "run.wall_ms gauge missing from snapshot"
+    );
+    if let Some(hists) = v.get("histograms").and_then(|h| h.as_object()) {
+        for (name, h) in hists {
+            let buckets = h.get("buckets").and_then(|b| b.as_array());
+            assert_eq!(
+                buckets.map(|b| b.len()),
+                Some(obs::metrics::HISTOGRAM_BUCKETS),
+                "histogram {name} bucket count"
+            );
+            assert!(h.get("count").and_then(|c| c.as_u64()).is_some());
+            assert!(h.get("sum").and_then(|s| s.as_u64()).is_some());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The trace is JSONL: every line parses on its own, `seq` is 1-based and
+/// monotone, and the run lifecycle brackets everything else.
+#[test]
+fn trace_is_schema_tagged_jsonl_with_monotone_seq() {
+    let dir = temp_workdir("trace");
+    let trace = dir.join("trace.jsonl");
+    run_fig01(&dir, &[("ECC_PARITY_TRACE", trace.to_str().unwrap())]);
+
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        !lines.is_empty(),
+        "trace has at least the run lifecycle events"
+    );
+    let mut kinds = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let v: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i} is not JSON: {e:?}"));
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(obs::trace::TRACE_SCHEMA)
+        );
+        assert_eq!(
+            v.get("seq").and_then(|s| s.as_u64()),
+            Some(i as u64 + 1),
+            "seq must match line order"
+        );
+        kinds.push(v.get("kind").and_then(|k| k.as_str()).unwrap().to_string());
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("run.start"));
+    assert_eq!(kinds.last().map(String::as_str), Some("run.end"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `ECC_PARITY_JSON_DIR` makes the run self-describing: a provenance
+/// manifest with the model version, config digest, and cache statistics.
+#[test]
+fn provenance_manifest_written_to_json_dir() {
+    let dir = temp_workdir("prov");
+    let json_dir = dir.join("json");
+    run_fig01(&dir, &[("ECC_PARITY_JSON_DIR", json_dir.to_str().unwrap())]);
+
+    let manifest = json_dir.join("fig01.provenance.json");
+    let text = std::fs::read_to_string(&manifest).expect("provenance manifest written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("manifest is valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some(eccparity_bench::provenance::PROVENANCE_SCHEMA)
+    );
+    assert_eq!(v.get("bin").and_then(|b| b.as_str()), Some("fig01"));
+    assert_eq!(
+        v.get("model_version").and_then(|m| m.as_str()),
+        Some(eccparity_bench::MODEL_VERSION)
+    );
+    let digest = v
+        .get("config_digest")
+        .and_then(|d| d.as_str())
+        .expect("digest present");
+    assert_eq!(
+        digest.len(),
+        16,
+        "digest is a zero-padded 64-bit hex string"
+    );
+    assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+    // fig01 is analytic: it never touches the run cache.
+    assert_eq!(v.get("cells_simulated").and_then(|c| c.as_u64()), Some(0));
+    assert_eq!(v.get("cells_reused").and_then(|c| c.as_u64()), Some(0));
+    assert!(v.get("wall_time_s").is_some());
+    assert!(v.get("git_revision").and_then(|g| g.as_str()).is_some());
+    assert_eq!(v.get("fast_mode").and_then(|f| f.as_bool()), Some(false));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -24,22 +24,36 @@ pub enum CorrectionPath {
 /// One logged resilience event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MemEvent {
+    /// A read or scrub found an inconsistent line and corrected it.
     ErrorDetected {
+        /// Channel of the faulty line.
         channel: usize,
+        /// Location of the faulty line within the channel.
         loc: LineLoc,
+        /// Which correction resource resolved it.
         resolved: CorrectionPath,
     },
+    /// The OS retired the physical page containing an error.
     PageRetired {
+        /// Channel of the retired page.
         channel: usize,
+        /// Bank of the retired page.
         bank: usize,
+        /// Row (page) retired.
         row: u32,
     },
+    /// A bank pair crossed the error threshold and moved to stored ECC.
     PairMigrated {
+        /// Channel of the migrated pair.
         channel: usize,
+        /// Pair index (banks `2*pair` and `2*pair+1`).
         pair: usize,
     },
+    /// An error exceeded the scheme's correction capability.
     Uncorrectable {
+        /// Channel of the lost line.
         channel: usize,
+        /// Location of the lost line.
         loc: LineLoc,
     },
 }
@@ -53,6 +67,7 @@ pub struct EventLog {
 }
 
 impl EventLog {
+    /// An empty log keeping at most `capacity` most-recent events.
     pub fn new(capacity: usize) -> EventLog {
         assert!(capacity >= 1);
         EventLog {

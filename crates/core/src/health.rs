@@ -20,6 +20,7 @@ use std::collections::HashSet;
 /// A bank pair within one channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PairId {
+    /// Channel the pair belongs to.
     pub channel: usize,
     /// Pair index: banks `2*pair` and `2*pair + 1`.
     pub pair: usize,
@@ -49,6 +50,7 @@ pub struct HealthTable {
 }
 
 impl HealthTable {
+    /// An all-healthy table for `channels` x `banks_per_channel` banks.
     pub fn new(channels: usize, banks_per_channel: usize, threshold: u8) -> Self {
         assert!(banks_per_channel.is_multiple_of(2));
         assert!(threshold >= 1);
@@ -63,6 +65,7 @@ impl HealthTable {
         }
     }
 
+    /// The migration threshold (paper default: 4).
     pub fn threshold(&self) -> u8 {
         self.threshold
     }
@@ -95,8 +98,28 @@ impl HealthTable {
             return HealthAction::AlreadyFaulty;
         }
         self.counters[id] = self.counters[id].saturating_add(1);
+        obs::counter!("health.errors_recorded").inc();
+        if obs::trace::enabled() {
+            obs::trace::event(
+                "health.counter",
+                &[
+                    ("channel", obs::trace::Value::U64(channel as u64)),
+                    ("pair", obs::trace::Value::U64((bank / 2) as u64)),
+                    ("count", obs::trace::Value::U64(self.counters[id] as u64)),
+                    ("threshold", obs::trace::Value::U64(self.threshold as u64)),
+                ],
+            );
+        }
         if self.counters[id] >= self.threshold {
             self.faulty[id] = true;
+            obs::counter!("health.pairs_migrated").inc();
+            obs::trace::event(
+                "health.pair_migrated",
+                &[
+                    ("channel", obs::trace::Value::U64(channel as u64)),
+                    ("pair", obs::trace::Value::U64((bank / 2) as u64)),
+                ],
+            );
             HealthAction::MigratePair
         } else {
             HealthAction::RetirePage
@@ -107,23 +130,38 @@ impl HealthTable {
     /// scrub sweep classifying a whole-bank fault, bypasses the counter).
     pub fn mark_faulty(&mut self, p: PairId) {
         let id = self.idx(p);
+        if !self.faulty[id] {
+            obs::counter!("health.pairs_migrated").inc();
+            obs::trace::event(
+                "health.pair_migrated",
+                &[
+                    ("channel", obs::trace::Value::U64(p.channel as u64)),
+                    ("pair", obs::trace::Value::U64(p.pair as u64)),
+                ],
+            );
+        }
         self.faulty[id] = true;
         self.counters[id] = self.threshold;
     }
 
+    /// Current error count of a pair.
     pub fn counter(&self, p: PairId) -> u8 {
         self.counters[self.idx(p)]
     }
 
     /// Retire one physical page.
     pub fn retire_page(&mut self, channel: usize, bank: usize, row: u32) {
-        self.retired.insert((channel, bank, row));
+        if self.retired.insert((channel, bank, row)) {
+            obs::counter!("health.pages_retired").inc();
+        }
     }
 
+    /// Has this physical page been retired?
     pub fn is_retired(&self, channel: usize, bank: usize, row: u32) -> bool {
         self.retired.contains(&(channel, bank, row))
     }
 
+    /// Number of pages retired so far.
     pub fn retired_count(&self) -> usize {
         self.retired.len()
     }

@@ -37,17 +37,22 @@ use serde::{Deserialize, Serialize};
 /// about *banks of a channel*, however they spread over ranks.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LineLoc {
+    /// Bank within the channel (ranks folded in).
     pub bank: usize,
+    /// Row within the bank.
     pub row: u32,
+    /// Line within the row.
     pub line: u32,
 }
 
 /// Identifies one parity group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GroupId {
+    /// Bank within the channel.
     pub bank: usize,
     /// Row-block index (blocks of N-1 rows).
     pub block: u32,
+    /// Line within the row.
     pub line: u32,
     /// Group index within the block == the channel storing the parity.
     pub g: usize,
@@ -69,19 +74,25 @@ pub struct GroupId {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParityLayout {
+    /// Channels in the system.
     pub channels: usize,
+    /// Banks per channel.
     pub banks: usize,
     /// Data rows per bank (excluding reserved parity rows).
     pub data_rows: u32,
+    /// Lines per DRAM row.
     pub lines_per_row: u32,
     /// Correction-bit size as a fraction of the line size, the paper's `R`
     /// expressed as (numerator, denominator) to keep address math exact
     /// (e.g. (1,4) for LOT-ECC5, (1,2) for RAIM).
     pub r_num: u32,
+    /// Denominator of `R` (see [`ParityLayout::r_num`]).
     pub r_den: u32,
 }
 
 impl ParityLayout {
+    /// A layout for the given machine shape and correction ratio
+    /// `r_num / r_den`.
     pub fn new(
         channels: usize,
         banks: usize,

@@ -30,6 +30,8 @@
 //!   lines' `ECC_old ⊕ ECC_new` accumulate in cachelines addressed by
 //!   parity line, halving parity-update traffic.
 
+#![warn(missing_docs)]
+
 pub mod events;
 pub mod health;
 pub mod layout;

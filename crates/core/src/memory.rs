@@ -32,11 +32,13 @@ use std::collections::HashMap;
 /// Shape and policy knobs of a [`ParityMemory`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParityConfig {
+    /// Channels in the system (one parity protects N-1 of them).
     pub channels: usize,
     /// Banks per channel (even; paired for health tracking).
     pub banks_per_channel: usize,
     /// Data rows per bank (a row models a 4KB physical page).
     pub data_rows: u32,
+    /// Lines per DRAM row.
     pub lines_per_row: u32,
     /// Bank-pair error-counter threshold (paper default: 4).
     pub threshold: u8,
@@ -54,10 +56,12 @@ impl ParityConfig {
         }
     }
 
+    /// Data lines per bank.
     pub fn lines_per_bank(&self) -> u64 {
         self.data_rows as u64 * self.lines_per_row as u64
     }
 
+    /// Data lines per channel.
     pub fn lines_per_channel(&self) -> u64 {
         self.banks_per_channel as u64 * self.lines_per_bank()
     }
@@ -87,18 +91,26 @@ impl std::error::Error for MemError {}
 /// Outcome of one scrub sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScrubReport {
+    /// Lines read by the sweep.
     pub lines_scanned: u64,
+    /// Lines found inconsistent.
     pub errors_detected: u64,
+    /// Pages retired as a consequence.
     pub pages_retired: u64,
+    /// Bank pairs that crossed the threshold during the sweep.
     pub pairs_migrated: u64,
+    /// Errors beyond the scheme's correction capability.
     pub uncorrectable: u64,
 }
 
 /// Operation counters (drive the traffic/energy accounting upstream).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemStats {
+    /// Demand reads served.
     pub reads: u64,
+    /// Demand writes served.
     pub writes: u64,
+    /// Reads/scrubs that detected an error.
     pub detected_errors: u64,
     /// Corrections that reconstructed correction bits from the parity
     /// (Fig 6 step C) — each costs N-2 extra member reads plus the parity.
@@ -111,7 +123,9 @@ pub struct MemStats {
     pub parity_updates: u64,
     /// ECC-line writes on the write path to faulty banks (step D).
     pub ecc_line_updates: u64,
+    /// Bank pairs migrated to stored ECC lines.
     pub pairs_migrated: u64,
+    /// Errors beyond the scheme's correction capability.
     pub uncorrectable: u64,
 }
 
@@ -139,6 +153,8 @@ pub struct ParityMemory<S: CorrectionSplit> {
 }
 
 impl<S: CorrectionSplit> ParityMemory<S> {
+    /// A pristine memory protecting `cfg`-shaped channels with `ecc`,
+    /// deriving the paper's `R` from the code's byte counts.
     pub fn new(ecc: S, cfg: ParityConfig) -> Self {
         // R as an exact fraction from the code's byte counts.
         let r_num = ecc.correction_bytes() as u32;
@@ -175,22 +191,27 @@ impl<S: CorrectionSplit> ParityMemory<S> {
         }
     }
 
+    /// The shape/policy knobs this memory was built with.
     pub fn config(&self) -> &ParityConfig {
         &self.cfg
     }
 
+    /// The parity-group address math.
     pub fn layout(&self) -> &ParityLayout {
         &self.layout
     }
 
+    /// The bank-pair health table.
     pub fn health(&self) -> &HealthTable {
         &self.health
     }
 
+    /// Operation counters since construction.
     pub fn stats(&self) -> &MemStats {
         &self.stats
     }
 
+    /// The underlying ECC scheme.
     pub fn ecc(&self) -> &S {
         &self.ecc
     }
@@ -255,6 +276,7 @@ impl<S: CorrectionSplit> ParityMemory<S> {
         }
     }
 
+    /// Faults currently injected.
     pub fn faults(&self) -> &[FaultInstance] {
         &self.faults
     }

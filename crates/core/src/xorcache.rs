@@ -52,6 +52,7 @@ pub struct XorCache {
 }
 
 impl XorCache {
+    /// An empty cache holding at most `capacity` XOR cachelines.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
         XorCache {
@@ -62,10 +63,12 @@ impl XorCache {
         }
     }
 
+    /// Hit/allocation/eviction counters since construction.
     pub fn stats(&self) -> &XorCacheStats {
         &self.stats
     }
 
+    /// XOR cachelines currently resident.
     pub fn resident(&self) -> usize {
         self.lines.len()
     }
@@ -82,9 +85,11 @@ impl XorCache {
             }
             *stamp = self.clock;
             self.stats.hits += 1;
+            obs::counter!("xorcache.hits").inc();
             return None;
         }
         self.stats.allocations += 1;
+        obs::counter!("xorcache.allocations").inc();
         let mut evicted = None;
         if self.lines.len() >= self.capacity {
             let victim = *self
@@ -95,6 +100,7 @@ impl XorCache {
                 .expect("cache nonempty");
             let (acc, _) = self.lines.remove(&victim).unwrap();
             self.stats.evictions += 1;
+            obs::counter!("xorcache.evictions").inc();
             evicted = Some((victim, acc));
         }
         self.lines.insert(group, (delta.to_vec(), self.clock));
@@ -108,6 +114,7 @@ impl XorCache {
             self.lines.drain().map(|(g, (acc, _))| (g, acc)).collect();
         out.sort_by_key(|(g, _)| *g);
         self.stats.evictions += out.len() as u64;
+        obs::counter!("xorcache.evictions").add(out.len() as u64);
         out
     }
 }

@@ -147,6 +147,12 @@ impl BusLedger {
             // overlaps the candidate slot: push past this interval
             t = e;
         }
+        if pos != self.busy.len() {
+            // The request slotted into a gap ahead of an already-booked
+            // later transfer — the reordering "scheduler pick" this ledger
+            // models (vs. appending in submission order).
+            obs::counter!("dram.sched.gap_fills").inc();
+        }
         if pos == self.busy.len() {
             // find insertion point at the tail (t is past every conflict)
             pos = self.busy.partition_point(|&(s, _)| s < t);
@@ -171,7 +177,9 @@ impl BusLedger {
 /// Per-channel statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChannelStats {
+    /// Read requests scheduled.
     pub reads: u64,
+    /// Write requests scheduled.
     pub writes: u64,
     /// Sum over requests of (finish - arrival).
     pub total_latency: u64,
@@ -188,6 +196,7 @@ pub struct Channel {
 }
 
 impl Channel {
+    /// A channel with every bank idle and precharged at cycle 0.
     pub fn new(config: MemoryConfig) -> Channel {
         let ranks = (0..config.ranks_per_channel)
             .map(|_| RankState::new(&config))
@@ -298,6 +307,18 @@ impl Channel {
         self.stats.total_latency += finish - arrival;
         self.stats.total_queue_delay += act - arrival;
 
+        if obs::metrics::enabled() {
+            obs::counter!("dram.activates").inc();
+            if is_write {
+                obs::counter!("dram.writes").inc();
+            } else {
+                obs::counter!("dram.reads").inc();
+            }
+            obs::histogram!("dram.queue_delay").observe(act - arrival);
+            obs::histogram!("dram.bus_occupancy").observe(self.bus.busy.len() as u64);
+            obs::gauge!("dram.bus_occupancy_peak").set_max(self.bus.busy.len() as u64);
+        }
+
         Completion {
             act,
             data_start,
@@ -323,10 +344,12 @@ impl Channel {
         let (act, cas_earliest) = match b.open_row {
             Some(open) if open == row => {
                 // Row hit: column command as soon as the bank allows.
+                obs::counter!("dram.row_hits").inc();
                 (None, arrival.max(b.cas_ready))
             }
             Some(_) => {
                 // Conflict: precharge the open row, then activate the new one.
+                obs::counter!("dram.row_conflicts").inc();
                 let pre_start = arrival.max(b.cas_ready);
                 let act_earliest = pre_start + t.t_rp;
                 r.act_slots.prune(arrival.saturating_sub(4 * t.t_rc));
@@ -335,6 +358,7 @@ impl Channel {
             }
             None => {
                 // Empty bank: plain activate.
+                obs::counter!("dram.row_misses").inc();
                 r.act_slots.prune(arrival.saturating_sub(4 * t.t_rc));
                 let act = r.act_slots.reserve(arrival.max(b.next_act), r.act_slot);
                 (Some(act), act + t.t_rcd)
@@ -388,6 +412,20 @@ impl Channel {
         self.stats.total_latency += finish - arrival;
         self.stats.total_queue_delay += first_act.saturating_sub(arrival);
 
+        if obs::metrics::enabled() {
+            if act.is_some() {
+                obs::counter!("dram.activates").inc();
+            }
+            if is_write {
+                obs::counter!("dram.writes").inc();
+            } else {
+                obs::counter!("dram.reads").inc();
+            }
+            obs::histogram!("dram.queue_delay").observe(first_act.saturating_sub(arrival));
+            obs::histogram!("dram.bus_occupancy").observe(self.bus.busy.len() as u64);
+            obs::gauge!("dram.bus_occupancy_peak").set_max(self.bus.busy.len() as u64);
+        }
+
         Completion {
             act: first_act,
             data_start,
@@ -435,10 +473,12 @@ impl Channel {
         total
     }
 
+    /// Aggregate statistics since construction.
     pub fn stats(&self) -> &ChannelStats {
         &self.stats
     }
 
+    /// The configuration this channel was built from.
     pub fn config(&self) -> &MemoryConfig {
         &self.config
     }

@@ -25,11 +25,14 @@ pub enum RowPolicy {
 /// DRAM device width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DeviceKind {
+    /// x4 device: 4 data bits per beat.
     X4,
+    /// x8 device: 8 data bits per beat.
     X8,
     /// Half-capacity x8 used as the LOT-ECC5 checksum chip (same currents
     /// as X8; capacity differences are handled by the capacity model).
     X8Half,
+    /// x16 device: 16 data bits per beat.
     X16,
 }
 
@@ -213,6 +216,7 @@ impl DevicePower {
 /// The devices forming one rank (all accessed in lockstep).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankConfig {
+    /// Width of each device on the bus, in access order.
     pub devices: Vec<DeviceKind>,
 }
 
@@ -231,6 +235,7 @@ impl RankConfig {
         RankConfig { devices }
     }
 
+    /// Number of devices in the rank.
     pub fn chips(&self) -> usize {
         self.devices.len()
     }
@@ -291,6 +296,8 @@ pub struct MemoryConfig {
 }
 
 impl MemoryConfig {
+    /// A memory system of `channels` x `ranks_per_channel` identical ranks
+    /// with DDR3-1066-class timing for the rank's widest device.
     pub fn new(
         channels: usize,
         ranks_per_channel: usize,

@@ -14,6 +14,8 @@
 //! and accumulates per-rank energy. The full-system simulator (`mem-sim`)
 //! drives it with workload traces through the resilience-scheme glue.
 
+#![warn(missing_docs)]
+
 pub mod channel;
 pub mod config;
 pub mod mapping;

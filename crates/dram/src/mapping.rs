@@ -22,23 +22,32 @@ pub enum MapPolicy {
 /// Fully decoded line coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LineAddress {
+    /// Channel index.
     pub channel: usize,
+    /// Rank within the channel.
     pub rank: usize,
+    /// Bank within the rank.
     pub bank: usize,
+    /// Row within the bank.
     pub row: u64,
+    /// Line offset within the row.
     pub line_in_row: u64,
 }
 
 /// Address decomposition rules for one machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AddressMapping {
+    /// Channels in the system.
     pub channels: usize,
+    /// Ranks per channel.
     pub ranks: usize,
+    /// Banks per rank.
     pub banks: usize,
     /// Lines per DRAM row (4KB row / line size).
     pub lines_per_row: u64,
     /// Rows per bank.
     pub rows: u64,
+    /// Bit-interleaving policy for decoding flat line addresses.
     pub policy: MapPolicy,
 }
 
@@ -57,6 +66,8 @@ fn divmod(v: u64, d: u64) -> (u64, u64) {
 }
 
 impl AddressMapping {
+    /// A mapping over the given geometry with the default
+    /// channel-interleaved policy.
     pub fn new(channels: usize, ranks: usize, banks: usize, line_bytes: usize) -> Self {
         AddressMapping {
             channels,

@@ -30,12 +30,19 @@ pub const TERM_MW_PER_PIN_WRITE: f64 = 26.0;
 /// Energy totals in picojoules.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
+    /// Row activate + precharge energy.
     pub activate_pj: f64,
+    /// Read burst energy.
     pub read_pj: f64,
+    /// Write burst energy.
     pub write_pj: f64,
+    /// Refresh energy.
     pub refresh_pj: f64,
+    /// Background energy with a row open (active standby).
     pub bg_active_pj: f64,
+    /// Background energy precharged but not powered down.
     pub bg_standby_pj: f64,
+    /// Background energy in precharge power-down ("sleep").
     pub bg_sleep_pj: f64,
 }
 
@@ -50,10 +57,12 @@ impl EnergyBreakdown {
         self.refresh_pj + self.bg_active_pj + self.bg_standby_pj + self.bg_sleep_pj
     }
 
+    /// Sum of every component, in picojoules.
     pub fn total_pj(&self) -> f64 {
         self.dynamic_pj() + self.background_pj()
     }
 
+    /// Accumulate another breakdown into this one, per component.
     pub fn add(&mut self, other: &EnergyBreakdown) {
         self.activate_pj += other.activate_pj;
         self.read_pj += other.read_pj;
@@ -82,6 +91,7 @@ pub struct PowerModel {
 }
 
 impl PowerModel {
+    /// A Micron TN-41-01 power model for one rank under `timing`.
     pub fn new(rank: &RankConfig, timing: &TimingParams) -> PowerModel {
         Self::with_speed(rank, timing, 1.0)
     }
@@ -126,14 +136,17 @@ impl PowerModel {
         }
     }
 
+    /// Record one activate/precharge pair.
     pub fn record_activate(&mut self) {
         self.energy.activate_pj += self.e_act_per_cmd;
     }
 
+    /// Record a read burst of `cycles` data-bus cycles.
     pub fn record_read_burst(&mut self, cycles: u64) {
         self.energy.read_pj += self.p_read_per_cycle * cycles as f64;
     }
 
+    /// Record a write burst of `cycles` data-bus cycles.
     pub fn record_write_burst(&mut self, cycles: u64) {
         self.energy.write_pj += self.p_write_per_cycle * cycles as f64;
     }
@@ -161,6 +174,7 @@ impl PowerModel {
         self.energy.refresh_pj += refreshes * self.e_refresh_per_cmd;
     }
 
+    /// Energy accumulated so far.
     pub fn energy(&self) -> &EnergyBreakdown {
         &self.energy
     }

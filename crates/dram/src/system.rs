@@ -14,6 +14,7 @@ pub use crate::channel::Completion;
 pub struct MemRequest {
     /// Flat line address (decoded by the system's [`AddressMapping`]).
     pub line_addr: u64,
+    /// Write (true) or read (false).
     pub is_write: bool,
     /// Arrival cycle at the memory controller.
     pub arrival: u64,
@@ -22,17 +23,23 @@ pub struct MemRequest {
 /// Aggregate statistics over all channels.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemStats {
+    /// Reads completed.
     pub reads: u64,
+    /// Writes completed.
     pub writes: u64,
+    /// Sum over requests of (finish - arrival).
     pub total_latency: u64,
+    /// Sum over requests of scheduling delay.
     pub total_queue_delay: u64,
 }
 
 impl SystemStats {
+    /// Total requests completed (reads + writes).
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
     }
 
+    /// Mean request latency in memory cycles.
     pub fn avg_latency(&self) -> f64 {
         if self.accesses() == 0 {
             0.0
@@ -69,6 +76,7 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
+    /// A system of `config.channels` independent channels.
     pub fn new(config: MemoryConfig) -> MemorySystem {
         let mut mapping = AddressMapping::new(
             config.channels,
@@ -88,10 +96,12 @@ impl MemorySystem {
         }
     }
 
+    /// The configuration the system was built from.
     pub fn config(&self) -> &MemoryConfig {
         &self.config
     }
 
+    /// The address decode this system applies to flat line addresses.
     pub fn mapping(&self) -> &AddressMapping {
         &self.mapping
     }
@@ -147,6 +157,7 @@ impl MemorySystem {
         e
     }
 
+    /// Aggregate statistics across all channels.
     pub fn stats(&self) -> SystemStats {
         let mut s = SystemStats::default();
         for ch in &self.channels {

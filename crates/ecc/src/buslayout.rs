@@ -30,12 +30,16 @@ pub struct WireSlot {
 /// `burst` beats per access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BusLayout {
+    /// Number of DRAM devices on the bus.
     pub chips: usize,
+    /// Bits each device contributes per beat (x4/x8/x16).
     pub width: usize,
+    /// Beats per access (DDR3 burst length 8).
     pub burst: usize,
 }
 
 impl BusLayout {
+    /// A layout of `chips` devices of `width` bits with `burst` beats.
     pub fn new(chips: usize, width: usize, burst: usize) -> BusLayout {
         assert!(width == 4 || width == 8 || width == 16, "DDR3 widths");
         BusLayout {

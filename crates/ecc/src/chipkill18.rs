@@ -34,6 +34,7 @@ impl Default for Chipkill18 {
 }
 
 impl Chipkill18 {
+    /// The 18-device chipkill-correct code with its RS decoder.
     pub fn new() -> Self {
         Self {
             rs: ReedSolomon::new(CHECK_SYMBOLS),
@@ -159,6 +160,7 @@ impl MemoryEcc for Chipkill18 {
                 Err(RsError::DetectedUncorrectable) => return Err(EccError::Uncorrectable),
             }
         }
+        crate::traits::record_correction(self.name(), repaired);
         Ok(CorrectOutcome {
             repaired_bytes: repaired,
         })

@@ -36,6 +36,7 @@ impl Default for Chipkill36 {
 }
 
 impl Chipkill36 {
+    /// The 36-device chipkill-correct code with its RS decoder.
     pub fn new() -> Self {
         Self {
             rs: ReedSolomon::new(CHECK_SYMBOLS),
@@ -169,6 +170,7 @@ impl MemoryEcc for Chipkill36 {
                 Err(RsError::DetectedUncorrectable) => return Err(EccError::Uncorrectable),
             }
         }
+        crate::traits::record_correction(self.name(), repaired);
         Ok(CorrectOutcome {
             repaired_bytes: repaired,
         })

@@ -35,6 +35,7 @@ impl Default for ChipkillDouble {
 }
 
 impl ChipkillDouble {
+    /// The 40-device double-chipkill code with its RS decoder.
     pub fn new() -> Self {
         Self {
             rs: ReedSolomon::new(CHECK_SYMBOLS),
@@ -161,6 +162,7 @@ impl MemoryEcc for ChipkillDouble {
                 Err(RsError::DetectedUncorrectable) => return Err(EccError::Uncorrectable),
             }
         }
+        crate::traits::record_correction(self.name(), repaired);
         Ok(CorrectOutcome {
             repaired_bytes: repaired,
         })

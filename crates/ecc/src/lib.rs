@@ -28,6 +28,8 @@
 //! [`rs`] (a systematic Reed–Solomon encoder and errors-and-erasures
 //! decoder) — is general and independently tested.
 
+#![warn(missing_docs)]
+
 pub mod buslayout;
 pub mod checksum;
 pub mod chipkill18;

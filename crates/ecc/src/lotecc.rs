@@ -45,18 +45,22 @@ pub struct LotEcc {
 }
 
 impl LotEcc {
+    /// A LOT-ECC instance of the given tier-1 variant.
     pub fn new(variant: LotEccVariant) -> Self {
         Self { variant }
     }
 
+    /// LOT-ECC5: five x16 devices per rank.
     pub fn five() -> Self {
         Self::new(LotEccVariant::Five)
     }
 
+    /// LOT-ECC9: nine x8 devices per rank.
     pub fn nine() -> Self {
         Self::new(LotEccVariant::Nine)
     }
 
+    /// Which tier-1 variant this instance implements.
     pub fn variant(&self) -> LotEccVariant {
         self.variant
     }
@@ -257,6 +261,7 @@ impl MemoryEcc for LotEcc {
             .filter(|(a, b)| a != b)
             .count();
         data[victim * s..(victim + 1) * s].copy_from_slice(&rebuilt);
+        crate::traits::record_correction(self.name(), changed);
         Ok(CorrectOutcome {
             repaired_bytes: changed,
         })
@@ -287,6 +292,7 @@ impl Default for LotEcc5Rs {
 }
 
 impl LotEcc5Rs {
+    /// The RS inter-device LOT-ECC5 variant (paper §VI-D).
     pub fn new() -> Self {
         Self {
             rs: ReedSolomon::new(2),
@@ -470,6 +476,7 @@ impl MemoryEcc for LotEcc5Rs {
                 Err(_) => return Err(EccError::Uncorrectable),
             }
         }
+        crate::traits::record_correction(self.name(), repaired);
         Ok(CorrectOutcome {
             repaired_bytes: repaired,
         })

@@ -45,6 +45,7 @@ impl MultiEcc {
         Self { group_size }
     }
 
+    /// Lines per parity group (the paper evaluates 4).
     pub fn group_size(&self) -> usize {
         self.group_size
     }
@@ -123,6 +124,7 @@ impl MultiEcc {
                     .filter(|(a, b)| a != b)
                     .count();
                 lines[victim][chip * SEG..(chip + 1) * SEG].copy_from_slice(&seg);
+                crate::traits::record_correction(self.name(), changed);
                 Ok(CorrectOutcome {
                     repaired_bytes: changed,
                 })

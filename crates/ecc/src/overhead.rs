@@ -28,6 +28,7 @@ pub struct CapacityBreakdown {
 }
 
 impl CapacityBreakdown {
+    /// Total capacity overhead: detection plus correction.
     pub fn total(&self) -> f64 {
         self.detection + self.correction
     }

@@ -48,6 +48,7 @@ impl Default for Raim {
 }
 
 impl Raim {
+    /// The commercial RAIM DIMM-kill-correct organization.
     pub fn new() -> Self {
         Self
     }
@@ -195,6 +196,7 @@ impl MemoryEcc for Raim {
                     .filter(|(a, b)| a != b)
                     .count();
                 data[victim * DIMM_DATA..(victim + 1) * DIMM_DATA].copy_from_slice(&rebuilt);
+                crate::traits::record_correction(self.name(), changed);
                 Ok(CorrectOutcome {
                     repaired_bytes: changed,
                 })
@@ -218,6 +220,7 @@ impl Default for RaimParityCode {
 }
 
 impl RaimParityCode {
+    /// The 18-device RAIM underlying code ECC Parity builds on.
     pub fn new() -> Self {
         Self
     }
@@ -337,6 +340,7 @@ impl MemoryEcc for RaimParityCode {
                     .filter(|(a, b)| a != b)
                     .count();
                 data[victim * DIMM_DATA..(victim + 1) * DIMM_DATA].copy_from_slice(&rebuilt);
+                crate::traits::record_correction(self.name(), changed);
                 Ok(CorrectOutcome {
                     repaired_bytes: changed,
                 })

@@ -21,6 +21,7 @@ pub enum Region {
 /// A contiguous byte range owned by one chip within one codeword region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChipSpan {
+    /// Which codeword region the span belongs to.
     pub region: Region,
     /// Byte offset within the region.
     pub start: usize,
@@ -31,8 +32,11 @@ pub struct ChipSpan {
 /// One encoded memory line: data plus split redundancy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Codeword {
+    /// Application data bytes.
     pub data: Vec<u8>,
+    /// Detection bits (stored inline with the data).
     pub detection: Vec<u8>,
+    /// Correction bits (inline in baselines; via parity under ECC Parity).
     pub correction: Vec<u8>,
 }
 
@@ -70,6 +74,26 @@ impl std::fmt::Display for EccError {
 impl std::error::Error for EccError {}
 
 /// A memory error-correction code operating on one cache-line-sized unit.
+///
+/// # Example
+///
+/// Encode a line, corrupt one chip, then detect and repair the damage:
+///
+/// ```
+/// use ecc_codes::traits::inject_chip_error;
+/// use ecc_codes::{Chipkill36, DetectOutcome, MemoryEcc};
+///
+/// let code = Chipkill36::new();
+/// let line = vec![0xA5u8; code.data_bytes()];
+/// let mut cw = code.encode(&line);
+/// inject_chip_error(&code, &mut cw, 7, |b| *b ^= 0x0F);
+/// assert_eq!(code.detect(&cw.data, &cw.detection), DetectOutcome::ErrorDetected);
+/// let out = code
+///     .correct(&mut cw.data, &cw.detection, &cw.correction, None)
+///     .unwrap();
+/// assert!(out.repaired_bytes > 0);
+/// assert_eq!(cw.data, line);
+/// ```
 pub trait MemoryEcc: Send + Sync {
     /// Human-readable scheme name (matches the paper's terminology).
     fn name(&self) -> &'static str;
@@ -127,6 +151,17 @@ pub trait MemoryEcc: Send + Sync {
 /// Extension trait for codes whose correction bits can be recomputed from
 /// clean data alone — the property ECC Parity relies on: the correction bits
 /// of healthy channels are derived on demand, never read from memory.
+///
+/// # Example
+///
+/// ```
+/// use ecc_codes::{Chipkill36, CorrectionSplit, MemoryEcc};
+///
+/// let code = Chipkill36::new();
+/// let line = vec![3u8; code.data_bytes()];
+/// // Correction bits derived from clean data match the encoder's output.
+/// assert_eq!(code.correction_of(&line), code.encode(&line).correction);
+/// ```
 pub trait CorrectionSplit: MemoryEcc {
     /// Compute only the correction bits for a clean data line.
     fn correction_of(&self, data: &[u8]) -> Vec<u8> {
@@ -137,6 +172,36 @@ pub trait CorrectionSplit: MemoryEcc {
     fn detection_of(&self, data: &[u8]) -> Vec<u8> {
         self.encode(data).detection
     }
+}
+
+/// Record a successful correction in the observability registry (`obs`
+/// crate). Every codec calls this on its repair path; while
+/// `ECC_PARITY_METRICS` is unset the call is one relaxed load and a branch.
+///
+/// Emits a global `ecc.corrections` counter, a per-scheme
+/// `ecc.corrections.<name>` counter, and an `ecc.repaired_bytes` histogram
+/// of the repair size in bytes.
+pub fn record_correction(code: &'static str, repaired_bytes: usize) {
+    if !obs::metrics::enabled() {
+        return;
+    }
+    obs::counter!("ecc.corrections").inc();
+    obs::histogram!("ecc.repaired_bytes").observe(repaired_bytes as u64);
+    per_code_counter(code).inc();
+}
+
+/// Per-scheme counters are keyed by the scheme's `name()`; the composed
+/// metric name is leaked once per scheme (a handful of schemes exist).
+fn per_code_counter(code: &'static str) -> &'static obs::Counter {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<&'static str, &'static obs::Counter>>> = OnceLock::new();
+    let mut map = CACHE.get_or_init(Default::default).lock().unwrap();
+    map.entry(code).or_insert_with(|| {
+        obs::metrics::counter(Box::leak(
+            format!("ecc.corrections.{code}").into_boxed_str(),
+        ))
+    })
 }
 
 /// Helper: corrupt every byte a chip owns within a codeword. Used by tests

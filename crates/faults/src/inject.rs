@@ -59,6 +59,10 @@ impl FaultInstance {
     /// error-counter logic (repeated reads of one faulty line must not look
     /// like new faults).
     pub fn corrupt(&self, bytes: &mut [u8], bank: u32, row: u32, line: u32) {
+        if obs::metrics::enabled() {
+            obs::counter!("faults.corruptions").inc();
+            obs::histogram!("faults.corrupted_bytes").observe(bytes.len() as u64);
+        }
         let mut state = self
             .pattern_seed
             .wrapping_mul(0x9E3779B97F4A7C15)

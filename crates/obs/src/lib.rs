@@ -1,0 +1,52 @@
+//! # obs — zero-dependency observability for the ECC Parity reproduction
+//!
+//! The paper's mechanism is driven by *observed* error behaviour (bank-pair
+//! error counters trigger the fallback from parity-only protection to real
+//! correction bits), and the reproduction's performance story is driven by
+//! hot-loop dynamics (scheduler decisions, XOR-cache hit rates, run-cache
+//! reuse) that final aggregates hide. This crate makes those internal
+//! dynamics visible without perturbing them:
+//!
+//! * [`metrics`] — a process-global registry of named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and [`metrics::Histogram`]s (fixed log2 buckets).
+//!   All atomic and rayon-safe: totals are deterministic regardless of
+//!   thread schedule. Enabled by `ECC_PARITY_METRICS=<path>`; a JSON
+//!   snapshot (schema `eccparity-metrics-v1`) is written at the end of each
+//!   bench-binary run.
+//! * [`trace`] — a structured event sink writing one JSON object per line
+//!   (schema `eccparity-trace-v1`) to the file named by
+//!   `ECC_PARITY_TRACE=<path>`: health-counter crossings, degraded-mode
+//!   transitions, run-cache hits/misses, and run lifecycle events.
+//!
+//! When the environment variables are unset every hook compiles down to one
+//! relaxed atomic load and a predictable branch — stdout of every figure
+//! binary stays byte-identical and the overhead is unmeasurable. Hooks
+//! never print: metrics go to the snapshot file, events to the trace file.
+//!
+//! ## Recording metrics
+//!
+//! Call sites use the [`counter!`], [`gauge!`], and [`histogram!`] macros,
+//! which resolve the registry entry once per call site and cache the
+//! handle:
+//!
+//! ```
+//! obs::metrics::set_enabled(true); // tests force it; binaries use the env
+//! obs::counter!("demo.widgets").add(3);
+//! obs::histogram!("demo.sizes").observe(1500);
+//! assert_eq!(obs::counter!("demo.widgets").get(), 3);
+//! ```
+//!
+//! ## Reading them back
+//!
+//! [`metrics::snapshot`] returns every registered metric sorted by name;
+//! [`metrics::snapshot_json`] renders the documented JSON schema (see
+//! `ARCHITECTURE.md` §Observability for the field-by-field contract).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+mod json;
+
+pub use metrics::{Counter, Gauge, Histogram};

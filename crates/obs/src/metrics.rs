@@ -1,0 +1,460 @@
+//! Process-global metrics registry: counters, gauges, and histograms with
+//! fixed log2 buckets.
+//!
+//! Every metric is a leaked, `'static` atomic cell looked up by name in a
+//! global registry; the [`counter!`](crate::counter), [`gauge!`](crate::gauge)
+//! and [`histogram!`](crate::histogram) macros cache the lookup per call
+//! site, so the steady-state cost of a hook is one `OnceLock` load plus the
+//! enabled check. Recording is gated on [`enabled`]: when
+//! `ECC_PARITY_METRICS` is unset (and [`set_enabled`] was never called),
+//! every `inc`/`add`/`observe`/`set_max` is a relaxed atomic load and a
+//! branch — no stores, no contention.
+//!
+//! All operations use relaxed atomics. Counter and histogram totals are
+//! sums of per-event increments, and gauge `set_max` is a running maximum,
+//! so aggregate values are **deterministic under rayon**: any thread
+//! schedule that performs the same set of events produces the same totals
+//! (`crates/obs/tests/metrics_tests.rs` locks this in).
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Schema identifier stamped into every metrics snapshot JSON.
+pub const SNAPSHOT_SCHEMA: &str = "eccparity-metrics-v1";
+
+/// Number of histogram buckets: bucket 0 holds zero-valued observations,
+/// bucket `i` (1..=64) holds values `v` with `2^(i-1) <= v < 2^i`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+// ---- enablement ------------------------------------------------------------
+
+/// 0 = uninitialized, 1 = disabled, 2 = enabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Is metric recording on? Lazily initialized from the environment: enabled
+/// iff `ECC_PARITY_METRICS` is set. Tests and embedders can override with
+/// [`set_enabled`]. This is the single gate every hot-path hook checks.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = std::env::var_os("ECC_PARITY_METRICS").is_some();
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Force metric recording on or off, overriding the environment. Intended
+/// for tests and embedders; figure binaries rely on the env gating so their
+/// stdout stays byte-identical when observability is off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The snapshot path configured via `ECC_PARITY_METRICS`, if any.
+pub fn snapshot_path() -> Option<std::path::PathBuf> {
+    std::env::var_os("ECC_PARITY_METRICS").map(std::path::PathBuf::from)
+}
+
+// ---- metric types ----------------------------------------------------------
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add one to the counter (no-op while recording is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` to the counter (no-op while recording is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / running-maximum cell. Prefer [`Gauge::set_max`] from
+/// parallel code: a running maximum is schedule-independent, a plain
+/// [`Gauge::set`] race is not.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the gauge (no-op while recording is disabled). Last write
+    /// wins; only deterministic from single-threaded call sites.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.v.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (no-op while recording is
+    /// disabled). Deterministic under any thread schedule.
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if enabled() {
+            self.v.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over `u64` observations with fixed log2 buckets.
+///
+/// Bucket edges: bucket 0 counts observations equal to 0; bucket `i` for
+/// `i >= 1` counts observations in `[2^(i-1), 2^i)`. The top bucket
+/// (index 64) therefore counts `[2^63, u64::MAX]`.
+///
+/// ```
+/// obs::metrics::set_enabled(true);
+/// let h = obs::histogram!("doc.example.latency");
+/// h.observe(0);   // bucket 0
+/// h.observe(1);   // bucket 1: [1, 2)
+/// h.observe(900); // bucket 10: [512, 1024)
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 3);
+/// assert_eq!(s.sum, 901);
+/// assert_eq!(s.buckets[0], 1);
+/// assert_eq!(s.buckets[1], 1);
+/// assert_eq!(s.buckets[10], 1);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    /// Sum of observations; wraps on overflow (documented, not guarded —
+    /// the quantities recorded here are far below 2^64 per run).
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+    /// Per-bucket counts; see [`Histogram`] for the bucket edges.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Index of the bucket `v` falls into (see the type docs for edges).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation (no-op while recording is disabled).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy out the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+// ---- registry --------------------------------------------------------------
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+macro_rules! register_fn {
+    ($fn_name:ident, $ty:ty, $variant:ident) => {
+        /// Look up (registering on first use) the metric named `name`.
+        ///
+        /// Metrics live for the whole process. Panics if `name` is already
+        /// registered as a different metric kind — a programming error that
+        /// would silently split one name across two series otherwise.
+        pub fn $fn_name(name: &'static str) -> &'static $ty {
+            let mut reg = registry().lock().unwrap();
+            match reg
+                .entry(name)
+                .or_insert_with(|| Metric::$variant(Box::leak(Box::default())))
+            {
+                Metric::$variant(m) => m,
+                other => panic!(
+                    "metric {name:?} already registered as a {}, requested as a {}",
+                    other.kind(),
+                    stringify!($fn_name),
+                ),
+            }
+        }
+    };
+}
+
+register_fn!(counter, Counter, Counter);
+register_fn!(gauge, Gauge, Gauge);
+register_fn!(histogram, Histogram, Histogram);
+
+/// Resolve (and cache per call site) the [`Counter`](crate::metrics::Counter)
+/// named by the literal argument.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Resolve (and cache per call site) the [`Gauge`](crate::metrics::Gauge)
+/// named by the literal argument.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Resolve (and cache per call site) the
+/// [`Histogram`](crate::metrics::Histogram) named by the literal argument.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+// ---- snapshots -------------------------------------------------------------
+
+/// One registered metric's point-in-time value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge value.
+    Gauge(u64),
+    /// A histogram's full state (boxed: a snapshot is 65 buckets wide,
+    /// which would otherwise dominate the enum's size).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
+    let reg = registry().lock().unwrap();
+    reg.iter()
+        .map(|(&name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+            };
+            (name, v)
+        })
+        .collect()
+}
+
+/// Render the registry as the documented `eccparity-metrics-v1` JSON
+/// object:
+///
+/// ```json
+/// {
+///   "schema": "eccparity-metrics-v1",
+///   "title": "fig10",
+///   "counters": {"dram.activates": 12345},
+///   "gauges": {"dram.bus_occupancy_peak": 17},
+///   "histograms": {
+///     "dram.queue_delay": {"count": 9, "sum": 120, "buckets": [0, ...]}
+///   }
+/// }
+/// ```
+///
+/// `buckets` always has exactly [`HISTOGRAM_BUCKETS`] entries. Keys within
+/// each section are sorted, so two runs with identical dynamics produce
+/// byte-identical snapshots.
+pub fn snapshot_json(title: &str) -> String {
+    let snap = snapshot();
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"schema\": ");
+    json::push_str_literal(&mut out, SNAPSHOT_SCHEMA);
+    out.push_str(",\n  \"title\": ");
+    json::push_str_literal(&mut out, title);
+
+    let section = |out: &mut String, name: &str| {
+        out.push_str(",\n  ");
+        json::push_str_literal(out, name);
+        out.push_str(": {");
+    };
+
+    section(&mut out, "counters");
+    let mut first = true;
+    for (name, v) in &snap {
+        if let MetricValue::Counter(c) = v {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            json::push_str_literal(&mut out, name);
+            out.push_str(&format!(": {c}"));
+        }
+    }
+    out.push_str("\n  }");
+
+    section(&mut out, "gauges");
+    let mut first = true;
+    for (name, v) in &snap {
+        if let MetricValue::Gauge(g) = v {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            json::push_str_literal(&mut out, name);
+            out.push_str(&format!(": {g}"));
+        }
+    }
+    out.push_str("\n  }");
+
+    section(&mut out, "histograms");
+    let mut first = true;
+    for (name, v) in &snap {
+        if let MetricValue::Histogram(h) = v {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            json::push_str_literal(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.sum
+            ));
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Write [`snapshot_json`] to `path` (parent directories are created).
+pub fn write_snapshot(path: &Path, title: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(snapshot_json(title).as_bytes())
+}
+
+/// If `ECC_PARITY_METRICS=<path>` is set, write the snapshot there. Errors
+/// are reported on stderr (never stdout) and otherwise swallowed: metrics
+/// must not turn a successful figure run into a failure.
+pub fn write_snapshot_if_configured(title: &str) {
+    let Some(path) = snapshot_path() else { return };
+    if let Err(e) = write_snapshot(&path, title) {
+        eprintln!(
+            "obs: failed to write metrics snapshot {}: {e}",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of((1 << 20) - 1), 20);
+        assert_eq!(Histogram::bucket_of(1 << 20), 21);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn kind_mismatch_panics() {
+        set_enabled(true);
+        let _ = counter("unit.kind_mismatch");
+        let r = std::panic::catch_unwind(|| gauge("unit.kind_mismatch"));
+        assert!(r.is_err(), "same name as a different kind must panic");
+    }
+}

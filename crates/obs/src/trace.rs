@@ -1,0 +1,201 @@
+//! Structured event tracing: one JSON object per line (JSONL), schema
+//! `eccparity-trace-v1`.
+//!
+//! Events are **opt-in** via `ECC_PARITY_TRACE=<path>`; when that variable
+//! is unset (and [`set_path`] was never called) every [`event`] call is a
+//! relaxed atomic load and a branch. Event emission takes a mutex, writes
+//! one line, and flushes — trace points are therefore placed at *decision*
+//! frequency (health-counter crossings, migrations, run-cache lookups, run
+//! lifecycle), not at per-memory-access frequency; high-frequency dynamics
+//! belong in [`crate::metrics`] counters.
+//!
+//! Each line has the shape:
+//!
+//! ```json
+//! {"schema":"eccparity-trace-v1","seq":7,"kind":"health.pair_migrated","fields":{"channel":0,"pair":3}}
+//! ```
+//!
+//! `seq` is a process-global sequence number assigned under the sink lock,
+//! so line order in the file always matches `seq` order. Events from rayon
+//! workers interleave; `seq` makes the interleaving explicit.
+//!
+//! ```
+//! let path = std::env::temp_dir().join(format!("obs-doc-{}.jsonl", std::process::id()));
+//! obs::trace::set_path(&path).unwrap();
+//! obs::trace::event("doc.example", &[("answer", obs::trace::Value::U64(42))]);
+//! obs::trace::flush();
+//! let text = std::fs::read_to_string(&path).unwrap();
+//! assert!(text.contains("\"kind\":\"doc.example\""));
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use crate::json;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Schema identifier stamped into every trace line.
+pub const TRACE_SCHEMA: &str = "eccparity-trace-v1";
+
+/// One field value of a trace event.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values are emitted as `null`).
+    F64(f64),
+    /// String (escaped on emission).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+struct Sink {
+    writer: std::io::BufWriter<std::fs::File>,
+    seq: u64,
+}
+
+/// 0 = uninitialized, 1 = disabled, 2 = enabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Is event tracing on? Lazily initialized from `ECC_PARITY_TRACE`;
+/// [`set_path`] overrides.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let Some(path) = std::env::var_os("ECC_PARITY_TRACE") else {
+        ENABLED.store(1, Ordering::Relaxed);
+        return false;
+    };
+    match open_sink(Path::new(&path)) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "obs: failed to open trace file {}: {e}; tracing disabled",
+                Path::new(&path).display()
+            );
+            ENABLED.store(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+fn open_sink(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut sink = SINK.lock().unwrap();
+    *sink = Some(Sink {
+        writer: std::io::BufWriter::new(file),
+        seq: 0,
+    });
+    ENABLED.store(2, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Point the trace sink at `path` (truncating it), overriding the
+/// environment. Intended for tests and embedders.
+pub fn set_path(path: &Path) -> std::io::Result<()> {
+    open_sink(path)
+}
+
+/// Emit one event. A no-op (one load, one branch) while tracing is off.
+///
+/// `kind` is a dot-separated event name (`"health.pair_migrated"`,
+/// `"cache.miss"`); `fields` carry the event's coordinates. Emission never
+/// panics on I/O failure — a broken sink disables itself with a note on
+/// stderr.
+pub fn event(kind: &str, fields: &[(&str, Value<'_>)]) {
+    if !enabled() {
+        return;
+    }
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"schema\":");
+    json::push_str_literal(&mut line, TRACE_SCHEMA);
+    line.push_str(",\"seq\":@,\"kind\":");
+    json::push_str_literal(&mut line, kind);
+    line.push_str(",\"fields\":{");
+    for (i, (name, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        json::push_str_literal(&mut line, name);
+        line.push(':');
+        match v {
+            Value::U64(n) => line.push_str(&n.to_string()),
+            Value::I64(n) => line.push_str(&n.to_string()),
+            Value::F64(f) => json::push_f64(&mut line, *f),
+            Value::Str(s) => json::push_str_literal(&mut line, s),
+            Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}}\n");
+
+    let mut guard = SINK.lock().unwrap();
+    let Some(sink) = guard.as_mut() else { return };
+    sink.seq += 1;
+    let line = line.replacen('@', &sink.seq.to_string(), 1);
+    let ok = sink
+        .writer
+        .write_all(line.as_bytes())
+        .and_then(|()| sink.writer.flush());
+    if let Err(e) = ok {
+        eprintln!("obs: trace write failed: {e}; tracing disabled");
+        *guard = None;
+        ENABLED.store(1, Ordering::Relaxed);
+    }
+}
+
+/// Flush the sink (emission already flushes per line; this exists so run
+/// teardown can be explicit about durability).
+pub fn flush() {
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        let _ = sink.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_jsonl_with_monotone_seq() {
+        let path =
+            std::env::temp_dir().join(format!("obs-trace-unit-{}.jsonl", std::process::id()));
+        set_path(&path).unwrap();
+        event(
+            "unit.alpha",
+            &[
+                ("n", Value::U64(7)),
+                ("label", Value::Str("a\"b")),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        event("unit.beta", &[("x", Value::F64(0.5))]);
+        flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\":1"));
+        assert!(lines[0].contains("\"kind\":\"unit.alpha\""));
+        assert!(lines[0].contains("\"label\":\"a\\\"b\""));
+        assert!(lines[1].contains("\"seq\":2"));
+        assert!(lines[1].contains("\"x\":0.5"));
+        std::fs::remove_file(&path).ok();
+    }
+}

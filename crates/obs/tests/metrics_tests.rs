@@ -1,0 +1,138 @@
+//! Integration tests for the metrics registry: aggregate determinism under
+//! rayon, histogram bucket edges through the `observe` path, and snapshot
+//! JSON validity against the documented `eccparity-metrics-v1` schema.
+//!
+//! The registry is process-global and the tests in this binary run
+//! concurrently, so every test uses metric names unique to itself and
+//! asserts on deltas or its own entries only.
+
+use rayon::prelude::*;
+
+/// Counter totals, histogram counts/sums/buckets, and `set_max` gauges must
+/// come out identical for any thread schedule that performs the same events.
+/// Run the same parallel workload twice and check both rounds against a
+/// sequentially computed expectation.
+#[test]
+fn aggregates_deterministic_under_rayon() {
+    obs::metrics::set_enabled(true);
+    let c = obs::counter!("test.par.events");
+    let h = obs::histogram!("test.par.delay");
+    let g = obs::gauge!("test.par.peak");
+
+    const N: u64 = 10_000;
+    let expected_sum: u64 = (0..N).map(|i| i % 17).sum();
+    let mut expected_buckets = [0u64; obs::metrics::HISTOGRAM_BUCKETS];
+    for i in 0..N {
+        expected_buckets[obs::metrics::Histogram::bucket_of(i % 17)] += 1;
+    }
+
+    for round in 0..2u32 {
+        let c0 = c.get();
+        let h0 = h.snapshot();
+        let _: Vec<()> = (0..N)
+            .into_par_iter()
+            .map(|i| {
+                c.inc();
+                h.observe(i % 17);
+                g.set_max(i);
+            })
+            .collect();
+        let h1 = h.snapshot();
+        assert_eq!(c.get() - c0, N, "counter total differs in round {round}");
+        assert_eq!(h1.count - h0.count, N);
+        assert_eq!(h1.sum - h0.sum, expected_sum);
+        for (i, &e) in expected_buckets.iter().enumerate() {
+            assert_eq!(
+                h1.buckets[i] - h0.buckets[i],
+                e,
+                "bucket {i} delta differs in round {round}"
+            );
+        }
+        assert_eq!(g.get(), N - 1, "running max is schedule-independent");
+    }
+}
+
+/// Bucket edges through `observe`: bucket 0 is exactly the value 0, bucket
+/// `i >= 1` is `[2^(i-1), 2^i)`, and the top bucket holds `u64::MAX`.
+#[test]
+fn observe_places_values_in_documented_buckets() {
+    obs::metrics::set_enabled(true);
+    let h = obs::histogram!("test.buckets.edges");
+    let values = [0, 1, 2, 3, 4, 7, 8, (1u64 << 32) - 1, 1u64 << 32, u64::MAX];
+    for v in values {
+        h.observe(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.buckets[0], 1, "bucket 0 holds only the value 0");
+    assert_eq!(s.buckets[1], 1, "[1, 2)");
+    assert_eq!(s.buckets[2], 2, "[2, 4) holds 2 and 3");
+    assert_eq!(s.buckets[3], 2, "[4, 8) holds 4 and 7");
+    assert_eq!(s.buckets[4], 1, "[8, 16)");
+    assert_eq!(s.buckets[32], 1, "2^32 - 1 lands below the 2^32 edge");
+    assert_eq!(s.buckets[33], 1, "2^32 lands on the edge's upper side");
+    assert_eq!(s.buckets[64], 1, "top bucket holds u64::MAX");
+    assert_eq!(s.count, 10);
+    assert_eq!(
+        s.buckets.iter().sum::<u64>(),
+        s.count,
+        "buckets partition all observations"
+    );
+    // The sum is documented to wrap on overflow; u64::MAX forces a wrap here.
+    let expected_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+    assert_eq!(s.sum, expected_sum);
+}
+
+/// `snapshot_json` must parse as JSON and follow the documented shape:
+/// schema tag, title, and counters/gauges/histograms sections with
+/// histogram objects carrying count/sum and exactly 65 buckets.
+#[test]
+fn snapshot_json_matches_documented_schema() {
+    obs::metrics::set_enabled(true);
+    obs::counter!("test.snap.counter").add(5);
+    obs::gauge!("test.snap.gauge").set_max(7);
+    obs::histogram!("test.snap.hist").observe(900);
+
+    let text = obs::metrics::snapshot_json("unit-test");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("snapshot must be valid JSON");
+
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some(obs::metrics::SNAPSHOT_SCHEMA)
+    );
+    assert_eq!(v.get("title").and_then(|s| s.as_str()), Some("unit-test"));
+
+    let counters = v.get("counters").expect("counters section");
+    assert_eq!(
+        counters.get("test.snap.counter").and_then(|c| c.as_u64()),
+        Some(5)
+    );
+    let gauges = v.get("gauges").expect("gauges section");
+    assert_eq!(
+        gauges.get("test.snap.gauge").and_then(|g| g.as_u64()),
+        Some(7)
+    );
+
+    let hist = v
+        .get("histograms")
+        .and_then(|h| h.get("test.snap.hist"))
+        .expect("histograms section carries test.snap.hist");
+    assert_eq!(hist.get("count").and_then(|c| c.as_u64()), Some(1));
+    assert_eq!(hist.get("sum").and_then(|s| s.as_u64()), Some(900));
+    let buckets = hist
+        .get("buckets")
+        .and_then(|b| b.as_array())
+        .expect("buckets array");
+    assert_eq!(buckets.len(), obs::metrics::HISTOGRAM_BUCKETS);
+    assert_eq!(buckets[10].as_u64(), Some(1), "900 lands in [512, 1024)");
+
+    // Section keys are sorted, so two identical runs serialize identically.
+    let again = obs::metrics::snapshot_json("unit-test");
+    let reparsed: serde_json::Value = serde_json::from_str(&again).unwrap();
+    assert_eq!(
+        reparsed
+            .get("counters")
+            .and_then(|c| c.get("test.snap.counter"))
+            .and_then(|c| c.as_u64()),
+        Some(5)
+    );
+}
