@@ -14,7 +14,7 @@ fn main() {
     let results: Vec<Vec<String>> = names
         .par_iter()
         .map(|&name| {
-            let w = WorkloadSpec::by_name(name).unwrap();
+            let w = WorkloadSpec::lookup(name).unwrap_or_else(|e| panic!("{e}"));
             let run = |policy| {
                 let mut scheme =
                     SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);

@@ -21,7 +21,7 @@ fn main() {
         .par_iter()
         .map(|(label, id)| {
             let wname = label.split('/').next().unwrap();
-            let w = WorkloadSpec::by_name(wname).unwrap();
+            let w = WorkloadSpec::lookup(wname).unwrap_or_else(|e| panic!("{e}"));
             let run = |strict| {
                 let mut scheme = SchemeConfig::build(*id, SystemScale::QuadEquivalent);
                 scheme.mem.strict_fifo = strict;

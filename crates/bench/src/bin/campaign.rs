@@ -101,6 +101,9 @@ fn run_trial(seed: u64, mode: FaultMode, double: bool) -> Tally {
             }
             Err(MemError::Uncorrectable) => t.uncorrectable += 1,
             Err(MemError::RetiredPage) => {}
+            // Locations come from the shadow copy of successful writes, so
+            // addressing errors are impossible here; surface loudly if not.
+            Err(e) => panic!("unexpected memory error during campaign read: {e}"),
         }
     }
     t.corrected_reads = mem.stats().detected_errors - before_errors;

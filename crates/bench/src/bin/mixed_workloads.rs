@@ -11,7 +11,7 @@ use rayon::prelude::*;
 fn mix(names: [&str; 8]) -> Vec<WorkloadSpec> {
     names
         .iter()
-        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .map(|n| WorkloadSpec::lookup(n).unwrap_or_else(|e| panic!("{e}")))
         .collect()
 }
 
@@ -50,7 +50,7 @@ fn main() {
             let run = |id| {
                 let mut cfg = cell_config(
                     SchemeConfig::build(id, SystemScale::QuadEquivalent),
-                    WorkloadSpec::by_name(names[0]).unwrap(),
+                    WorkloadSpec::lookup(names[0]).unwrap_or_else(|e| panic!("{e}")),
                 );
                 cfg.per_core_workloads = Some(mix(*names));
                 cached_run(&cfg)

@@ -10,9 +10,12 @@ use std::env;
 fn main() {
     let _run = eccparity_bench::RunMeter::start("power_profile");
     let wname = env::args().nth(1).unwrap_or_else(|| "milc".to_string());
-    let Some(w) = WorkloadSpec::by_name(&wname) else {
-        eprintln!("unknown workload {wname}");
-        std::process::exit(1);
+    let w = match WorkloadSpec::lookup(&wname) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     };
     let results: Vec<_> = SchemeId::ALL
         .par_iter()

@@ -19,7 +19,7 @@ fn main() {
     ];
     let ws: Vec<WorkloadSpec> = ["milc", "lbm", "streamcluster", "sjeng", "omnetpp"]
         .iter()
-        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .map(|n| WorkloadSpec::lookup(n).unwrap_or_else(|e| panic!("{e}")))
         .collect();
     let m = run_matrix(SystemScale::QuadEquivalent, &schemes, &ws);
 

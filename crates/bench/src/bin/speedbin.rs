@@ -18,7 +18,7 @@ fn main() {
     let rows: Vec<Vec<String>> = ["milc", "lbm", "libquantum", "canneal"]
         .par_iter()
         .map(|&name| {
-            let w = WorkloadSpec::by_name(name).unwrap();
+            let w = WorkloadSpec::lookup(name).unwrap_or_else(|e| panic!("{e}"));
             let run = |factor: f64| {
                 let mut scheme =
                     SchemeConfig::build(SchemeId::Lot5Parity, SystemScale::QuadEquivalent);

@@ -36,9 +36,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("record") => {
             let wname = f.get("workload").map(String::as_str).unwrap_or("milc");
-            let Some(spec) = WorkloadSpec::by_name(wname) else {
-                eprintln!("unknown workload {wname}");
-                return ExitCode::FAILURE;
+            let spec = match WorkloadSpec::lookup(wname) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
             };
             let cores: usize = f.get("cores").and_then(|v| v.parse().ok()).unwrap_or(8);
             let refs: usize = f.get("refs").and_then(|v| v.parse().ok()).unwrap_or(50_000);

@@ -14,6 +14,13 @@
 //! - The full key string (stamp + config `Debug`) is stored inside every
 //!   cache file and compared on load, so a 64-bit hash collision degrades
 //!   to a miss, never to a wrong result.
+//! - Every entry carries an FNV-1a checksum of its result payload,
+//!   verified on load. Torn, truncated, bit-flipped, or hand-edited files
+//!   are counted (`cache.corrupt_entries`) and treated as misses; the
+//!   rewrite after the fresh simulation repairs the damaged file.
+//! - Stores publish atomically: write to a pid-suffixed temp file, fsync,
+//!   then rename. Readers never observe a partially written entry, even
+//!   across a crash mid-store.
 //! - [`MODEL_VERSION`] must be bumped whenever a change alters simulated
 //!   numbers; stale disk entries then stop matching.
 //! - Trace-replay runs (`cfg.trace.is_some()`) bypass the cache: traces
@@ -52,7 +59,13 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 struct CacheEntry {
     /// Full key string (stamp + config `Debug`), for collision rejection.
     key: String,
-    result: RunResult,
+    /// FNV-1a over `payload`'s exact bytes, verified on load.
+    checksum: u64,
+    /// The `RunResult` as its own JSON document. Kept as a string so the
+    /// checksum covers the exact stored bytes — float re-serialization
+    /// need not be byte-stable, so checksumming a re-encoding would not
+    /// detect anything.
+    payload: String,
 }
 
 /// A run cache: in-process memoization plus optional disk persistence.
@@ -117,13 +130,28 @@ impl RunCache {
     fn load_disk(&self, hash: u64, key: &str) -> Option<RunResult> {
         let path = self.entry_path(hash)?;
         let text = std::fs::read_to_string(path).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        // A file that exists but does not parse is damage (truncation, torn
+        // write, disk corruption) or a pre-checksum-era entry: either way,
+        // count it and fall through to a fresh simulation, whose store will
+        // repair the file.
+        let Ok(entry) = serde_json::from_str::<CacheEntry>(&text) else {
+            obs::counter!("cache.corrupt_entries").inc();
+            return None;
+        };
+        if entry.checksum != fnv1a64(entry.payload.as_bytes()) {
+            obs::counter!("cache.corrupt_entries").inc();
+            return None;
+        }
         // Reject hash collisions and stamp/config drift.
         if entry.key != key {
             obs::counter!("cache.stamp_misses").inc();
             return None;
         }
-        Some(entry.result)
+        let Ok(result) = serde_json::from_str::<RunResult>(&entry.payload) else {
+            obs::counter!("cache.corrupt_entries").inc();
+            return None;
+        };
+        Some(result)
     }
 
     fn store_disk(&self, hash: u64, key: &str, result: &RunResult) {
@@ -134,17 +162,31 @@ impl RunCache {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
+        let Ok(payload) = serde_json::to_string(result) else {
+            return;
+        };
         let entry = CacheEntry {
             key: key.to_string(),
-            result: result.clone(),
+            checksum: fnv1a64(payload.as_bytes()),
+            payload,
         };
         let Ok(text) = serde_json::to_string_pretty(&entry) else {
             return;
         };
-        // Atomic publish: concurrent writers of the same cell race benignly
-        // (same bytes), and readers never observe a torn file.
+        // Atomic publish: write + fsync a pid-suffixed temp file, then
+        // rename over the final path. Concurrent writers of the same cell
+        // race benignly (same bytes), readers never observe a torn file,
+        // and the fsync keeps a crash from publishing an empty entry.
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        let published = (|| -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)
+        })();
+        if published.is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
     }

@@ -125,6 +125,77 @@ fn trace_replay_bypasses_cache() {
     );
 }
 
+/// The single persisted entry file under a cache dir.
+fn entry_file(dir: &std::path::Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("cache dir holds one entry")
+}
+
+/// Corrupt one entry on disk, then confirm the next cache instance treats
+/// it as a miss (never an error or a wrong result), simulates fresh with
+/// bit-identical output, and repairs the file so the run after that hits.
+fn assert_corruption_is_a_miss(corrupt: impl FnOnce(&str) -> String) {
+    let dir = temp_dir();
+    let cfg = small_config();
+    let first = RunCache::new(Some(dir.clone()));
+    let cold = first.run(&cfg);
+    drop(first);
+    let path = entry_file(&dir);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, corrupt(&text)).unwrap();
+    let second = RunCache::new(Some(dir.clone()));
+    let fresh = second.run(&cfg);
+    assert_eq!(
+        second.counters(),
+        (1, 0),
+        "a damaged entry must simulate fresh"
+    );
+    assert_eq!(bytes(&cold), bytes(&fresh));
+    // The fresh run's store repaired the file: a third instance hits.
+    let third = RunCache::new(Some(dir));
+    assert_eq!(bytes(&third.run(&cfg)), bytes(&cold));
+    assert_eq!(
+        third.counters(),
+        (0, 1),
+        "the rewrite must repair the entry"
+    );
+}
+
+#[test]
+fn truncated_disk_entry_is_a_miss() {
+    assert_corruption_is_a_miss(|text| text[..text.len() / 2].to_string());
+}
+
+#[test]
+fn garbage_disk_entry_is_a_miss() {
+    assert_corruption_is_a_miss(|_| "{ this is not JSON at all".to_string());
+}
+
+#[test]
+fn checksum_mismatch_is_a_miss() {
+    // Flip one digit of the stored checksum; the file stays valid JSON but
+    // no longer matches its payload.
+    assert_corruption_is_a_miss(|text| {
+        let at = text.find("\"checksum\"").expect("entry has a checksum");
+        let (head, tail) = text.split_at(at);
+        let digit = tail
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .expect("checksum has digits");
+        let old = tail.as_bytes()[digit] as char;
+        let new = if old == '9' {
+            '0'
+        } else {
+            ((old as u8) + 1) as char
+        };
+        format!("{head}{}{new}{}", &tail[..digit], &tail[digit + 1..])
+    });
+}
+
 #[test]
 fn disabled_cache_always_simulates() {
     let cache = RunCache::disabled();

@@ -166,6 +166,26 @@ impl HealthTable {
         self.retired.len()
     }
 
+    /// All retired pages as `(channel, bank, row)`, in sorted order (the
+    /// resilience soak compares successive snapshots, so the order must be
+    /// deterministic).
+    pub fn retired_pages(&self) -> Vec<(usize, usize, u32)> {
+        let mut out: Vec<_> = self.retired.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-pair error counters, indexed `channel * pairs_per_channel + pair`
+    /// (snapshot for monotonicity auditing).
+    pub fn counters_snapshot(&self) -> Vec<u8> {
+        self.counters.clone()
+    }
+
+    /// Per-pair faulty flags, same indexing as [`Self::counters_snapshot`].
+    pub fn faulty_snapshot(&self) -> Vec<bool> {
+        self.faulty.clone()
+    }
+
     /// All faulty pairs.
     pub fn faulty_pairs(&self) -> Vec<PairId> {
         let mut out = vec![];
@@ -285,6 +305,108 @@ mod tests {
         // of banks* and 512B for 1024 banks; with 8 channels x 128 banks:
         let h = HealthTable::new(8, 128, 4);
         assert_eq!(h.sram_bytes(), 256); // 512 pairs * 0.5B
+    }
+
+    #[test]
+    fn counter_saturates_exactly_at_threshold() {
+        // The counter must land exactly on the threshold when the pair
+        // migrates (mark/migrate agree on the stored value), and stay there:
+        // a faulty pair's counter never moves again.
+        let mut h = HealthTable::new(2, 4, 3);
+        let p = PairId {
+            channel: 0,
+            pair: 1,
+        };
+        h.record_error(0, 2);
+        h.record_error(0, 3);
+        assert_eq!(h.counter(p), 2);
+        assert_eq!(h.record_error(0, 2), HealthAction::MigratePair);
+        assert_eq!(h.counter(p), 3, "counter stops exactly at the threshold");
+        assert_eq!(h.record_error(0, 3), HealthAction::AlreadyFaulty);
+        assert_eq!(h.counter(p), 3, "faulty pair counter is frozen");
+    }
+
+    #[test]
+    fn counter_saturating_add_at_u8_max() {
+        // A threshold of 255 exercises the u8 saturation edge: the counter
+        // must reach 255 (and migrate) without wrapping.
+        let mut h = HealthTable::new(1, 2, u8::MAX);
+        for _ in 0..254 {
+            assert_eq!(h.record_error(0, 0), HealthAction::RetirePage);
+        }
+        assert_eq!(
+            h.counter(PairId {
+                channel: 0,
+                pair: 0
+            }),
+            254
+        );
+        assert_eq!(h.record_error(0, 1), HealthAction::MigratePair);
+        assert_eq!(
+            h.counter(PairId {
+                channel: 0,
+                pair: 0
+            }),
+            255
+        );
+    }
+
+    #[test]
+    fn record_error_on_already_retired_page_still_counts() {
+        // Retirement is page-granular; the counter is pair-granular. An
+        // error on an already-retired page (e.g. a scrub racing the OS
+        // unmapping it) must still advance the pair toward migration and
+        // must leave the retirement set untouched.
+        let mut h = HealthTable::new(2, 4, 4);
+        h.retire_page(0, 2, 9);
+        assert!(h.is_retired(0, 2, 9));
+        assert_eq!(h.record_error(0, 2), HealthAction::RetirePage);
+        h.retire_page(0, 2, 9); // caller re-retires idempotently
+        assert_eq!(h.retired_count(), 1);
+        assert_eq!(
+            h.counter(PairId {
+                channel: 0,
+                pair: 1
+            }),
+            1
+        );
+        assert!(h.is_retired(0, 2, 9), "retirement is permanent");
+    }
+
+    #[test]
+    fn serde_roundtrip_of_partially_migrated_table() {
+        // A table mid-life: one pair migrated, another with a nonzero
+        // counter, several retired pages. Everything must survive a JSON
+        // round trip (checkpoint/restore of controller state).
+        let mut h = HealthTable::new(4, 8, 4);
+        for _ in 0..4 {
+            h.record_error(1, 4); // pair (1,2) migrates
+        }
+        h.record_error(2, 0); // pair (2,0) at count 1
+        h.retire_page(1, 4, 3);
+        h.retire_page(2, 0, 7);
+        h.retire_page(3, 5, 0);
+        let json = serde_json::to_string(&h).unwrap();
+        let mut back: HealthTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.threshold(), h.threshold());
+        assert_eq!(back.counters_snapshot(), h.counters_snapshot());
+        assert_eq!(back.faulty_snapshot(), h.faulty_snapshot());
+        assert_eq!(back.retired_pages(), h.retired_pages());
+        assert!(back.is_faulty(1, 4) && back.is_faulty(1, 5));
+        assert!(!back.is_faulty(2, 0));
+        assert_eq!(
+            back.counter(PairId {
+                channel: 2,
+                pair: 0
+            }),
+            1
+        );
+        assert_eq!(back.retired_count(), 3);
+        assert_eq!(
+            back.record_error(2, 1),
+            HealthAction::RetirePage,
+            "restored table keeps counting from where it left off"
+        );
     }
 
     #[test]

@@ -75,6 +75,27 @@ pub enum MemError {
     /// Detected error beyond correction capability (e.g. faults in two
     /// channels at the same relative location while only parities exist).
     Uncorrectable,
+    /// The addressed location does not exist in this memory's shape.
+    BadLocation {
+        /// Channel the access named.
+        channel: usize,
+        /// Line coordinates the access named.
+        loc: LineLoc,
+    },
+    /// A data buffer does not match the scheme's line size.
+    LengthMismatch {
+        /// Bytes the scheme's lines hold.
+        expected: usize,
+        /// Bytes the caller supplied.
+        got: usize,
+    },
+    /// A fault injection named a channel outside the configured system.
+    FaultChannelOutOfRange {
+        /// Channel the fault named.
+        channel: usize,
+        /// Channels the memory has.
+        channels: usize,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -82,6 +103,21 @@ impl std::fmt::Display for MemError {
         match self {
             MemError::RetiredPage => write!(f, "access to a retired page"),
             MemError::Uncorrectable => write!(f, "uncorrectable memory error"),
+            MemError::BadLocation { channel, loc } => write!(
+                f,
+                "no such line: channel {channel}, bank {}, row {}, line {}",
+                loc.bank, loc.row, loc.line
+            ),
+            MemError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "data length mismatch: expected {expected} bytes, got {got}"
+                )
+            }
+            MemError::FaultChannelOutOfRange { channel, channels } => write!(
+                f,
+                "fault channel {channel} out of range (memory has {channels} channels)"
+            ),
         }
     }
 }
@@ -230,14 +266,42 @@ impl<S: CorrectionSplit> ParityMemory<S> {
             + loc.line as u64) as usize
     }
 
+    /// Typed bounds check for a public access: every entry point validates
+    /// before `idx` so malformed addresses surface as [`MemError`]s rather
+    /// than panics (the resilience soak drives arbitrary access streams).
+    fn check_loc(&self, channel: usize, loc: &LineLoc) -> Result<(), MemError> {
+        if channel >= self.cfg.channels
+            || loc.bank >= self.cfg.banks_per_channel
+            || loc.row >= self.cfg.data_rows
+            || loc.line >= self.cfg.lines_per_row
+        {
+            return Err(MemError::BadLocation { channel, loc: *loc });
+        }
+        Ok(())
+    }
+
+    fn check_fault_channel(&self, fault: &FaultInstance) -> Result<(), MemError> {
+        if fault.chip.channel >= self.cfg.channels {
+            return Err(MemError::FaultChannelOutOfRange {
+                channel: fault.chip.channel,
+                channels: self.cfg.channels,
+            });
+        }
+        Ok(())
+    }
+
     /// Inject a *permanent* device fault: an overlay that corrupts every
     /// subsequent read whose coordinates it covers (stuck-at semantics).
     pub fn inject_fault(&mut self, fault: FaultInstance) {
-        assert!(
-            fault.chip.channel < self.cfg.channels,
-            "fault channel out of range"
-        );
+        self.try_inject_fault(fault).expect("fault in range");
+    }
+
+    /// Fallible [`Self::inject_fault`]: rejects a fault whose channel lies
+    /// outside this memory instead of panicking.
+    pub fn try_inject_fault(&mut self, fault: FaultInstance) -> Result<(), MemError> {
+        self.check_fault_channel(&fault)?;
         self.faults.push(fault);
+        Ok(())
     }
 
     /// Inject a *transient* fault (e.g. a particle strike): the covered
@@ -246,10 +310,13 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     /// is written back), so transients never accumulate toward migration
     /// beyond their first detection.
     pub fn inject_transient(&mut self, fault: FaultInstance) {
-        assert!(
-            fault.chip.channel < self.cfg.channels,
-            "fault channel out of range"
-        );
+        self.try_inject_transient(fault).expect("fault in range");
+    }
+
+    /// Fallible [`Self::inject_transient`]: rejects a fault whose channel
+    /// lies outside this memory instead of panicking.
+    pub fn try_inject_transient(&mut self, fault: FaultInstance) -> Result<(), MemError> {
+        self.check_fault_channel(&fault)?;
         let chips = self.ecc.chips_per_rank();
         let layout = self.ecc.chip_layout();
         let chip = fault.chip.chip % chips;
@@ -259,7 +326,14 @@ impl<S: CorrectionSplit> ParityMemory<S> {
                     if !fault.affects(fault.chip.rank, bank as u32, row, line) {
                         continue;
                     }
-                    let idx = self.idx(&LineLoc { bank, row, line });
+                    let loc = LineLoc { bank, row, line };
+                    // Materialize this group's parity from the pre-strike
+                    // contents first: the parity region models state the
+                    // write path has maintained since boot, so it must
+                    // reflect the data as it was *before* the strike.
+                    let group = self.layout.group_of(fault.chip.channel, &loc);
+                    self.parity(group);
+                    let idx = self.idx(&loc);
                     let stored = &mut self.store[fault.chip.channel][idx];
                     for span in &layout[chip] {
                         let buf: &mut [u8] = match span.region {
@@ -274,11 +348,26 @@ impl<S: CorrectionSplit> ParityMemory<S> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Faults currently injected.
     pub fn faults(&self) -> &[FaultInstance] {
         &self.faults
+    }
+
+    /// The exact `(data, detection)` bytes a device read of this location
+    /// returns right now — true stored contents with the fault overlay
+    /// applied, before any detection or correction.
+    ///
+    /// This is what the memory controller actually sees; external verifiers
+    /// (the resilience soak) use it to decide whether a wrong-data `Ok` was
+    /// an implementation failure (detection would have fired on this view)
+    /// or a detection-coverage limit of the scheme itself (the view is
+    /// self-consistent, e.g. a checksum-aliasing corruption).
+    pub fn raw_view(&self, channel: usize, loc: &LineLoc) -> Result<(Vec<u8>, Vec<u8>), MemError> {
+        self.check_loc(channel, loc)?;
+        Ok(self.read_raw(channel, loc))
     }
 
     /// Raw device read: true contents plus fault-overlay corruption of the
@@ -344,6 +433,66 @@ impl<S: CorrectionSplit> ParityMemory<S> {
         p
     }
 
+    /// Model a fault in the **reserved parity region itself**: corrupt the
+    /// stored parity of `group` with a deterministic nonzero pattern.
+    ///
+    /// The parity region is ordinary DRAM (Fig 5) and can fail like any
+    /// other row. Because reconstruction through a corrupted parity yields
+    /// correction bits that fail the codec's internal verification, the
+    /// outcome of a subsequent faulty-member read is a *detected*
+    /// uncorrectable error, never silent corruption — the resilience soak's
+    /// `parity_region_fault` scenario asserts exactly that.
+    pub fn corrupt_parity(&mut self, group: GroupId, seed: u64) {
+        let n = {
+            let p = self.parity(group);
+            let mut state = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x2545_F491_4F6C_DD1D);
+            for b in p.iter_mut() {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let flip = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u8;
+                *b ^= if flip == 0 { 0xFF } else { flip };
+            }
+            p.len()
+        };
+        debug_assert_eq!(n, self.ecc.correction_bytes());
+    }
+
+    /// Repair the stored parity of `group` by recomputing it from the true
+    /// member contents — the scrubber's action once a parity-region error
+    /// is diagnosed (parity rows carry their own detection bits in the
+    /// paper's layout, so the damage is discoverable).
+    pub fn rebuild_parity(&mut self, group: GroupId) {
+        let fresh = self.compute_parity_from_scratch(&group);
+        self.parities.insert(group, fresh);
+    }
+
+    /// Audit every materialized group parity against a from-scratch
+    /// recomputation; returns the number of inconsistent live groups.
+    ///
+    /// Zero is the invariant the incremental write-path updates must keep.
+    /// Call **after** a scrub sweep: pending (not yet scrubbed) transient
+    /// damage legitimately makes the stored parity disagree with a
+    /// recomputation over the corrupted store. Groups with a retired member
+    /// page are skipped — retirement freezes the page's bytes (possibly
+    /// including unhealed transient damage scrub can no longer reach), and
+    /// software never reads through such a group again.
+    pub fn audit_parity_consistency(&self) -> usize {
+        self.parities
+            .iter()
+            .filter(|(g, p)| {
+                let retired = self
+                    .layout
+                    .members(g)
+                    .into_iter()
+                    .any(|(mc, ml)| self.health.is_retired(mc, ml.bank, ml.row));
+                !retired && &self.compute_parity_from_scratch(g) != *p
+            })
+            .count()
+    }
+
     /// Fig 6 step C: rebuild the correction bits of `(channel, loc)` from
     /// its group parity plus the correction bits of the other members,
     /// which are recomputed from their (verified-clean) data.
@@ -381,25 +530,32 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     /// Record a detected error per §III-C: increment the pair counter,
     /// retire the page (and its parity-sharing peer pages) below the
     /// threshold, migrate the pair at the threshold. Returns pages retired.
+    /// Retire the page of `(channel, loc)` together with every page sharing
+    /// its parities (the member pages of its parity group). Returns the
+    /// number of pages newly retired.
+    fn retire_group_of(&mut self, channel: usize, loc: &LineLoc) -> u64 {
+        let mut retired = 0u64;
+        let group = self.layout.group_of(channel, loc);
+        for (mc, mloc) in self.layout.members(&group) {
+            if !self.health.is_retired(mc, mloc.bank, mloc.row) {
+                self.health.retire_page(mc, mloc.bank, mloc.row);
+                self.log.push(MemEvent::PageRetired {
+                    channel: mc,
+                    bank: mloc.bank,
+                    row: mloc.row,
+                });
+                retired += 1;
+            }
+        }
+        retired
+    }
+
     fn note_error(&mut self, channel: usize, loc: &LineLoc) -> (u64, bool) {
         match self.health.record_error(channel, loc.bank) {
             HealthAction::RetirePage => {
-                let mut retired = 0u64;
                 // The page itself plus every page sharing its parities: the
                 // member pages of this page's parity group.
-                let group = self.layout.group_of(channel, loc);
-                for (mc, mloc) in self.layout.members(&group) {
-                    if !self.health.is_retired(mc, mloc.bank, mloc.row) {
-                        self.health.retire_page(mc, mloc.bank, mloc.row);
-                        self.log.push(MemEvent::PageRetired {
-                            channel: mc,
-                            bank: mloc.bank,
-                            row: mloc.row,
-                        });
-                        retired += 1;
-                    }
-                }
-                (retired, false)
+                (self.retire_group_of(channel, loc), false)
             }
             HealthAction::MigratePair => {
                 self.migrate_pair(channel, loc.bank / 2);
@@ -415,6 +571,63 @@ impl<S: CorrectionSplit> ParityMemory<S> {
     /// their own ECC protection (we model them as reliable storage).
     pub fn migrate_pair(&mut self, channel: usize, pair: usize) {
         let banks = [2 * pair, 2 * pair + 1];
+        // Pass 1 — heal before trusting: the snapshot below treats the
+        // store as ground truth, but a transient strike corrupts the store
+        // *in place*, and freezing that damage into the ECC lines would turn
+        // it into permanent silent corruption. Any detect-dirty line is
+        // first corrected through the parity path (valid here because the
+        // pair is not yet marked faulty); lines the parity cannot fix take
+        // their whole group out of service via retirement.
+        for &bank in &banks {
+            for row in 0..self.cfg.data_rows {
+                if self.health.is_retired(channel, bank, row) {
+                    continue;
+                }
+                for line in 0..self.cfg.lines_per_row {
+                    if self.health.is_retired(channel, bank, row) {
+                        break;
+                    }
+                    let loc = LineLoc { bank, row, line };
+                    let idx = self.idx(&loc);
+                    let stored = &self.store[channel][idx];
+                    if self.ecc.detect(&stored.data, &stored.detection) == DetectOutcome::Clean {
+                        continue;
+                    }
+                    let healed = match self.reconstruct_correction(channel, &loc) {
+                        Ok(corr) => {
+                            let (mut d, det) = {
+                                let s = &self.store[channel][idx];
+                                (s.data.clone(), s.detection.clone())
+                            };
+                            if self.ecc.correct(&mut d, &det, &corr, None).is_ok() {
+                                // Scrub-identity write-back: `corr` is the
+                                // line's actual parity contribution.
+                                let new_corr = self.ecc.correction_of(&d);
+                                let group = self.layout.group_of(channel, &loc);
+                                let p = self.parity(group);
+                                for ((a, o), n) in p.iter_mut().zip(&corr).zip(&new_corr) {
+                                    *a ^= o ^ n;
+                                }
+                                let fixed_det = self.ecc.detection_of(&d);
+                                self.store[channel][idx] = StoredLine {
+                                    data: d,
+                                    detection: fixed_det,
+                                };
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        Err(_) => false,
+                    };
+                    if !healed {
+                        self.stats.uncorrectable += 1;
+                        self.log.push(MemEvent::Uncorrectable { channel, loc });
+                        self.retire_group_of(channel, &loc);
+                    }
+                }
+            }
+        }
         // Mark first so parity materialization during the sweep excludes us.
         self.health
             .mark_faulty(crate::health::PairId { channel, pair });
@@ -446,6 +659,7 @@ impl<S: CorrectionSplit> ParityMemory<S> {
 
     /// Application read (Fig 6 left half).
     pub fn read(&mut self, channel: usize, loc: LineLoc) -> Result<Vec<u8>, MemError> {
+        self.check_loc(channel, &loc)?;
         if self.health.is_retired(channel, loc.bank, loc.row) {
             return Err(MemError::RetiredPage);
         }
@@ -504,7 +718,13 @@ impl<S: CorrectionSplit> ParityMemory<S> {
 
     /// Application write (Fig 6 right half).
     pub fn write(&mut self, channel: usize, loc: LineLoc, new_data: &[u8]) -> Result<(), MemError> {
-        assert_eq!(new_data.len(), self.ecc.data_bytes());
+        self.check_loc(channel, &loc)?;
+        if new_data.len() != self.ecc.data_bytes() {
+            return Err(MemError::LengthMismatch {
+                expected: self.ecc.data_bytes(),
+                got: new_data.len(),
+            });
+        }
         if self.health.is_retired(channel, loc.bank, loc.row) {
             return Err(MemError::RetiredPage);
         }
@@ -520,11 +740,47 @@ impl<S: CorrectionSplit> ParityMemory<S> {
             // Step E, equation (1): ECCP_new = ECCP_old ^ ECC_old ^ ECC_new.
             // ECC_old comes from the line's old value — on hardware, the
             // inclusive LLC holds it (Fig 7); here, the true stored value.
-            let old_corr = self.ecc.correction_of(&self.store[channel][idx].data);
-            let group = self.layout.group_of(channel, &loc);
-            let p = self.parity(group);
-            for ((a, o), n) in p.iter_mut().zip(&old_corr).zip(&new_corr) {
-                *a ^= o ^ n;
+            let stored = &self.store[channel][idx];
+            if self.ecc.detect(&stored.data, &stored.detection) == DetectOutcome::Clean {
+                let old_corr = self.ecc.correction_of(&stored.data);
+                let group = self.layout.group_of(channel, &loc);
+                let p = self.parity(group);
+                for ((a, o), n) in p.iter_mut().zip(&old_corr).zip(&new_corr) {
+                    *a ^= o ^ n;
+                }
+            } else {
+                // The stored bytes were corrupted in place (a transient
+                // strike) after the parity last folded this line in, so
+                // equation (1) applied to the corrupted value would drift
+                // the parity. The contribution the parity actually holds is
+                // recoverable the same way a read recovers it: parity XOR
+                // the other members' correction bits. Never drop the parity
+                // here — a lazy recompute would fold any still-corrupted
+                // sibling's bytes in as truth, and a later read of that
+                // sibling would then reconstruct correction bits matching
+                // its corrupted data: silent corruption. (Hardware never
+                // faces this: the LLC fill read would have corrected the
+                // line before the store retired.)
+                match self.reconstruct_correction(channel, &loc) {
+                    Ok(corr_in_parity) => {
+                        let group = self.layout.group_of(channel, &loc);
+                        let p = self.parity(group);
+                        for ((a, o), n) in p.iter_mut().zip(&corr_in_parity).zip(&new_corr) {
+                            *a ^= o ^ n;
+                        }
+                    }
+                    Err(_) => {
+                        // Another member of the group is dirty too — beyond
+                        // the single-device envelope, the line's old
+                        // contribution is unrecoverable and the parity is
+                        // unsalvageable. Fail visibly: machine-check the
+                        // write and retire the whole group.
+                        self.stats.uncorrectable += 1;
+                        self.log.push(MemEvent::Uncorrectable { channel, loc });
+                        self.retire_group_of(channel, &loc);
+                        return Err(MemError::Uncorrectable);
+                    }
+                }
             }
             self.stats.parity_updates += 1;
         }
@@ -561,7 +817,51 @@ impl<S: CorrectionSplit> ParityMemory<S> {
                         }
                         report.errors_detected += 1;
                         if self.health.is_faulty(channel, bank) {
-                            continue; // already migrated; reads use ECC lines
+                            // Migrated banks stay in the scrub rotation,
+                            // healing through the stored ECC line. Skipping
+                            // them would let transient store damage sit
+                            // unrepaired until a second, independent strike
+                            // overlaps the same line — two devices' worth of
+                            // damage, beyond every scheme's correction
+                            // strength and a silent-corruption hazard. §III-C
+                            // scrubbing exists precisely to bound that window.
+                            let corr = self
+                                .ecc_lines
+                                .get(&(channel, loc))
+                                .cloned()
+                                .unwrap_or_else(|| vec![0u8; self.ecc.correction_bytes()]);
+                            let mut d = data.clone();
+                            if self.ecc.correct(&mut d, &det, &corr, None).is_ok() {
+                                let fixed_det = self.ecc.detection_of(&d);
+                                let idx = self.idx(&loc);
+                                self.store[channel][idx] = StoredLine {
+                                    data: d,
+                                    detection: fixed_det,
+                                };
+                            } else {
+                                // The ECC line cannot reconstruct the line:
+                                // damage exceeded the envelope before this
+                                // sweep reached it. Fail visibly and retire
+                                // the page. Only this page: a migrated bank's
+                                // parity contributions were already struck
+                                // from every group at migration, so the
+                                // damage is local — group-wide retirement
+                                // here would cascade healthy peers out of
+                                // service for no protective benefit.
+                                report.uncorrectable += 1;
+                                self.stats.uncorrectable += 1;
+                                self.log.push(MemEvent::Uncorrectable { channel, loc });
+                                if !self.health.is_retired(channel, loc.bank, loc.row) {
+                                    self.health.retire_page(channel, loc.bank, loc.row);
+                                    self.log.push(MemEvent::PageRetired {
+                                        channel,
+                                        bank: loc.bank,
+                                        row: loc.row,
+                                    });
+                                    report.pages_retired += 1;
+                                }
+                            }
+                            continue;
                         }
                         // Verify correctability through the parity path, then
                         // act on the counter.
@@ -579,15 +879,19 @@ impl<S: CorrectionSplit> ParityMemory<S> {
                                             let idx = self.idx(&loc);
                                             let fixed_det = self.ecc.detection_of(&d);
                                             // Keep parity consistent via the
-                                            // standard write-path identity.
-                                            let old_corr = self
-                                                .ecc
-                                                .correction_of(&self.store[channel][idx].data);
+                                            // write-path identity. The old
+                                            // contribution is `corr` — what
+                                            // the parity actually holds for
+                                            // this line — NOT a recompute
+                                            // from the store, whose bytes a
+                                            // transient may have corrupted
+                                            // after the parity last saw
+                                            // them.
                                             let new_corr = self.ecc.correction_of(&d);
                                             let group = self.layout.group_of(channel, &loc);
                                             let p = self.parity(group);
                                             for ((a, o), n) in
-                                                p.iter_mut().zip(&old_corr).zip(&new_corr)
+                                                p.iter_mut().zip(&corr).zip(&new_corr)
                                             {
                                                 *a ^= o ^ n;
                                             }

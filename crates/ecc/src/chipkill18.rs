@@ -146,7 +146,12 @@ impl MemoryEcc for Chipkill18 {
         correction: &[u8],
         erased_chip: Option<usize>,
     ) -> Result<CorrectOutcome, EccError> {
-        assert_eq!(data.len(), LINE_BYTES);
+        if data.len() != LINE_BYTES {
+            return Err(EccError::InputLength {
+                expected: LINE_BYTES,
+                got: data.len(),
+            });
+        }
         let mut repaired = 0usize;
         for w in 0..WORDS_PER_LINE {
             let mut cw = Self::assemble(data, detection, correction, w);
@@ -239,6 +244,7 @@ mod tests {
             let mut noisy = cw.data.clone();
             match ck.correct(&mut noisy, &cw.detection, &cw.correction, None) {
                 Err(EccError::Uncorrectable) => not_silent_ok += 1,
+                Err(e) => panic!("unexpected error class: {e:?}"),
                 Ok(_) => {
                     if noisy != data {
                         // miscorrection: possible with SSC; counted as unsafe

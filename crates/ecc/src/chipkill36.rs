@@ -155,7 +155,12 @@ impl MemoryEcc for Chipkill36 {
         correction: &[u8],
         erased_chip: Option<usize>,
     ) -> Result<CorrectOutcome, EccError> {
-        assert_eq!(data.len(), LINE_BYTES);
+        if data.len() != LINE_BYTES {
+            return Err(EccError::InputLength {
+                expected: LINE_BYTES,
+                got: data.len(),
+            });
+        }
         let mut repaired = 0usize;
         for w in 0..WORDS_PER_LINE {
             let mut cw = Self::assemble(data, detection, correction, w);

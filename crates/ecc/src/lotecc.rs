@@ -208,7 +208,12 @@ impl MemoryEcc for LotEcc {
         correction: &[u8],
         erased_chip: Option<usize>,
     ) -> Result<CorrectOutcome, EccError> {
-        assert_eq!(data.len(), 64);
+        if data.len() != 64 {
+            return Err(EccError::InputLength {
+                expected: 64,
+                got: data.len(),
+            });
+        }
         let mut bad = self.mismatched_chips(data, detection);
         if let Some(ch) = erased_chip {
             if ch < self.data_chips() && !bad.contains(&ch) {
@@ -425,7 +430,12 @@ impl MemoryEcc for LotEcc5Rs {
         correction: &[u8],
         erased_chip: Option<usize>,
     ) -> Result<CorrectOutcome, EccError> {
-        assert_eq!(data.len(), 64);
+        if data.len() != 64 {
+            return Err(EccError::InputLength {
+                expected: 64,
+                got: data.len(),
+            });
+        }
         // Localize via the intra-chip checksums in the correction bits.
         let mut bad: Vec<usize> = (0..4)
             .filter(|&c| {

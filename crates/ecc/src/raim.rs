@@ -164,7 +164,12 @@ impl MemoryEcc for Raim {
         correction: &[u8],
         erased_chip: Option<usize>,
     ) -> Result<CorrectOutcome, EccError> {
-        assert_eq!(data.len(), 128);
+        if data.len() != 128 {
+            return Err(EccError::InputLength {
+                expected: 128,
+                got: data.len(),
+            });
+        }
         let mut bad = Self::bad_data_dimms(data, detection);
         if let Some(chip) = erased_chip {
             let dimm = chip / CHIPS_PER_DIMM;
@@ -312,7 +317,12 @@ impl MemoryEcc for RaimParityCode {
         correction: &[u8],
         erased_chip: Option<usize>,
     ) -> Result<CorrectOutcome, EccError> {
-        assert_eq!(data.len(), 64);
+        if data.len() != 64 {
+            return Err(EccError::InputLength {
+                expected: 64,
+                got: data.len(),
+            });
+        }
         let mut bad = Self::bad_dimms(data, detection);
         if let Some(chip) = erased_chip {
             let dimm = chip / CHIPS_PER_DIMM;

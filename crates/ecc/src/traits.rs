@@ -61,12 +61,26 @@ pub struct CorrectOutcome {
 pub enum EccError {
     /// The error pattern exceeds the code's correction capability.
     Uncorrectable,
+    /// A buffer handed to the codec has the wrong length for this code
+    /// (caller bug surfaced as a typed error instead of a panic).
+    InputLength {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length received.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for EccError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EccError::Uncorrectable => write!(f, "uncorrectable memory error"),
+            EccError::InputLength { expected, got } => {
+                write!(
+                    f,
+                    "codec input length mismatch: expected {expected} bytes, got {got}"
+                )
+            }
         }
     }
 }
@@ -171,6 +185,54 @@ pub trait CorrectionSplit: MemoryEcc {
     /// Compute only the detection bits for a clean data line.
     fn detection_of(&self, data: &[u8]) -> Vec<u8> {
         self.encode(data).detection
+    }
+}
+
+impl MemoryEcc for Box<dyn CorrectionSplit> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn data_bytes(&self) -> usize {
+        (**self).data_bytes()
+    }
+    fn detection_bytes(&self) -> usize {
+        (**self).detection_bytes()
+    }
+    fn correction_bytes(&self) -> usize {
+        (**self).correction_bytes()
+    }
+    fn chips_per_rank(&self) -> usize {
+        (**self).chips_per_rank()
+    }
+    fn chip_layout(&self) -> Vec<Vec<ChipSpan>> {
+        (**self).chip_layout()
+    }
+    fn encode(&self, data: &[u8]) -> Codeword {
+        (**self).encode(data)
+    }
+    fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
+        (**self).detect(data, detection)
+    }
+    fn correct(
+        &self,
+        data: &mut [u8],
+        detection: &[u8],
+        correction: &[u8],
+        erased_chip: Option<usize>,
+    ) -> Result<CorrectOutcome, EccError> {
+        (**self).correct(data, detection, correction, erased_chip)
+    }
+}
+
+/// Boxed codes delegate the split too, so `ParityMemory<Box<dyn
+/// CorrectionSplit>>` works — the resilience soak harness drives every
+/// scheme through one memory type this way.
+impl CorrectionSplit for Box<dyn CorrectionSplit> {
+    fn correction_of(&self, data: &[u8]) -> Vec<u8> {
+        (**self).correction_of(data)
+    }
+    fn detection_of(&self, data: &[u8]) -> Vec<u8> {
+        (**self).detection_of(data)
     }
 }
 

@@ -171,6 +171,79 @@ mod tests {
     }
 
     #[test]
+    fn multibank_boundary_banks_follow_even_odd_pairing() {
+        // Pairs are (0,1), (2,3), ... — a MultiBank fault anchored at an odd
+        // bank reaches down to its even partner, never across the pair edge.
+        let mut f = fault(FaultMode::MultiBank);
+        f.bank = 3;
+        assert!(f.affects(1, 2, 0, 0), "even partner of anchor 3");
+        assert!(f.affects(1, 3, 0, 0));
+        assert!(!f.affects(1, 1, 0, 0), "bank 1 is in pair (0,1)");
+        assert!(!f.affects(1, 4, 0, 0), "bank 4 is in pair (4,5)");
+        f.bank = 0;
+        assert!(f.affects(1, 0, 0, 0));
+        assert!(f.affects(1, 1, 0, 0), "odd partner of anchor 0");
+        assert!(!f.affects(1, 2, 0, 0));
+    }
+
+    #[test]
+    fn multirank_crosses_ranks_for_every_bank() {
+        // MultiRank is the only mode that ignores the rank coordinate; it
+        // must also ignore bank-pair boundaries (the whole device is gone).
+        let f = fault(FaultMode::MultiRank);
+        for rank in 0..4 {
+            for bank in 0..8 {
+                assert!(f.affects(rank, bank, 0, 0));
+            }
+        }
+        // Every other mode pins the rank.
+        for mode in [
+            FaultMode::SingleBit,
+            FaultMode::SingleWord,
+            FaultMode::SingleRow,
+            FaultMode::SingleColumn,
+            FaultMode::SingleBank,
+            FaultMode::MultiBank,
+        ] {
+            assert!(!fault(mode).affects(0, 2, 100, 5), "{mode:?} rank-pinned");
+        }
+    }
+
+    #[test]
+    fn corrupt_is_a_deterministic_xor_involution() {
+        // The pattern depends only on (fault, coordinates), so applying it
+        // twice restores the original bytes — the property `inject_transient`
+        // healing via scrub write-back relies on.
+        let f = fault(FaultMode::SingleRow);
+        let original: Vec<u8> = (0..64).map(|i| (i * 7 + 13) as u8).collect();
+        let mut buf = original.clone();
+        f.corrupt(&mut buf, 2, 100, 0);
+        assert_ne!(buf, original);
+        f.corrupt(&mut buf, 2, 100, 0);
+        assert_eq!(buf, original, "second application must undo the first");
+    }
+
+    #[test]
+    fn corrupt_pattern_varies_with_seed_and_coordinates() {
+        let base = fault(FaultMode::SingleBank);
+        let mut other = base;
+        other.pattern_seed = 43;
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        let mut c = vec![0u8; 32];
+        base.corrupt(&mut a, 2, 7, 3);
+        other.corrupt(&mut b, 2, 7, 3);
+        base.corrupt(&mut c, 2, 7, 4);
+        assert_ne!(a, b, "different seed, different pattern");
+        assert_ne!(a, c, "different line, different pattern");
+        // Identical instances are interchangeable (pure function of fields).
+        let clone = base;
+        let mut d = vec![0u8; 32];
+        clone.corrupt(&mut d, 2, 7, 3);
+        assert_eq!(a, d);
+    }
+
+    #[test]
     fn page_span_ordering() {
         let g = SystemGeometry::paper_reliability();
         let rows = DEFAULT_ROWS_PER_BANK;

@@ -1,0 +1,40 @@
+//! # resilience — the end-to-end soak harness
+//!
+//! Chaos-style verification of the ECC Parity memory system: deterministic
+//! fault-history replays plus hand-crafted adversarial scenarios are driven
+//! against a live [`ecc_parity::ParityMemory`] (real bytes, real codes, real
+//! health table) for every ECC scheme, and **every read is classified**:
+//!
+//! | Verdict | Meaning |
+//! |---|---|
+//! | `CleanRead` | no error detected; bytes match the golden shadow copy |
+//! | `CorrectedViaParity` | corrected by cross-channel parity reconstruction |
+//! | `CorrectedDegraded` | corrected from a migrated pair's stored ECC line |
+//! | `DetectedUncorrectable` | refused visibly (machine-check semantics) |
+//! | `DetectionAliased` | `Ok` with wrong bytes that are detection-equivalent to the golden data — the scheme's design coverage limit, reported but not a gate failure |
+//! | `SilentCorruption` | `Ok` with wrong bytes detection *would* have flagged — **must never occur** |
+//!
+//! The shadow copy ([`ShadowMemory`]) lives outside the system under test,
+//! so the `SilentCorruption` check does not depend on any code's own
+//! detection strength. Alongside verdicts, the harness audits post-scrub
+//! parity consistency and monotone health-state transitions (counters never
+//! decrease, faulty marks never clear, the retired set only grows), and
+//! counts scenario panics instead of dying (`faults.soak.panics`).
+//!
+//! See `ARCHITECTURE.md` ("Resilience verification") for the scenario
+//! catalog and the rationale for excluding `lotecc9` from the default
+//! zero-SDC gate.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod scenario;
+pub mod shadow;
+pub mod verdict;
+
+pub use harness::{
+    scheme_by_name, SoakConfig, SoakEnv, SoakHarness, SoakReport, UnknownScheme, DEFAULT_SCHEMES,
+};
+pub use scenario::ScenarioKind;
+pub use shadow::ShadowMemory;
+pub use verdict::{Verdict, VerdictCounts, VerdictRecord};

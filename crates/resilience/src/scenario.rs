@@ -1,0 +1,107 @@
+//! The adversarial scenario catalog.
+//!
+//! Each scenario is a self-contained chaos pattern driven against a fresh
+//! [`ecc_parity::ParityMemory`]: a mix of fault injection, demand traffic,
+//! scrub sweeps, and health-table abuse chosen to stress one specific
+//! corner of the paper's error-handling state machine. The harness
+//! round-robins over the selected scenarios until the configured access
+//! budget is spent.
+
+use serde::{Deserialize, Serialize};
+
+/// One entry of the scenario catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// Replay a deterministic [`mem_faults::LifetimeSim`] fault history
+    /// (FIT rates inflated so events exist at soak scale), interleaving
+    /// demand traffic and scrub sweeps between arrivals.
+    LifetimeReplay,
+    /// Bursts of transient strikes (particle hits) across random modes and
+    /// coordinates, healed by scrub sweeps between bursts.
+    TransientStorm,
+    /// Two banks of one pair racing their *shared* error counter toward the
+    /// migration threshold from both sides.
+    BankPairCounterRace,
+    /// A second fault arriving in a different channel immediately after a
+    /// pair migration completes.
+    MidMigrationFault,
+    /// Simultaneous permanent faults in multiple channels (the paper's
+    /// worst case: parity corrects only one channel at a time).
+    MultiChannelSimultaneous,
+    /// Corruption of the reserved parity region itself; reconstruction
+    /// through a damaged parity must be detected, never silent.
+    ParityRegionFault,
+    /// Write-heavy traffic against a migrated (degraded) pair with a
+    /// persistent whole-bank fault — the stored-ECC-line fast path.
+    WriteHeavyDegraded,
+    /// Many small faults on one pair driving the counter exactly to, then
+    /// past, saturation.
+    ThresholdSaturation,
+    /// Reads and writes hammering already-retired pages: every access must
+    /// be refused cleanly, never served or panicking.
+    RetiredPageHammer,
+    /// Several distinct permanent faults inside one channel (different
+    /// banks and modes) with mixed traffic and scrubbing.
+    MultiFaultOneChannel,
+}
+
+impl ScenarioKind {
+    /// Every scenario, in the order the harness cycles them.
+    pub fn all() -> Vec<ScenarioKind> {
+        use ScenarioKind::*;
+        vec![
+            LifetimeReplay,
+            TransientStorm,
+            BankPairCounterRace,
+            MidMigrationFault,
+            MultiChannelSimultaneous,
+            ParityRegionFault,
+            WriteHeavyDegraded,
+            ThresholdSaturation,
+            RetiredPageHammer,
+            MultiFaultOneChannel,
+        ]
+    }
+
+    /// Stable kebab-case name (CLI `--scenarios` values, ledger records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::LifetimeReplay => "lifetime-replay",
+            ScenarioKind::TransientStorm => "transient-storm",
+            ScenarioKind::BankPairCounterRace => "bank-pair-counter-race",
+            ScenarioKind::MidMigrationFault => "mid-migration-fault",
+            ScenarioKind::MultiChannelSimultaneous => "multi-channel-simultaneous",
+            ScenarioKind::ParityRegionFault => "parity-region-fault",
+            ScenarioKind::WriteHeavyDegraded => "write-heavy-degraded",
+            ScenarioKind::ThresholdSaturation => "threshold-saturation",
+            ScenarioKind::RetiredPageHammer => "retired-page-hammer",
+            ScenarioKind::MultiFaultOneChannel => "multi-fault-one-channel",
+        }
+    }
+
+    /// Look a scenario up by its [`ScenarioKind::name`].
+    pub fn by_name(name: &str) -> Option<ScenarioKind> {
+        Self::all().into_iter().find(|s| s.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_at_least_eight_distinct_scenarios() {
+        let all = ScenarioKind::all();
+        assert!(all.len() >= 8, "issue requires >= 8 scenarios");
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), all.len(), "names are unique");
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for s in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::by_name(s.name()), Some(s));
+        }
+        assert_eq!(ScenarioKind::by_name("nope"), None);
+    }
+}

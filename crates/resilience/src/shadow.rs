@@ -1,0 +1,75 @@
+//! Golden shadow copy of the memory contents.
+//!
+//! The shadow is a plain byte mirror written on every successful
+//! application write. It is *outside* the system under test — no codes, no
+//! parity, no fault overlays — so comparing a read's returned bytes against
+//! it detects silent corruption with certainty, independent of any ECC
+//! scheme's own detection strength.
+
+use ecc_parity::LineLoc;
+
+/// Byte-exact mirror of everything the harness has written.
+#[derive(Debug, Clone)]
+pub struct ShadowMemory {
+    /// `[channel][line-index] -> last written bytes` (None = never written).
+    lines: Vec<Vec<Option<Vec<u8>>>>,
+    data_rows: u32,
+    lines_per_row: u32,
+}
+
+impl ShadowMemory {
+    /// An empty shadow for the given shape.
+    pub fn new(channels: usize, banks: usize, data_rows: u32, lines_per_row: u32) -> Self {
+        let per_channel = banks as u64 * data_rows as u64 * lines_per_row as u64;
+        Self {
+            lines: vec![vec![None; per_channel as usize]; channels],
+            data_rows,
+            lines_per_row,
+        }
+    }
+
+    fn idx(&self, loc: &LineLoc) -> usize {
+        ((loc.bank as u64 * self.data_rows as u64 + loc.row as u64) * self.lines_per_row as u64
+            + loc.line as u64) as usize
+    }
+
+    /// Record a successful write.
+    pub fn set(&mut self, channel: usize, loc: &LineLoc, data: &[u8]) {
+        let i = self.idx(loc);
+        self.lines[channel][i] = Some(data.to_vec());
+    }
+
+    /// The golden bytes for a location, if it was ever written.
+    pub fn get(&self, channel: usize, loc: &LineLoc) -> Option<&[u8]> {
+        let i = self.idx(loc);
+        self.lines[channel][i].as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_get_roundtrips_per_location() {
+        let mut s = ShadowMemory::new(2, 2, 4, 4);
+        let a = LineLoc {
+            bank: 0,
+            row: 1,
+            line: 2,
+        };
+        let b = LineLoc {
+            bank: 1,
+            row: 3,
+            line: 0,
+        };
+        assert!(s.get(0, &a).is_none());
+        s.set(0, &a, &[1, 2, 3]);
+        s.set(1, &b, &[9; 4]);
+        assert_eq!(s.get(0, &a), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.get(1, &b), Some(&[9u8; 4][..]));
+        assert!(s.get(1, &a).is_none(), "channels are independent");
+        s.set(0, &a, &[7]);
+        assert_eq!(s.get(0, &a), Some(&[7u8][..]), "overwrite wins");
+    }
+}

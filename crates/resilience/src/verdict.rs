@@ -1,0 +1,166 @@
+//! Read-outcome classification for the soak harness.
+//!
+//! Every application read the harness issues is classified against a golden
+//! shadow copy of the data and the memory's own counters. The one verdict
+//! that must never occur is [`Verdict::SilentCorruption`]: the memory
+//! returned `Ok` with bytes that differ from what was last written.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened on one classified read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Detection saw nothing; returned bytes match the shadow copy.
+    CleanRead,
+    /// An error was detected and corrected by reconstructing the line's
+    /// correction bits from the cross-channel ECC parity (Fig 6 step C).
+    CorrectedViaParity,
+    /// An error was detected and corrected from the stored ECC line of a
+    /// migrated (degraded) bank pair (Fig 6 step B).
+    CorrectedDegraded,
+    /// The memory refused the read: detected but uncorrectable. Data is
+    /// lost, but the failure is *visible* — the machine-check path fires.
+    DetectedUncorrectable,
+    /// The memory returned `Ok` with wrong bytes, but the wrong bytes
+    /// produce the *same detection bits* as the correct data: the
+    /// corruption aliased through the scheme's detection code, so no
+    /// implementation of the scheme could have flagged it. This is the
+    /// scheme's published detection-coverage limit (e.g. ~2⁻¹⁶ per line
+    /// for LOT-ECC5's ones'-complement checksum16), not a harness or
+    /// library defect — reported, ledgered, but it does not fail the run.
+    DetectionAliased,
+    /// The memory returned `Ok` with wrong bytes *that detection would
+    /// have flagged* — an implementation bug by definition. The cardinal
+    /// sin; the soak run fails if this count is ever non-zero.
+    SilentCorruption,
+}
+
+impl Verdict {
+    /// Stable lower-snake name used in ledger records and summary JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::CleanRead => "clean_read",
+            Verdict::CorrectedViaParity => "corrected_via_parity",
+            Verdict::CorrectedDegraded => "corrected_degraded",
+            Verdict::DetectedUncorrectable => "detected_uncorrectable",
+            Verdict::DetectionAliased => "detection_aliased",
+            Verdict::SilentCorruption => "silent_corruption",
+        }
+    }
+}
+
+/// Aggregate verdict tallies for one soak run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictCounts {
+    /// [`Verdict::CleanRead`] occurrences.
+    pub clean_reads: u64,
+    /// [`Verdict::CorrectedViaParity`] occurrences.
+    pub corrected_via_parity: u64,
+    /// [`Verdict::CorrectedDegraded`] occurrences.
+    pub corrected_degraded: u64,
+    /// [`Verdict::DetectedUncorrectable`] occurrences.
+    pub detected_uncorrectable: u64,
+    /// [`Verdict::DetectionAliased`] occurrences (design-coverage misses;
+    /// reported but not a gate failure).
+    pub detection_aliased: u64,
+    /// [`Verdict::SilentCorruption`] occurrences (must stay zero).
+    pub silent_corruption: u64,
+    /// Reads refused because the page was retired (not a verdict: the
+    /// OS-visible remapping path, exercised for absence of panics).
+    pub retired_page_reads: u64,
+    /// Writes refused because the page was retired.
+    pub retired_page_writes: u64,
+    /// Writes machine-checked because the line's parity-group state was
+    /// beyond the single-device envelope (visible, like an uncorrectable
+    /// read — never silent).
+    pub uncorrectable_writes: u64,
+    /// Successful writes issued (shadow updated).
+    pub writes: u64,
+}
+
+impl VerdictCounts {
+    /// Record one verdict.
+    pub fn record(&mut self, v: Verdict) {
+        match v {
+            Verdict::CleanRead => self.clean_reads += 1,
+            Verdict::CorrectedViaParity => self.corrected_via_parity += 1,
+            Verdict::CorrectedDegraded => self.corrected_degraded += 1,
+            Verdict::DetectedUncorrectable => self.detected_uncorrectable += 1,
+            Verdict::DetectionAliased => self.detection_aliased += 1,
+            Verdict::SilentCorruption => self.silent_corruption += 1,
+        }
+    }
+
+    /// Total classified reads (excluding retired-page refusals).
+    pub fn reads(&self) -> u64 {
+        self.clean_reads
+            + self.corrected_via_parity
+            + self.corrected_degraded
+            + self.detected_uncorrectable
+            + self.detection_aliased
+            + self.silent_corruption
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &VerdictCounts) {
+        self.clean_reads += other.clean_reads;
+        self.corrected_via_parity += other.corrected_via_parity;
+        self.corrected_degraded += other.corrected_degraded;
+        self.detected_uncorrectable += other.detected_uncorrectable;
+        self.detection_aliased += other.detection_aliased;
+        self.silent_corruption += other.silent_corruption;
+        self.retired_page_reads += other.retired_page_reads;
+        self.retired_page_writes += other.retired_page_writes;
+        self.uncorrectable_writes += other.uncorrectable_writes;
+        self.writes += other.writes;
+    }
+}
+
+/// One non-clean read in the JSONL verdict ledger. Clean reads are
+/// summarized in [`VerdictCounts`] only — a million-access soak would
+/// otherwise produce a million-line ledger of no diagnostic value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerdictRecord {
+    /// Scenario that issued the read.
+    pub scenario: String,
+    /// Access sequence number within the scenario run.
+    pub access: u64,
+    /// Channel read.
+    pub channel: usize,
+    /// Bank within the channel.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u32,
+    /// Line within the row.
+    pub line: u32,
+    /// The classification.
+    pub verdict: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_record_and_merge() {
+        let mut a = VerdictCounts::default();
+        a.record(Verdict::CleanRead);
+        a.record(Verdict::CorrectedViaParity);
+        a.record(Verdict::DetectedUncorrectable);
+        let mut b = VerdictCounts::default();
+        b.record(Verdict::CorrectedDegraded);
+        b.writes = 3;
+        a.merge(&b);
+        assert_eq!(a.reads(), 4);
+        assert_eq!(a.clean_reads, 1);
+        assert_eq!(a.corrected_degraded, 1);
+        assert_eq!(a.writes, 3);
+        assert_eq!(a.silent_corruption, 0);
+    }
+
+    #[test]
+    fn verdict_names_are_stable() {
+        assert_eq!(Verdict::SilentCorruption.as_str(), "silent_corruption");
+        assert_eq!(Verdict::CleanRead.as_str(), "clean_read");
+    }
+}

@@ -1,0 +1,94 @@
+//! Bounded soak smoke: a small chaos run per scheme must finish with zero
+//! silent corruption, zero panics, and both correction paths exercised.
+
+use resilience::{ScenarioKind, SoakConfig, SoakHarness, Verdict};
+
+fn smoke_config(schemes: &[&str], accesses: u64) -> SoakConfig {
+    SoakConfig {
+        seed: 7,
+        accesses,
+        schemes: schemes.iter().map(|s| s.to_string()).collect(),
+        ..SoakConfig::default()
+    }
+}
+
+#[test]
+fn bounded_soak_is_clean_for_lotecc5() {
+    let harness = SoakHarness::new(smoke_config(&["lotecc5"], 45_000));
+    let report = harness.run_scheme("lotecc5").unwrap();
+    assert!(report.accesses >= 45_000);
+    assert_eq!(report.counts.silent_corruption, 0, "zero-SDC gate");
+    assert_eq!(report.panics, 0);
+    assert_eq!(report.monotonicity_violations, 0);
+    assert_eq!(report.audit_failures, 0);
+    assert!(report.is_clean());
+    assert!(
+        report.counts.corrected_via_parity > 0,
+        "parity reconstruction path exercised"
+    );
+    assert!(
+        report.counts.corrected_degraded > 0,
+        "stored-ECC-line (degraded) path exercised"
+    );
+    assert!(
+        report.counts.detected_uncorrectable > 0,
+        "adversarial scenarios force visible uncorrectables"
+    );
+    assert!(report.counts.clean_reads > 0);
+    // Ledger records only non-clean reads and respects its cap.
+    assert!(report.ledger.len() <= harness.config().ledger_limit);
+    assert!(report
+        .ledger
+        .iter()
+        .all(|r| r.verdict != Verdict::CleanRead.as_str()));
+}
+
+#[test]
+fn bounded_soak_is_clean_for_chipkill18() {
+    let report = SoakHarness::new(smoke_config(&["chipkill18"], 45_000))
+        .run_scheme("chipkill18")
+        .unwrap();
+    assert!(report.is_clean(), "chipkill18 soak: {:?}", report.counts);
+    assert!(report.counts.corrected_via_parity > 0);
+    assert!(report.counts.corrected_degraded > 0);
+}
+
+#[test]
+fn soak_is_deterministic_per_seed() {
+    let cfg = smoke_config(&["lotecc5"], 12_000);
+    let a = SoakHarness::new(cfg.clone()).run_scheme("lotecc5").unwrap();
+    let b = SoakHarness::new(cfg).run_scheme("lotecc5").unwrap();
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.accesses, b.accesses);
+}
+
+#[test]
+fn single_scenario_run_works_in_isolation() {
+    for kind in ScenarioKind::all() {
+        let cfg = SoakConfig {
+            seed: 3,
+            accesses: 5_000,
+            scenarios: vec![kind],
+            schemes: vec!["lotecc5".to_string()],
+            ..SoakConfig::default()
+        };
+        let report = SoakHarness::new(cfg).run_scheme("lotecc5").unwrap();
+        assert!(
+            report.is_clean(),
+            "scenario {} dirty: counts={:?} panics={} mono={} audit={}",
+            kind.name(),
+            report.counts,
+            report.panics,
+            report.monotonicity_violations,
+            report.audit_failures
+        );
+    }
+}
+
+#[test]
+fn unknown_scheme_is_a_typed_error() {
+    let err = SoakHarness::new(SoakConfig::default())
+        .run_scheme("not-a-scheme")
+        .unwrap_err();
+    assert_eq!(err.name, "not-a-scheme");
+}

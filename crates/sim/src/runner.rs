@@ -452,7 +452,7 @@ mod tests {
         let line_bytes = built.mem.line_bytes;
         let cfg = RunConfig {
             scheme: built,
-            workload: WorkloadSpec::by_name(workload).unwrap(),
+            workload: WorkloadSpec::lookup(workload).unwrap_or_else(|e| panic!("{e}")),
             cores: 4,
             warmup_per_core: 4_000,
             accesses_per_core: 8_000,
@@ -524,7 +524,7 @@ mod tests {
             seed: 1,
             ..RunConfig::paper(
                 SchemeConfig::build(scheme, SystemScale::QuadEquivalent),
-                WorkloadSpec::by_name(workload).unwrap(),
+                WorkloadSpec::lookup(workload).unwrap_or_else(|e| panic!("{e}")),
             )
         };
         SimRunner::new(cfg).run()

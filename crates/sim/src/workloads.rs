@@ -323,11 +323,54 @@ impl WorkloadSpec {
             .find(|w| w.name == name)
     }
 
+    /// Every valid workload name, in registry order.
+    pub fn names() -> Vec<&'static str> {
+        Self::all()
+            .into_iter()
+            .chain(Self::microbenchmarks())
+            .map(|w| w.name)
+            .collect()
+    }
+
+    /// Like [`WorkloadSpec::by_name`], but failure carries the offending
+    /// name and the full list of valid names — suitable for CLI error
+    /// messages and for surfacing typos in config files.
+    pub fn lookup(name: &str) -> Result<WorkloadSpec, UnknownWorkload> {
+        Self::by_name(name).ok_or_else(|| UnknownWorkload {
+            name: name.to_string(),
+            valid: Self::names(),
+        })
+    }
+
     /// Mean instructions between LLC accesses.
     pub fn instr_per_access(&self) -> f64 {
         1000.0 / self.lapki
     }
 }
+
+/// Error from [`WorkloadSpec::lookup`]: the requested workload does not
+/// exist. Carries the valid names so callers can print an actionable
+/// message instead of a bare panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// All registered workload names.
+    pub valid: Vec<&'static str>,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown workload `{}`; valid names: {}",
+            self.name,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
 
 /// One memory reference produced by a generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -429,6 +472,21 @@ mod tests {
             let expect_bin = if BIN1.contains(name) { 1 } else { 2 };
             assert_eq!(w.bin, expect_bin, "{name}");
         }
+    }
+
+    #[test]
+    fn lookup_reports_unknown_name_with_valid_list() {
+        assert_eq!(
+            WorkloadSpec::lookup("milc").unwrap(),
+            WorkloadSpec::by_name("milc").unwrap()
+        );
+        let err = WorkloadSpec::lookup("mlic").unwrap_err();
+        assert_eq!(err.name, "mlic");
+        assert_eq!(err.valid, WorkloadSpec::names());
+        let msg = err.to_string();
+        assert!(msg.contains("unknown workload `mlic`"));
+        assert!(msg.contains("milc"), "message lists valid names: {msg}");
+        assert!(msg.contains("stream"), "microbenchmarks included: {msg}");
     }
 
     #[test]

@@ -137,16 +137,12 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
         _ => SystemScale::QuadEquivalent,
     };
     let wname = flags.get("workload").map(String::as_str).unwrap_or("milc");
-    let Some(workload) = WorkloadSpec::by_name(wname) else {
-        eprintln!(
-            "unknown workload '{wname}'; available: {}",
-            WorkloadSpec::all()
-                .iter()
-                .map(|w| w.name)
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        return ExitCode::FAILURE;
+    let workload = match WorkloadSpec::lookup(wname) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     };
     let cfg = RunConfig::paper(SchemeConfig::build(scheme, scale), workload);
     let r = SimRunner::new(cfg).run();

@@ -1,0 +1,219 @@
+//! `soak` — the end-to-end resilience soak driver.
+//!
+//! Replays deterministic fault histories and adversarial chaos scenarios
+//! against a live `ParityMemory` for every selected ECC scheme, classifies
+//! each read against a golden shadow copy, and fails the process if any
+//! scheme reports silent corruption, a scenario panic, a health-table
+//! monotonicity violation, or a post-scrub parity audit failure.
+//!
+//! ```text
+//! soak [--seed N] [--accesses N] [--schemes a,b,...] [--scenarios x,y,...]
+//! ```
+//!
+//! With `ECC_PARITY_JSON_DIR` set, emits `soak.json` (schema
+//! `eccparity-soak-v1`, one summary object per scheme) and
+//! `soak_ledger.jsonl` (one JSON object per retained non-clean read).
+//! Exit status: 0 clean, 1 dirty verdicts, 2 usage error.
+
+use resilience::{ScenarioKind, SoakConfig, SoakHarness, SoakReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soak [--seed N] [--accesses N] [--schemes a,b,...] [--scenarios x,y,...]\n\
+         \n\
+         schemes default: {}\n\
+         scenarios default: {}",
+        resilience::DEFAULT_SCHEMES.join(","),
+        ScenarioKind::all()
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("soak: {flag} needs an unsigned integer argument");
+            usage();
+        }
+    }
+}
+
+fn parse_args() -> SoakConfig {
+    let mut cfg = SoakConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => cfg.seed = parse_u64("--seed", args.next()),
+            "--accesses" => cfg.accesses = parse_u64("--accesses", args.next()),
+            "--schemes" => {
+                let Some(list) = args.next() else { usage() };
+                cfg.schemes = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--scenarios" => {
+                let Some(list) = args.next() else { usage() };
+                cfg.scenarios = list
+                    .split(',')
+                    .map(|s| {
+                        ScenarioKind::by_name(s.trim()).unwrap_or_else(|| {
+                            eprintln!("soak: unknown scenario `{s}`");
+                            usage();
+                        })
+                    })
+                    .collect();
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("soak: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if cfg.schemes.is_empty() || cfg.scenarios.is_empty() {
+        eprintln!("soak: need at least one scheme and one scenario");
+        usage();
+    }
+    cfg
+}
+
+fn summary_json(cfg: &SoakConfig, reports: &[SoakReport]) -> serde_json::Value {
+    let schemes: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            let verdicts = serde_json::json!({
+                "clean_read": r.counts.clean_reads,
+                "corrected_via_parity": r.counts.corrected_via_parity,
+                "corrected_degraded": r.counts.corrected_degraded,
+                "detected_uncorrectable": r.counts.detected_uncorrectable,
+                "detection_aliased": r.counts.detection_aliased,
+                "silent_corruption": r.counts.silent_corruption,
+            });
+            let scenarios_run: Vec<serde_json::Value> = r
+                .scenarios_run
+                .iter()
+                .map(|(name, n)| serde_json::json!({"scenario": name.clone(), "invocations": *n}))
+                .collect();
+            serde_json::json!({
+                "scheme": r.scheme.clone(),
+                "accesses": r.accesses,
+                "clean": r.is_clean(),
+                "verdicts": verdicts,
+                "retired_page_reads": r.counts.retired_page_reads,
+                "retired_page_writes": r.counts.retired_page_writes,
+                "uncorrectable_writes": r.counts.uncorrectable_writes,
+                "writes": r.counts.writes,
+                "panics": r.panics,
+                "monotonicity_violations": r.monotonicity_violations,
+                "audit_failures": r.audit_failures,
+                "scenarios_run": scenarios_run,
+            })
+        })
+        .collect();
+    let scenario_names: Vec<serde_json::Value> = cfg
+        .scenarios
+        .iter()
+        .map(|s| serde_json::Value::from(s.name()))
+        .collect();
+    serde_json::json!({
+        "schema": "eccparity-soak-v1",
+        "seed": cfg.seed,
+        "accesses_per_scheme": cfg.accesses,
+        "scenarios": scenario_names,
+        "schemes": schemes,
+    })
+}
+
+fn dump_json(cfg: &SoakConfig, reports: &[SoakReport]) {
+    let Some(dir) = eccparity_bench::json_dir() else {
+        return;
+    };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let summary = summary_json(cfg, reports);
+    let _ = std::fs::write(
+        dir.join("soak.json"),
+        serde_json::to_string_pretty(&summary).unwrap(),
+    );
+    let mut ledger = String::new();
+    for r in reports {
+        for rec in &r.ledger {
+            ledger.push_str(
+                &serde_json::to_string(&serde_json::json!({
+                    "scheme": r.scheme.clone(),
+                    "scenario": rec.scenario.clone(),
+                    "access": rec.access,
+                    "channel": rec.channel,
+                    "bank": rec.bank,
+                    "row": rec.row,
+                    "line": rec.line,
+                    "verdict": rec.verdict,
+                }))
+                .unwrap(),
+            );
+            ledger.push('\n');
+        }
+    }
+    let _ = std::fs::write(dir.join("soak_ledger.jsonl"), ledger);
+}
+
+fn main() {
+    let _run = eccparity_bench::RunMeter::start("soak");
+    let cfg = parse_args();
+    let harness = SoakHarness::new(cfg.clone());
+    println!(
+        "soak: seed {} | {} accesses/scheme | {} scenarios | {} schemes",
+        cfg.seed,
+        cfg.accesses,
+        cfg.scenarios.len(),
+        cfg.schemes.len()
+    );
+    let mut reports = Vec::new();
+    for scheme in &cfg.schemes {
+        let report = match harness.run_scheme(scheme) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("soak: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "  {:<16} {:>9} accesses | clean {:>8} | parity {:>6} | degraded {:>6} | uncorrectable {:>5} | aliased {} | sdc {} | panics {} | mono {} | audit {} -> {}",
+            report.scheme,
+            report.accesses,
+            report.counts.clean_reads,
+            report.counts.corrected_via_parity,
+            report.counts.corrected_degraded,
+            report.counts.detected_uncorrectable,
+            report.counts.detection_aliased,
+            report.counts.silent_corruption,
+            report.panics,
+            report.monotonicity_violations,
+            report.audit_failures,
+            if report.is_clean() { "CLEAN" } else { "DIRTY" },
+        );
+        reports.push(report);
+    }
+    dump_json(&cfg, &reports);
+    let dirty: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.is_clean())
+        .map(|r| r.scheme.clone())
+        .collect();
+    if dirty.is_empty() {
+        println!(
+            "soak: CLEAN — zero silent corruption across {} schemes",
+            reports.len()
+        );
+    } else {
+        eprintln!("soak: DIRTY schemes: {}", dirty.join(", "));
+        // Flush provenance/metrics before the non-zero exit: a failing soak
+        // is exactly when the observability artifacts matter.
+        drop(_run);
+        std::process::exit(1);
+    }
+}

@@ -81,9 +81,15 @@ fn monte_carlo_fault_history_never_corrupts_silently() {
                 assert_eq!(&got, d, "silent corruption at {c}/{loc:?}");
             }
         }
-        // Capacity accounting stays within sane bounds.
+        // Capacity accounting stays within sane bounds. The ceiling is the
+        // formula's saturation point — every pair migrated (2R) plus every
+        // page retired (1.0) on top of the fixed detection + parity terms —
+        // which this catastrophic history (hundreds of overlapping faults on
+        // a 192-page toy memory) legitimately approaches now that scrub
+        // retires beyond-envelope pages in migrated banks instead of
+        // skipping them.
         let overhead = mem.capacity_overhead();
-        assert!((0.125..1.5).contains(&overhead), "overhead {overhead}");
+        assert!((0.125..2.0).contains(&overhead), "overhead {overhead}");
     }
 }
 
