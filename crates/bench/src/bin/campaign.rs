@@ -13,13 +13,15 @@
 use ecc_codes::lotecc::LotEcc;
 use ecc_parity::layout::LineLoc;
 use ecc_parity::memory::{MemError, ParityConfig, ParityMemory};
+use eccparity_bench::supervisor::{supervise, Shard, SupervisorConfig};
 use eccparity_bench::{fast_mode, print_table};
 use mem_faults::{ChipLocation, FaultInstance, FaultMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone, Copy, Serialize, Deserialize)]
 struct Tally {
     trials: u64,
     clean_reads: u64,
@@ -28,6 +30,18 @@ struct Tally {
     migrations: u64,
     uncorrectable: u64,
     silent: u64,
+}
+
+fn merge(a: Tally, b: Tally) -> Tally {
+    Tally {
+        trials: a.trials + b.trials,
+        clean_reads: a.clean_reads + b.clean_reads,
+        corrected_reads: a.corrected_reads + b.corrected_reads,
+        retired_pages: a.retired_pages + b.retired_pages,
+        migrations: a.migrations + b.migrations,
+        uncorrectable: a.uncorrectable + b.uncorrectable,
+        silent: a.silent + b.silent,
+    }
 }
 
 fn random_fault(
@@ -111,36 +125,66 @@ fn run_trial(seed: u64, mode: FaultMode, double: bool) -> Tally {
 }
 
 fn main() {
-    let _run = eccparity_bench::RunMeter::start("campaign");
+    let run_meter = eccparity_bench::RunMeter::start("campaign");
     let trials: u64 = if fast_mode() { 40 } else { 150 };
+    // Supervised execution: each (fault mode, single/double) group is cut
+    // into trial chunks small enough that a SIGKILL loses at most one
+    // chunk's work; seeds depend only on the trial index, so the chunked
+    // tallies sum to exactly what the old monolithic loop produced.
+    let chunk: u64 = if fast_mode() { 10 } else { 25 };
+    let groups: Vec<(bool, FaultMode)> = [false, true]
+        .iter()
+        .flat_map(|&double| FaultMode::ALL.iter().map(move |&mode| (double, mode)))
+        .collect();
+    let mut shards: Vec<Shard<Tally>> = vec![];
+    let mut shard_group: Vec<usize> = vec![];
+    for (gi, &(double, mode)) in groups.iter().enumerate() {
+        for k in 0..trials.div_ceil(chunk) {
+            let lo = k * chunk;
+            let hi = (lo + chunk).min(trials);
+            shards.push(Shard::new(
+                format!(
+                    "campaign:{mode:?}{}:chunk{k}",
+                    if double { "+x2ch" } else { "" }
+                ),
+                move || {
+                    (lo..hi)
+                        .into_par_iter()
+                        .map(|i| run_trial(i * 31 + mode as u64 * 7 + double as u64, mode, double))
+                        .reduce(Tally::default, merge)
+                },
+            ));
+            shard_group.push(gi);
+        }
+    }
+    let sup_cfg = SupervisorConfig::from_env(
+        "campaign",
+        format!(
+            "campaign-v1|trials={trials}|chunk={chunk}|groups={}",
+            groups.len()
+        ),
+    );
+    let supervised = supervise(&sup_cfg, shards);
+    supervised.exit_if_incomplete();
+
+    let mut tallies = vec![Tally::default(); groups.len()];
+    for (t, &gi) in supervised.into_results().iter().zip(&shard_group) {
+        tallies[gi] = merge(tallies[gi], *t);
+    }
     let mut rows = vec![];
     let mut total_silent = 0u64;
-    for double in [false, true] {
-        for mode in FaultMode::ALL {
-            let tally: Tally = (0..trials)
-                .into_par_iter()
-                .map(|i| run_trial(i * 31 + mode as u64 * 7 + double as u64, mode, double))
-                .reduce(Tally::default, |a, b| Tally {
-                    trials: a.trials + b.trials,
-                    clean_reads: a.clean_reads + b.clean_reads,
-                    corrected_reads: a.corrected_reads + b.corrected_reads,
-                    retired_pages: a.retired_pages + b.retired_pages,
-                    migrations: a.migrations + b.migrations,
-                    uncorrectable: a.uncorrectable + b.uncorrectable,
-                    silent: a.silent + b.silent,
-                });
-            total_silent += tally.silent;
-            rows.push(vec![
-                format!("{mode:?}{}", if double { " x2ch" } else { "" }),
-                tally.trials.to_string(),
-                tally.clean_reads.to_string(),
-                tally.corrected_reads.to_string(),
-                tally.retired_pages.to_string(),
-                tally.migrations.to_string(),
-                tally.uncorrectable.to_string(),
-                tally.silent.to_string(),
-            ]);
-        }
+    for (&(double, mode), tally) in groups.iter().zip(&tallies) {
+        total_silent += tally.silent;
+        rows.push(vec![
+            format!("{mode:?}{}", if double { " x2ch" } else { "" }),
+            tally.trials.to_string(),
+            tally.clean_reads.to_string(),
+            tally.corrected_reads.to_string(),
+            tally.retired_pages.to_string(),
+            tally.migrations.to_string(),
+            tally.uncorrectable.to_string(),
+            tally.silent.to_string(),
+        ]);
     }
     print_table(
         "Fault-injection campaign (4-channel LOT-ECC5 + ECC Parity)",
@@ -161,6 +205,16 @@ fn main() {
          rows may show detected-uncorrectable (the paper's accumulation \
          window) but the SILENT column must be zero everywhere."
     );
-    assert_eq!(total_silent, 0, "silent corruption detected!");
+    if total_silent != 0 {
+        eprintln!(
+            "campaign FAILED: {total_silent} silent-corruption event(s) — \
+             a read returned wrong data as if clean"
+        );
+        // Flush provenance/metrics before the non-zero exit (same
+        // convention as the soak driver): a failing campaign is exactly
+        // when the observability artifacts matter.
+        drop(run_meter);
+        std::process::exit(1);
+    }
     println!("campaign PASSED: no silent corruption in any trial.");
 }

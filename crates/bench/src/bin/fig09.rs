@@ -2,19 +2,26 @@
 //! commercial ECC memory system (the paper's workload characterization; all
 //! selected workloads consume at least 1% of total bandwidth).
 
-use eccparity_bench::{cached_run, cell_config, print_cache_summary, print_table, workloads};
+use eccparity_bench::{print_cache_summary, print_table, supervised_matrix, workloads};
 use mem_sim::{SchemeConfig, SchemeId, SystemScale};
-use rayon::prelude::*;
 
 fn main() {
     let _run = eccparity_bench::RunMeter::start("fig09");
     let scheme = SchemeConfig::build(SchemeId::Ck36, SystemScale::DualEquivalent);
     let burst = scheme.mem.burst_cycles();
     let channels = scheme.mem.channels;
+    // One supervised shard per workload cell: a crash mid-figure resumes
+    // with only the in-flight cells re-simulated (ECC_PARITY_RESUME=1).
+    let matrix = supervised_matrix(
+        "fig09",
+        SystemScale::DualEquivalent,
+        &[SchemeId::Ck36],
+        workloads(),
+    );
     let mut results: Vec<(String, u8, f64, f64)> = workloads()
-        .into_par_iter()
+        .iter()
         .map(|w| {
-            let r = cached_run(&cell_config(scheme.clone(), *w));
+            let r = &matrix[&(SchemeId::Ck36, w.name)];
             (
                 w.name.to_string(),
                 w.bin,

@@ -31,6 +31,8 @@
 //! every figure binary stays byte-identical between cold and warm runs,
 //! preserving the determinism contract.
 
+use crate::chaos::{CacheCorruption, Chaos};
+use crate::hash::fnv1a64;
 use mem_sim::{RunConfig, RunResult, SimRunner};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -42,17 +44,6 @@ use std::sync::{Mutex, OnceLock};
 /// model, scheme traffic rules, RNG streams). Old `results/cache/` entries
 /// then miss instead of resurrecting stale results.
 pub const MODEL_VERSION: &str = "eccparity-model-v1";
-
-/// 64-bit FNV-1a. Stable, dependency-free, and plenty for a cache whose
-/// entries also carry the full key string for collision rejection.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// On-disk representation of one cached cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,6 +72,9 @@ pub struct RunCache {
     /// Version stamp mixed into every key.
     stamp: String,
     memo: Mutex<HashMap<u64, RunResult>>,
+    /// Infrastructure-fault injector; [`Chaos::off`] except under
+    /// `ECC_PARITY_CHAOS` (or in tests exercising the quarantine path).
+    chaos: Chaos,
     simulated: AtomicU64,
     reused: AtomicU64,
     /// Order-independent fold (wrapping sum) of every requested cell's key
@@ -102,10 +96,18 @@ impl RunCache {
             enabled: true,
             stamp: stamp.to_string(),
             memo: Mutex::new(HashMap::new()),
+            chaos: Chaos::off(),
             simulated: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             digest: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a chaos source (stores get deterministically damaged so the
+    /// quarantine/repair path stays exercised).
+    pub fn with_chaos(mut self, chaos: Chaos) -> RunCache {
+        self.chaos = chaos;
+        self
     }
 
     /// A disabled cache: every run simulates fresh, counters still tick.
@@ -129,29 +131,64 @@ impl RunCache {
 
     fn load_disk(&self, hash: u64, key: &str) -> Option<RunResult> {
         let path = self.entry_path(hash)?;
-        let text = std::fs::read_to_string(path).ok()?;
+        let text = std::fs::read_to_string(&path).ok()?;
         // A file that exists but does not parse is damage (truncation, torn
         // write, disk corruption) or a pre-checksum-era entry: either way,
-        // count it and fall through to a fresh simulation, whose store will
-        // repair the file.
+        // quarantine it and fall through to a fresh simulation, whose store
+        // will repair the entry.
         let Ok(entry) = serde_json::from_str::<CacheEntry>(&text) else {
-            obs::counter!("cache.corrupt_entries").inc();
+            self.quarantine(hash, &path, "unparsable entry");
             return None;
         };
         if entry.checksum != fnv1a64(entry.payload.as_bytes()) {
-            obs::counter!("cache.corrupt_entries").inc();
+            self.quarantine(hash, &path, "payload checksum mismatch");
             return None;
         }
-        // Reject hash collisions and stamp/config drift.
+        // Reject hash collisions and stamp/config drift. Not corruption:
+        // the entry is intact, it just answers a different question, so it
+        // stays where it is (a model-version bump must not quarantine the
+        // previous version's whole cache).
         if entry.key != key {
             obs::counter!("cache.stamp_misses").inc();
             return None;
         }
         let Ok(result) = serde_json::from_str::<RunResult>(&entry.payload) else {
-            obs::counter!("cache.corrupt_entries").inc();
+            self.quarantine(hash, &path, "payload does not deserialize");
             return None;
         };
         Some(result)
+    }
+
+    /// Move a damaged entry aside as `<hash>.corrupt` so it stops being
+    /// re-parsed on every lookup and stays on disk for post-mortems. The
+    /// fresh store after re-simulation writes a clean `<hash>.json`.
+    fn quarantine(&self, hash: u64, path: &Path, why: &str) {
+        obs::counter!("cache.corrupt_entries").inc();
+        let target = path.with_extension("corrupt");
+        match std::fs::rename(path, &target) {
+            Ok(()) => {
+                obs::counter!("cache.quarantined").inc();
+                if obs::trace::enabled() {
+                    obs::trace::event(
+                        "cache.quarantine",
+                        &[
+                            ("cell", obs::trace::Value::Str(&format!("{hash:016x}"))),
+                            ("reason", obs::trace::Value::Str(why)),
+                        ],
+                    );
+                }
+                eprintln!(
+                    "cache: quarantined corrupt entry {:016x} ({why}) -> {}",
+                    hash,
+                    target.display()
+                );
+            }
+            Err(e) => {
+                // Quarantine is best-effort: the store after re-simulation
+                // overwrites the damaged file either way.
+                crate::harness::warn_io("cache quarantine rename", &e);
+            }
+        }
     }
 
     fn store_disk(&self, hash: u64, key: &str, result: &RunResult) {
@@ -188,6 +225,30 @@ impl RunCache {
         })();
         if published.is_err() {
             let _ = std::fs::remove_file(&tmp);
+        } else if let Some(kind) = self.chaos.corrupt_cache_entry(hash) {
+            self.chaos_damage(&path, kind);
+        }
+    }
+
+    /// Chaos hook: damage a just-published entry in place (deliberately
+    /// non-atomic — it simulates bit rot / a torn writer). The in-process
+    /// memo still holds the good result, so this run is unaffected; the
+    /// *next* process must detect, quarantine, and re-simulate.
+    fn chaos_damage(&self, path: &Path, kind: CacheCorruption) {
+        let Ok(mut bytes) = std::fs::read(path) else {
+            return;
+        };
+        match kind {
+            CacheCorruption::Truncate => bytes.truncate(bytes.len() / 2),
+            CacheCorruption::FlipByte => {
+                let mid = bytes.len() / 2;
+                if let Some(b) = bytes.get_mut(mid) {
+                    *b ^= 0x20;
+                }
+            }
+        }
+        if std::fs::write(path, &bytes).is_ok() {
+            obs::counter!("chaos.cache_corruptions").inc();
         }
     }
 
@@ -287,7 +348,7 @@ pub fn global() -> &'static RunCache {
         if off {
             RunCache::disabled()
         } else {
-            RunCache::new(Some(cache_dir().to_path_buf()))
+            RunCache::new(Some(cache_dir().to_path_buf())).with_chaos(crate::chaos::global())
         }
     })
 }

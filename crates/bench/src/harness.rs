@@ -1,10 +1,20 @@
 //! Shared harness: matrix runner, aggregation, and table rendering.
 
 use crate::cache::cached_run;
+use crate::supervisor::{supervise, Shard, SupervisorConfig};
 use mem_sim::{RunConfig, RunResult, SchemeConfig, SchemeId, SystemScale, WorkloadSpec};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
+
+/// Report a failed best-effort write (side outputs: JSON dumps, provenance
+/// manifests, ledgers). The run's correctness never depends on these, so
+/// the policy is warn-and-continue — but *visibly*: a counter
+/// (`bench.io_write_failures`) and a stderr line, never a silent `let _`.
+pub fn warn_io(what: &str, err: &dyn std::fmt::Display) {
+    obs::counter!("bench.io_write_failures").inc();
+    eprintln!("bench: {what} failed: {err}; continuing without it");
+}
 
 /// Simulation effort knob: `ECC_PARITY_FAST=1` shrinks runs ~8x for smoke
 /// testing; figures default to paper-shaped runs.
@@ -37,7 +47,8 @@ pub fn json_dir() -> Option<PathBuf> {
 /// Write the raw results of a matrix as pretty JSON.
 pub fn dump_matrix_json(name: &str, matrix: &HashMap<Cell, RunResult>) {
     let Some(dir) = json_dir() else { return };
-    if std::fs::create_dir_all(&dir).is_err() {
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        warn_io("matrix JSON dir create", &e);
         return;
     }
     let mut entries: Vec<_> = matrix
@@ -64,10 +75,16 @@ pub fn dump_matrix_json(name: &str, matrix: &HashMap<Cell, RunResult>) {
         )
     });
     let path = dir.join(format!("{}.json", name.replace([' ', '/'], "_")));
-    let _ = std::fs::write(
-        path,
-        serde_json::to_string_pretty(&serde_json::Value::Array(entries)).unwrap(),
-    );
+    let text = match serde_json::to_string_pretty(&serde_json::Value::Array(entries)) {
+        Ok(t) => t,
+        Err(e) => {
+            warn_io("matrix JSON serialize", &e);
+            return;
+        }
+    };
+    if let Err(e) = std::fs::write(&path, text) {
+        warn_io("matrix JSON write", &e);
+    }
 }
 
 /// Run the full matrix of `schemes x workloads` in parallel; deterministic
@@ -87,6 +104,61 @@ pub fn run_matrix(
             let r = cached_run(&cfg);
             ((s, w.name), r)
         })
+        .collect()
+}
+
+/// The checkpoint identity of a matrix: model stamp, scale, effort knob,
+/// and an order-independent fold of every cell's full cache key. Any
+/// change that would alter a cell's simulated numbers changes this string,
+/// so a stale journal is discarded instead of resumed.
+pub fn matrix_config_key(scale: SystemScale, jobs: &[(SchemeId, WorkloadSpec)]) -> String {
+    let mut digest: u64 = 0;
+    for &(s, w) in jobs {
+        let cfg = cell_config(SchemeConfig::build(s, scale), w);
+        digest = digest.wrapping_add(crate::hash::fnv1a64(
+            crate::cache::global().key_string(&cfg).as_bytes(),
+        ));
+    }
+    format!(
+        "{}|{:?}|fast={}|cells={}|digest={:016x}",
+        crate::cache::global().stamp(),
+        scale,
+        fast_mode(),
+        jobs.len(),
+        digest
+    )
+}
+
+/// [`run_matrix`] under campaign supervision: one shard per
+/// (scheme, workload) cell, each routed through the run cache exactly as
+/// before, but checkpointed so `ECC_PARITY_RESUME=1` after a crash
+/// re-executes only the cells that were in flight. Exits with status 3 if
+/// any cell fails terminally — a figure with holes is worse than no
+/// figure.
+pub fn supervised_matrix(
+    campaign: &str,
+    scale: SystemScale,
+    schemes: &[SchemeId],
+    workloads: &[WorkloadSpec],
+) -> HashMap<Cell, RunResult> {
+    let jobs: Vec<(SchemeId, WorkloadSpec)> = schemes
+        .iter()
+        .flat_map(|&s| workloads.iter().map(move |&w| (s, w)))
+        .collect();
+    let sup_cfg = SupervisorConfig::from_env(campaign, matrix_config_key(scale, &jobs));
+    let shards = jobs
+        .iter()
+        .map(|&(s, w)| {
+            Shard::new(format!("cell:{s:?}:{}", w.name), move || {
+                cached_run(&cell_config(SchemeConfig::build(s, scale), w))
+            })
+        })
+        .collect();
+    let run = supervise(&sup_cfg, shards);
+    run.exit_if_incomplete();
+    jobs.iter()
+        .zip(run.into_results())
+        .map(|(&(s, w), r)| ((s, w.name), r))
         .collect()
 }
 
@@ -229,7 +301,7 @@ pub const COMPARISONS: [(&str, SchemeId, SchemeId); 6] = [
 /// Run the full matrix and print one comparison figure. Returns
 /// (bin1 averages, bin2 averages) per comparison for EXPERIMENTS.md checks.
 pub fn comparison_figure(title: &str, scale: SystemScale, metric: Metric) -> Vec<(f64, f64)> {
-    let matrix = run_matrix(scale, &SchemeId::ALL, workloads());
+    let matrix = supervised_matrix(title, scale, &SchemeId::ALL, workloads());
     dump_matrix_json(title, &matrix);
     let mut rows: Vec<Vec<String>> = vec![];
     for w in workloads() {

@@ -1,0 +1,26 @@
+//! Shared hashing primitives for the bench infrastructure.
+
+/// 64-bit FNV-1a. Stable, dependency-free, and plenty for cache keys,
+/// journal checksums, and deterministic chaos rolls — every consumer also
+/// carries enough context (full key strings, payload re-verification) that
+/// a collision degrades to a miss or a re-execution, never a wrong result.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_eq!(fnv1a64(b"campaign"), fnv1a64(b"campaign"));
+    }
+}

@@ -7,9 +7,13 @@
 //! values alongside ours.
 
 pub mod cache;
+pub mod chaos;
 pub mod harness;
+pub mod hash;
 pub mod provenance;
+pub mod supervisor;
 
 pub use cache::{cached_run, print_cache_summary, RunCache, MODEL_VERSION};
 pub use harness::*;
 pub use provenance::RunMeter;
+pub use supervisor::{supervise, OutcomeClass, Shard, SupervisedRun, SupervisorConfig};

@@ -90,7 +90,8 @@ impl Drop for RunMeter {
         let Some(dir) = crate::harness::json_dir() else {
             return;
         };
-        if std::fs::create_dir_all(&dir).is_err() {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            crate::harness::warn_io("provenance dir create", &e);
             return;
         }
         let manifest = serde_json::json!({
@@ -106,6 +107,15 @@ impl Drop for RunMeter {
             "fast_mode": crate::harness::fast_mode(),
         });
         let path = dir.join(format!("{}.provenance.json", self.bin));
-        let _ = std::fs::write(path, serde_json::to_string_pretty(&manifest).unwrap());
+        // In Drop there is no caller to propagate to; the contract is
+        // "never silent": count it, say it, finish the drop.
+        match serde_json::to_string_pretty(&manifest) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    crate::harness::warn_io("provenance manifest write", &e);
+                }
+            }
+            Err(e) => crate::harness::warn_io("provenance manifest serialize", &e),
+        }
     }
 }

@@ -1,0 +1,1005 @@
+//! Crash-safe campaign supervision: checkpointed shards, watchdog
+//! deadlines, bounded retry, and a structured failure ledger.
+//!
+//! Long-running bench work — the fault-injection campaign's trial blocks,
+//! the soak harness's per-scheme runs, a comparison figure's 128
+//! workload×scheme cells — restarts from zero on a crash without this
+//! module. The supervisor shards such work into independently
+//! checkpointable units:
+//!
+//! 1. Every shard's result is journaled to
+//!    `results/checkpoints/<campaign>.journal.jsonl` the moment it
+//!    completes. Each journal publish rewrites the record list to a temp
+//!    file, fsyncs, and renames over the journal, so readers (including a
+//!    post-crash resume) never observe a torn file; replay additionally
+//!    tolerates a torn tail (records after the first damaged line are
+//!    dropped) in case the file was truncated by outside forces.
+//! 2. `ECC_PARITY_RESUME=1` replays the journal: shards with a valid,
+//!    checksummed result are *not* re-executed — their recorded payloads
+//!    deserialize to bit-identical results (the same serde round-trip the
+//!    run cache already relies on), so final stdout is byte-identical to
+//!    an uninterrupted run. Only shards that were in flight at the kill
+//!    re-execute.
+//! 3. Each shard attempt runs on its own thread under
+//!    [`std::panic::catch_unwind`] with a watchdog deadline
+//!    (`ECC_PARITY_SHARD_TIMEOUT_MS`); failures retry with exponential
+//!    backoff up to `ECC_PARITY_SHARD_RETRIES` times. Outcomes classify as
+//!    [`OutcomeClass::Completed`] / [`Retried`](OutcomeClass::Retried) /
+//!    [`TimedOut`](OutcomeClass::TimedOut) /
+//!    [`Panicked`](OutcomeClass::Panicked) /
+//!    [`Poisoned`](OutcomeClass::Poisoned), with per-class `supervisor.*`
+//!    counters and a JSONL failure ledger (schema
+//!    [`FAILURES_SCHEMA`]) under `ECC_PARITY_JSON_DIR`.
+//! 4. A shard that repeatedly kills the whole process (journal shows
+//!    `poison_threshold` starts with no completion) is classified
+//!    `Poisoned` and skipped instead of crash-looping the campaign.
+//!
+//! The chaos layer ([`crate::chaos`], `ECC_PARITY_CHAOS=<seed>`)
+//! deterministically injects infrastructure faults — corrupt cache
+//! entries, failed journal persists, first-attempt shard panics and
+//! stalls — and `tests/supervisor_tests.rs::chaos_soak` proves a chaos run
+//! converges to the fault-free results with zero lost shards.
+
+use crate::chaos::Chaos;
+use crate::hash::fnv1a64;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema stamped into the checkpoint journal's header record.
+pub const JOURNAL_SCHEMA: &str = "eccparity-journal-v1";
+
+/// Schema stamped into every failure-ledger line.
+pub const FAILURES_SCHEMA: &str = "eccparity-failures-v1";
+
+// ---- journal ---------------------------------------------------------------
+
+/// One record of the checkpoint journal (externally tagged JSON, one per
+/// line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// First line: identifies the campaign and the exact work list. A
+    /// resume against a journal whose header does not match starts fresh.
+    Header {
+        /// Always [`JOURNAL_SCHEMA`].
+        schema: String,
+        /// Campaign name (journal file stem).
+        campaign: String,
+        /// Caller-supplied identity of the work (config digest, knobs).
+        config_key: String,
+        /// Number of shards the campaign submits.
+        total_shards: u64,
+    },
+    /// A shard began executing (written once per process-run of the
+    /// shard, before its first attempt). A `ShardStart` with no matching
+    /// `ShardDone` marks the shard as in-flight at a crash.
+    ShardStart {
+        /// Shard name.
+        shard: String,
+    },
+    /// A shard reached a terminal class. Success classes carry the
+    /// serialized result; `checksum` is FNV-1a over `payload`'s bytes.
+    ShardDone {
+        /// Shard name.
+        shard: String,
+        /// Terminal [`OutcomeClass`], as its string form.
+        class: String,
+        /// Attempts consumed (1 = clean first try).
+        attempts: u32,
+        /// Wall time of the successful (or final) attempt, milliseconds.
+        wall_ms: u64,
+        /// FNV-1a over `payload`.
+        checksum: u64,
+        /// Serialized shard result (empty for failure classes).
+        payload: String,
+    },
+    /// Every shard reached a terminal class; the campaign finished.
+    RunComplete {
+        /// Shards that completed or resumed successfully.
+        succeeded: u64,
+    },
+}
+
+/// Parse a journal file, tolerating a torn tail: records after the first
+/// unparsable line are dropped. Returns the parsed prefix and whether a
+/// torn/damaged tail was skipped.
+pub fn replay_journal(path: &Path) -> (Vec<JournalRecord>, bool) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (Vec::new(), false);
+    };
+    let mut records = Vec::new();
+    let mut torn = false;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalRecord>(line) {
+            Ok(rec) => records.push(rec),
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    (records, torn)
+}
+
+/// The append-only checkpoint journal with atomic whole-file publishes.
+struct Journal {
+    path: Option<PathBuf>,
+    records: Vec<JournalRecord>,
+    chaos: Chaos,
+    persists: u64,
+    write_failures: u64,
+}
+
+impl Journal {
+    fn append(&mut self, rec: JournalRecord) {
+        self.records.push(rec);
+        self.persist();
+    }
+
+    /// Publish the full record list atomically: serialize every record as
+    /// one JSON line, write to a pid-suffixed temp file, fsync, rename.
+    /// Failures (real, or chaos-simulated ENOSPC) are counted and the run
+    /// continues — the journal is a durability optimization, never a
+    /// correctness dependency; the records stay in memory, so the next
+    /// successful persist publishes everything.
+    fn persist(&mut self) {
+        let Some(path) = self.path.clone() else {
+            return;
+        };
+        self.persists += 1;
+        if self.chaos.fail_journal_write(self.persists) {
+            self.note_write_failure(&path, "chaos: simulated ENOSPC");
+            return;
+        }
+        let mut text = String::new();
+        for rec in &self.records {
+            match serde_json::to_string(rec) {
+                Ok(line) => {
+                    text.push_str(&line);
+                    text.push('\n');
+                }
+                Err(e) => {
+                    self.note_write_failure(&path, &format!("serialize: {e}"));
+                    return;
+                }
+            }
+        }
+        let published = (|| -> std::io::Result<()> {
+            use std::io::Write;
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = published {
+            self.note_write_failure(&path, &e.to_string());
+        }
+    }
+
+    fn note_write_failure(&mut self, path: &Path, why: &str) {
+        self.write_failures += 1;
+        obs::counter!("supervisor.journal_write_failures").inc();
+        eprintln!(
+            "supervisor: journal persist to {} failed ({why}); continuing without this checkpoint",
+            path.display()
+        );
+    }
+}
+
+// ---- configuration ---------------------------------------------------------
+
+/// Default per-attempt watchdog deadline (10 minutes — far above any
+/// healthy shard, so it only fires on genuine hangs).
+pub const DEFAULT_TIMEOUT_MS: u64 = 600_000;
+
+/// Default extra attempts after the first.
+pub const DEFAULT_RETRIES: u32 = 2;
+
+/// Default base backoff between attempts (doubles per retry).
+pub const DEFAULT_BACKOFF_MS: u64 = 50;
+
+/// Default crash-loop guard: a shard seen in flight at this many process
+/// deaths is poisoned instead of re-executed.
+pub const DEFAULT_POISON_THRESHOLD: u32 = 3;
+
+/// Knobs of one supervised campaign.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Campaign name: journal file stem, ledger stamp, summary label.
+    pub campaign: String,
+    /// Identity of the work list (model version, scale, trial counts…).
+    /// A journal with a different key is discarded on resume.
+    pub config_key: String,
+    /// Checkpoint directory; `None` disables journaling entirely.
+    pub dir: Option<PathBuf>,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Watchdog deadline per attempt.
+    pub timeout: Duration,
+    /// Extra attempts after the first.
+    pub retries: u32,
+    /// Base backoff before a retry; doubles each further retry.
+    pub backoff: Duration,
+    /// Crash-loop guard (see [`DEFAULT_POISON_THRESHOLD`]).
+    pub poison_threshold: u32,
+    /// Shards allowed in flight at once.
+    pub max_inflight: usize,
+    /// Infrastructure-fault injector.
+    pub chaos: Chaos,
+    /// Failure-ledger path (`None` = no ledger file).
+    pub failures_path: Option<PathBuf>,
+}
+
+/// Checkpoint directory: `ECC_PARITY_CHECKPOINT_DIR`, default
+/// `results/checkpoints`.
+pub fn checkpoint_dir() -> PathBuf {
+    std::env::var("ECC_PARITY_CHECKPOINT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/checkpoints"))
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("supervisor: {name}={v:?} is not an integer; using {default}");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+impl SupervisorConfig {
+    /// The environment-configured setup every bench binary uses:
+    /// checkpoints under [`checkpoint_dir`], resume via
+    /// `ECC_PARITY_RESUME=1`, watchdog/retry knobs via
+    /// `ECC_PARITY_SHARD_TIMEOUT_MS` / `ECC_PARITY_SHARD_RETRIES` /
+    /// `ECC_PARITY_RETRY_BACKOFF_MS`, chaos via `ECC_PARITY_CHAOS`, and
+    /// the failure ledger under `ECC_PARITY_JSON_DIR`.
+    pub fn from_env(campaign: &str, config_key: String) -> SupervisorConfig {
+        SupervisorConfig {
+            campaign: campaign.to_string(),
+            config_key,
+            dir: Some(checkpoint_dir()),
+            resume: std::env::var("ECC_PARITY_RESUME")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+            timeout: Duration::from_millis(env_u64(
+                "ECC_PARITY_SHARD_TIMEOUT_MS",
+                DEFAULT_TIMEOUT_MS,
+            )),
+            retries: env_u64("ECC_PARITY_SHARD_RETRIES", u64::from(DEFAULT_RETRIES)) as u32,
+            backoff: Duration::from_millis(env_u64(
+                "ECC_PARITY_RETRY_BACKOFF_MS",
+                DEFAULT_BACKOFF_MS,
+            )),
+            poison_threshold: DEFAULT_POISON_THRESHOLD,
+            max_inflight: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            chaos: crate::chaos::global(),
+            failures_path: crate::harness::json_dir()
+                .map(|d| d.join(format!("{campaign}.failures.jsonl"))),
+        }
+    }
+
+    fn journal_path(&self) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let stem: String = self
+            .campaign
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        Some(dir.join(format!("{stem}.journal.jsonl")))
+    }
+}
+
+// ---- shards and outcomes ---------------------------------------------------
+
+/// One independently checkpointable unit of work.
+pub struct Shard<T> {
+    /// Stable name: the journal key, so it must not change between a run
+    /// and its resume.
+    pub name: String,
+    work: Arc<dyn Fn() -> T + Send + Sync + 'static>,
+}
+
+impl<T> Shard<T> {
+    /// A shard running `work`. `work` may be invoked multiple times
+    /// (retries) and must be deterministic for resume to be
+    /// output-transparent.
+    pub fn new(name: impl Into<String>, work: impl Fn() -> T + Send + Sync + 'static) -> Shard<T> {
+        Shard {
+            name: name.into(),
+            work: Arc::new(work),
+        }
+    }
+}
+
+/// Terminal classification of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeClass {
+    /// Succeeded on the first attempt.
+    Completed,
+    /// Succeeded after at least one failed attempt.
+    Retried,
+    /// Every attempt exceeded the watchdog deadline.
+    TimedOut,
+    /// Every attempt panicked.
+    Panicked,
+    /// Skipped: the journal shows the shard was in flight at
+    /// `poison_threshold` process deaths (crash-loop guard).
+    Poisoned,
+}
+
+impl OutcomeClass {
+    /// Stable string form (journal records, ledger lines, counters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutcomeClass::Completed => "completed",
+            OutcomeClass::Retried => "retried",
+            OutcomeClass::TimedOut => "timed_out",
+            OutcomeClass::Panicked => "panicked",
+            OutcomeClass::Poisoned => "poisoned",
+        }
+    }
+
+    /// Did the shard produce a result?
+    pub fn is_success(self) -> bool {
+        matches!(self, OutcomeClass::Completed | OutcomeClass::Retried)
+    }
+
+    fn from_str(s: &str) -> Option<OutcomeClass> {
+        Some(match s {
+            "completed" => OutcomeClass::Completed,
+            "retried" => OutcomeClass::Retried,
+            "timed_out" => OutcomeClass::TimedOut,
+            "panicked" => OutcomeClass::Panicked,
+            "poisoned" => OutcomeClass::Poisoned,
+            _ => return None,
+        })
+    }
+}
+
+/// Final state of one shard after supervision.
+pub struct ShardOutcome<T> {
+    /// Shard name.
+    pub name: String,
+    /// Terminal classification.
+    pub class: OutcomeClass,
+    /// Attempts consumed this process-run (0 if resumed or poisoned).
+    pub attempts: u32,
+    /// True when the result came from the journal, not execution.
+    pub resumed: bool,
+    /// Wall time of the deciding attempt, in milliseconds.
+    pub wall_ms: u64,
+    /// The shard's result; `None` for failure classes.
+    pub result: Option<T>,
+}
+
+/// Everything a supervised campaign produced, in submission order.
+pub struct SupervisedRun<T> {
+    /// Campaign name.
+    pub campaign: String,
+    /// One outcome per submitted shard, in submission order.
+    pub outcomes: Vec<ShardOutcome<T>>,
+}
+
+impl<T> SupervisedRun<T> {
+    /// Did every shard produce a result?
+    pub fn all_succeeded(&self) -> bool {
+        self.outcomes.iter().all(|o| o.class.is_success())
+    }
+
+    /// Names of shards that failed terminally.
+    pub fn failed_shards(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.class.is_success())
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// Successful results in submission order, consuming the run.
+    /// Panics if any shard failed — call [`Self::exit_if_incomplete`] (or
+    /// check [`Self::all_succeeded`]) first.
+    pub fn into_results(self) -> Vec<T> {
+        self.outcomes
+            .into_iter()
+            .map(|o| {
+                o.result.unwrap_or_else(|| {
+                    panic!("shard {} produced no result ({})", o.name, o.class.as_str())
+                })
+            })
+            .collect()
+    }
+
+    /// Binary-facing guard: if any shard failed, print the failures to
+    /// stderr and exit with status 3 — the "infrastructure failure" code,
+    /// distinct from validation failure (1) and usage error (2).
+    pub fn exit_if_incomplete(&self) {
+        if self.all_succeeded() {
+            return;
+        }
+        let failed = self.failed_shards().join(", ");
+        eprintln!(
+            "supervisor: {}: unrecoverable shard failures: {failed}",
+            self.campaign
+        );
+        obs::metrics::write_snapshot_if_configured(&self.campaign);
+        obs::trace::flush();
+        std::process::exit(3);
+    }
+}
+
+// ---- execution -------------------------------------------------------------
+
+struct DoneRecord {
+    class: OutcomeClass,
+    attempts: u32,
+    wall_ms: u64,
+    payload: String,
+}
+
+/// Journal replay distilled into resume state.
+struct ResumeState {
+    /// Shard name -> successfully journaled result.
+    done: HashMap<String, DoneRecord>,
+    /// Shard name -> times it was in flight at a process death.
+    crash_counts: HashMap<String, u32>,
+    /// Records carried into the continued journal.
+    records: Vec<JournalRecord>,
+}
+
+fn load_resume_state(
+    cfg: &SupervisorConfig,
+    path: &Path,
+    total_shards: u64,
+) -> Option<ResumeState> {
+    let (records, torn) = replay_journal(path);
+    if torn {
+        obs::counter!("supervisor.journal_torn_tail").inc();
+        eprintln!(
+            "supervisor: {}: journal tail was torn/damaged; replaying the intact prefix",
+            cfg.campaign
+        );
+    }
+    let header_ok = matches!(
+        records.first(),
+        Some(JournalRecord::Header { schema, campaign, config_key, total_shards: t })
+            if schema == JOURNAL_SCHEMA
+                && *campaign == cfg.campaign
+                && *config_key == cfg.config_key
+                && *t == total_shards
+    );
+    if !header_ok {
+        obs::counter!("supervisor.journal_discarded").inc();
+        eprintln!(
+            "supervisor: {}: existing journal does not match this campaign's configuration; starting fresh",
+            cfg.campaign
+        );
+        return None;
+    }
+    let mut done = HashMap::new();
+    let mut open: HashMap<String, u32> = HashMap::new();
+    for rec in &records {
+        match rec {
+            JournalRecord::ShardStart { shard } => {
+                *open.entry(shard.clone()).or_insert(0) += 1;
+            }
+            JournalRecord::ShardDone {
+                shard,
+                class,
+                attempts,
+                wall_ms,
+                checksum,
+                payload,
+            } => {
+                if let Some(n) = open.get_mut(shard) {
+                    *n = n.saturating_sub(1);
+                }
+                let Some(class) = OutcomeClass::from_str(class) else {
+                    continue;
+                };
+                // Terminal failures are re-executed on resume (fresh retry
+                // budget); only checksummed successes short-circuit.
+                if class.is_success() && *checksum == fnv1a64(payload.as_bytes()) {
+                    done.insert(
+                        shard.clone(),
+                        DoneRecord {
+                            class,
+                            attempts: *attempts,
+                            wall_ms: *wall_ms,
+                            payload: payload.clone(),
+                        },
+                    );
+                } else if class.is_success() {
+                    obs::counter!("supervisor.journal_corrupt_payloads").inc();
+                }
+            }
+            JournalRecord::Header { .. } | JournalRecord::RunComplete { .. } => {}
+        }
+    }
+    let crash_counts = open.into_iter().filter(|(_, n)| *n > 0).collect();
+    Some(ResumeState {
+        done,
+        crash_counts,
+        records,
+    })
+}
+
+/// The per-class tallies of one supervised run (summary line + counters).
+#[derive(Default)]
+struct ClassTally {
+    completed: u64,
+    retried: u64,
+    timed_out: u64,
+    panicked: u64,
+    poisoned: u64,
+    resumed: u64,
+}
+
+impl ClassTally {
+    fn record(&mut self, class: OutcomeClass, resumed: bool) {
+        if resumed {
+            self.resumed += 1;
+        }
+        match class {
+            OutcomeClass::Completed => self.completed += 1,
+            OutcomeClass::Retried => self.retried += 1,
+            OutcomeClass::TimedOut => self.timed_out += 1,
+            OutcomeClass::Panicked => self.panicked += 1,
+            OutcomeClass::Poisoned => self.poisoned += 1,
+        }
+    }
+}
+
+/// One in-flight shard attempt.
+struct Running<T> {
+    idx: usize,
+    attempt: u32,
+    started: Instant,
+    deadline: Instant,
+    rx: mpsc::Receiver<Result<T, String>>,
+}
+
+/// A shard waiting to run (or to retry after backoff).
+struct Pending {
+    idx: usize,
+    attempts_done: u32,
+    ready_at: Instant,
+    started_journaled: bool,
+}
+
+struct Ledger {
+    sink: Option<obs::jsonl::JsonlSink>,
+}
+
+impl Ledger {
+    fn open(cfg: &SupervisorConfig) -> Ledger {
+        let sink = cfg.failures_path.as_ref().and_then(|p| {
+            obs::jsonl::JsonlSink::create(p, FAILURES_SCHEMA)
+                .map_err(|e| {
+                    crate::harness::warn_io("failure ledger create", &e);
+                })
+                .ok()
+        });
+        Ledger { sink }
+    }
+
+    fn attempt_failed(
+        &mut self,
+        campaign: &str,
+        shard: &str,
+        attempt: u32,
+        kind: &str,
+        detail: &str,
+        wall_ms: u64,
+    ) {
+        obs::counter!("supervisor.attempt_failures").inc();
+        if obs::trace::enabled() {
+            obs::trace::event(
+                "supervisor.attempt_failed",
+                &[
+                    ("shard", obs::trace::Value::Str(shard)),
+                    ("attempt", obs::trace::Value::U64(u64::from(attempt))),
+                    ("kind", obs::trace::Value::Str(kind)),
+                ],
+            );
+        }
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.append(
+                "shard.attempt_failed",
+                &[
+                    ("campaign", obs::trace::Value::Str(campaign)),
+                    ("shard", obs::trace::Value::Str(shard)),
+                    ("attempt", obs::trace::Value::U64(u64::from(attempt))),
+                    ("failure", obs::trace::Value::Str(kind)),
+                    ("detail", obs::trace::Value::Str(detail)),
+                    ("wall_ms", obs::trace::Value::U64(wall_ms)),
+                ],
+            );
+        }
+    }
+
+    fn outcome(
+        &mut self,
+        campaign: &str,
+        o_name: &str,
+        class: OutcomeClass,
+        attempts: u32,
+        resumed: bool,
+        wall_ms: u64,
+    ) {
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.append(
+                "shard.outcome",
+                &[
+                    ("campaign", obs::trace::Value::Str(campaign)),
+                    ("shard", obs::trace::Value::Str(o_name)),
+                    ("class", obs::trace::Value::Str(class.as_str())),
+                    ("attempts", obs::trace::Value::U64(u64::from(attempts))),
+                    ("resumed", obs::trace::Value::Bool(resumed)),
+                    ("wall_ms", obs::trace::Value::U64(wall_ms)),
+                ],
+            );
+        }
+    }
+}
+
+/// Run `shards` under the supervisor. Returns one outcome per shard in
+/// submission order. See the module docs for the full contract.
+///
+/// Panics if two shards share a name (the journal keys by name).
+pub fn supervise<T>(cfg: &SupervisorConfig, shards: Vec<Shard<T>>) -> SupervisedRun<T>
+where
+    T: Serialize + Deserialize + Send + 'static,
+{
+    {
+        let mut seen = std::collections::HashSet::new();
+        for s in &shards {
+            assert!(
+                seen.insert(s.name.as_str()),
+                "duplicate shard name {:?}",
+                s.name
+            );
+        }
+    }
+    let total = shards.len() as u64;
+    let journal_path = cfg.journal_path();
+
+    // Resume (or not): distill any matching journal into prior state.
+    let resume_state = match (&journal_path, cfg.resume) {
+        (Some(path), true) if path.exists() => load_resume_state(cfg, path, total),
+        _ => None,
+    };
+    let resumed_any = resume_state.is_some();
+    let (done, crash_counts, records) = match resume_state {
+        Some(s) => (s.done, s.crash_counts, s.records),
+        None => (
+            HashMap::new(),
+            HashMap::new(),
+            vec![JournalRecord::Header {
+                schema: JOURNAL_SCHEMA.to_string(),
+                campaign: cfg.campaign.clone(),
+                config_key: cfg.config_key.clone(),
+                total_shards: total,
+            }],
+        ),
+    };
+    let mut journal = Journal {
+        path: journal_path,
+        records,
+        chaos: cfg.chaos,
+        persists: 0,
+        write_failures: 0,
+    };
+    if !resumed_any {
+        // Publish the fresh header before any work runs.
+        journal.persist();
+    }
+
+    let mut ledger = Ledger::open(cfg);
+    let mut tally = ClassTally::default();
+    let mut outcomes: Vec<Option<ShardOutcome<T>>> = shards.iter().map(|_| None).collect();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    // Settle resumed and poisoned shards; queue the rest.
+    for (idx, shard) in shards.iter().enumerate() {
+        if let Some(rec) = done.get(&shard.name) {
+            match serde_json::from_str::<T>(&rec.payload) {
+                Ok(v) => {
+                    tally.record(rec.class, true);
+                    ledger.outcome(
+                        &cfg.campaign,
+                        &shard.name,
+                        rec.class,
+                        rec.attempts,
+                        true,
+                        rec.wall_ms,
+                    );
+                    outcomes[idx] = Some(ShardOutcome {
+                        name: shard.name.clone(),
+                        class: rec.class,
+                        attempts: 0,
+                        resumed: true,
+                        wall_ms: rec.wall_ms,
+                        result: Some(v),
+                    });
+                    continue;
+                }
+                Err(_) => {
+                    obs::counter!("supervisor.journal_corrupt_payloads").inc();
+                    // Fall through: re-execute.
+                }
+            }
+        }
+        if crash_counts.get(&shard.name).copied().unwrap_or(0) >= cfg.poison_threshold {
+            obs::counter!("supervisor.shards_poisoned").inc();
+            if obs::trace::enabled() {
+                obs::trace::event(
+                    "supervisor.shard_poisoned",
+                    &[("shard", obs::trace::Value::Str(&shard.name))],
+                );
+            }
+            eprintln!(
+                "supervisor: {}: shard {} was in flight at {}+ process deaths; poisoned (crash-loop guard)",
+                cfg.campaign, shard.name, cfg.poison_threshold
+            );
+            tally.record(OutcomeClass::Poisoned, false);
+            ledger.outcome(
+                &cfg.campaign,
+                &shard.name,
+                OutcomeClass::Poisoned,
+                0,
+                false,
+                0,
+            );
+            journal.append(JournalRecord::ShardDone {
+                shard: shard.name.clone(),
+                class: OutcomeClass::Poisoned.as_str().to_string(),
+                attempts: 0,
+                wall_ms: 0,
+                checksum: fnv1a64(b""),
+                payload: String::new(),
+            });
+            outcomes[idx] = Some(ShardOutcome {
+                name: shard.name.clone(),
+                class: OutcomeClass::Poisoned,
+                attempts: 0,
+                resumed: false,
+                wall_ms: 0,
+                result: None,
+            });
+            continue;
+        }
+        pending.push(Pending {
+            idx,
+            attempts_done: 0,
+            ready_at: Instant::now(),
+            started_journaled: false,
+        });
+    }
+
+    // The scheduler loop: keep up to `max_inflight` attempts running under
+    // their watchdogs, retrying with backoff, until every shard settles.
+    let max_inflight = cfg.max_inflight.max(1);
+    let mut running: Vec<Running<T>> = Vec::new();
+    while !pending.is_empty() || !running.is_empty() {
+        // Launch ready shards into free slots.
+        while running.len() < max_inflight {
+            let now = Instant::now();
+            let Some(pos) = pending.iter().position(|p| p.ready_at <= now) else {
+                break;
+            };
+            let mut p = pending.remove(pos);
+            if !p.started_journaled {
+                journal.append(JournalRecord::ShardStart {
+                    shard: shards[p.idx].name.clone(),
+                });
+                p.started_journaled = true;
+            }
+            let attempt = p.attempts_done + 1;
+            let (tx, rx) = mpsc::channel();
+            let work = Arc::clone(&shards[p.idx].work);
+            let name = shards[p.idx].name.clone();
+            let chaos = cfg.chaos;
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(ms) = chaos.shard_delay_ms(&name, attempt) {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    if chaos.shard_panic(&name, attempt) {
+                        panic!("chaos: injected shard panic");
+                    }
+                    work()
+                }));
+                let _ = tx.send(result.map_err(|e| panic_message(e.as_ref())));
+            });
+            let started = Instant::now();
+            running.push(Running {
+                idx: p.idx,
+                attempt,
+                started,
+                deadline: started + cfg.timeout,
+                rx,
+            });
+        }
+
+        // Poll in-flight attempts.
+        let mut settled_any = false;
+        let mut i = 0;
+        while i < running.len() {
+            let now = Instant::now();
+            let verdict = match running[i].rx.try_recv() {
+                Ok(res) => Some(res),
+                Err(mpsc::TryRecvError::Empty) if now >= running[i].deadline => None,
+                Err(mpsc::TryRecvError::Empty) => {
+                    i += 1;
+                    continue;
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    // Worker died without sending (should be impossible:
+                    // catch_unwind feeds the channel) — treat as a panic.
+                    Some(Err("worker thread died without reporting".to_string()))
+                }
+            };
+            let run = running.remove(i);
+            settled_any = true;
+            let wall_ms = run.started.elapsed().as_millis() as u64;
+            let name = &shards[run.idx].name;
+            match verdict {
+                Some(Ok(v)) => {
+                    let class = if run.attempt > 1 {
+                        OutcomeClass::Retried
+                    } else {
+                        OutcomeClass::Completed
+                    };
+                    let payload = match serde_json::to_string(&v) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            // Unserializable result: the run still succeeds,
+                            // but the checkpoint cannot cover this shard.
+                            crate::harness::warn_io("shard payload serialize", &e);
+                            String::new()
+                        }
+                    };
+                    journal.append(JournalRecord::ShardDone {
+                        shard: name.clone(),
+                        class: class.as_str().to_string(),
+                        attempts: run.attempt,
+                        wall_ms,
+                        checksum: fnv1a64(payload.as_bytes()),
+                        payload,
+                    });
+                    tally.record(class, false);
+                    ledger.outcome(&cfg.campaign, name, class, run.attempt, false, wall_ms);
+                    outcomes[run.idx] = Some(ShardOutcome {
+                        name: name.clone(),
+                        class,
+                        attempts: run.attempt,
+                        resumed: false,
+                        wall_ms,
+                        result: Some(v),
+                    });
+                }
+                failure => {
+                    let (kind, class, detail) = match &failure {
+                        None => (
+                            "timed_out",
+                            OutcomeClass::TimedOut,
+                            format!("watchdog deadline {:?} exceeded", cfg.timeout),
+                        ),
+                        Some(Err(msg)) => ("panicked", OutcomeClass::Panicked, msg.clone()),
+                        Some(Ok(_)) => unreachable!("success handled above"),
+                    };
+                    ledger.attempt_failed(&cfg.campaign, name, run.attempt, kind, &detail, wall_ms);
+                    eprintln!(
+                        "supervisor: {}: shard {} attempt {} {kind} ({detail})",
+                        cfg.campaign, name, run.attempt
+                    );
+                    if run.attempt > cfg.retries {
+                        journal.append(JournalRecord::ShardDone {
+                            shard: name.clone(),
+                            class: class.as_str().to_string(),
+                            attempts: run.attempt,
+                            wall_ms,
+                            checksum: fnv1a64(b""),
+                            payload: String::new(),
+                        });
+                        tally.record(class, false);
+                        ledger.outcome(&cfg.campaign, name, class, run.attempt, false, wall_ms);
+                        outcomes[run.idx] = Some(ShardOutcome {
+                            name: name.clone(),
+                            class,
+                            attempts: run.attempt,
+                            resumed: false,
+                            wall_ms,
+                            result: None,
+                        });
+                    } else {
+                        // Exponential backoff: base << (attempts already used - 1).
+                        let factor = 1u32 << (run.attempt - 1).min(16);
+                        pending.push(Pending {
+                            idx: run.idx,
+                            attempts_done: run.attempt,
+                            ready_at: Instant::now() + cfg.backoff * factor,
+                            started_journaled: true,
+                        });
+                    }
+                }
+            }
+        }
+        if !settled_any && !running.is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+        } else if running.is_empty() && !pending.is_empty() {
+            // Everything alive is backing off; sleep until the nearest
+            // retry is ready instead of spinning.
+            if let Some(ready) = pending.iter().map(|p| p.ready_at).min() {
+                let now = Instant::now();
+                if ready > now {
+                    std::thread::sleep((ready - now).min(Duration::from_millis(50)));
+                }
+            }
+        }
+    }
+
+    journal.append(JournalRecord::RunComplete {
+        succeeded: tally.completed + tally.retried + tally.resumed,
+    });
+
+    // Per-class counters (obs-gated like every other hook).
+    obs::counter!("supervisor.shards_completed").add(tally.completed);
+    obs::counter!("supervisor.shards_retried").add(tally.retried);
+    obs::counter!("supervisor.shards_timed_out").add(tally.timed_out);
+    obs::counter!("supervisor.shards_panicked").add(tally.panicked);
+    obs::counter!("supervisor.shards_resumed").add(tally.resumed);
+
+    eprintln!(
+        "supervisor: {}: {} shards | {} resumed, {} executed | completed {}, retried {}, timed_out {}, panicked {}, poisoned {} | journal write failures {}",
+        cfg.campaign,
+        total,
+        tally.resumed,
+        total - tally.resumed,
+        tally.completed,
+        tally.retried,
+        tally.timed_out,
+        tally.panicked,
+        tally.poisoned,
+        journal.write_failures,
+    );
+
+    SupervisedRun {
+        campaign: cfg.campaign.clone(),
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard settles before the loop exits"))
+            .collect(),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -197,6 +197,75 @@ fn checksum_mismatch_is_a_miss() {
 }
 
 #[test]
+fn corrupt_entry_is_quarantined_for_forensics() {
+    let dir = temp_dir();
+    let cfg = small_config();
+    let first = RunCache::new(Some(dir.clone()));
+    let cold = first.run(&cfg);
+    drop(first);
+    let path = entry_file(&dir);
+    std::fs::write(&path, "{ damaged beyond parsing").unwrap();
+
+    let second = RunCache::new(Some(dir.clone()));
+    let fresh = second.run(&cfg);
+    assert_eq!(second.counters(), (1, 0));
+    assert_eq!(bytes(&cold), bytes(&fresh));
+    // The damaged bytes were moved aside — not deleted — for forensics,
+    // and the store repaired the live entry alongside them.
+    let quarantined = path.with_extension("corrupt");
+    assert!(
+        quarantined.exists(),
+        "corrupt entry must be renamed to {quarantined:?}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&quarantined).unwrap(),
+        "{ damaged beyond parsing",
+        "quarantine must preserve the damaged bytes verbatim"
+    );
+    assert!(path.exists(), "the store must repair the live entry");
+    let third = RunCache::new(Some(dir));
+    assert_eq!(bytes(&third.run(&cfg)), bytes(&cold));
+    assert_eq!(third.counters(), (0, 1), "the repaired entry must hit");
+}
+
+#[test]
+fn chaos_corrupted_store_is_quarantined_and_recovers() {
+    use eccparity_bench::chaos::Chaos;
+    let cfg = small_config();
+    // Reference bytes of an undamaged persisted entry.
+    let clean_dir = temp_dir();
+    let clean_cache = RunCache::new(Some(clean_dir.clone()));
+    let cold = clean_cache.run(&cfg);
+    let clean_bytes = std::fs::read(entry_file(&clean_dir)).unwrap();
+
+    // Find a chaos seed that damages this entry's store (~1/3 per seed,
+    // deterministic, so the scan is stable run to run).
+    let damaged_dir = (0..64u64)
+        .map(|seed| {
+            let dir = temp_dir();
+            let cache = RunCache::new(Some(dir.clone())).with_chaos(Chaos::from_seed(seed));
+            cache.run(&cfg);
+            dir
+        })
+        .find(|dir| std::fs::read(entry_file(dir)).unwrap() != clean_bytes)
+        .expect("some seed under 64 must corrupt the stored entry");
+
+    // A later (chaos-free) invocation over the damaged dir must treat the
+    // entry as a miss, quarantine it, and re-simulate bit-identically.
+    let recover = RunCache::new(Some(damaged_dir.clone()));
+    let fresh = recover.run(&cfg);
+    assert_eq!(recover.counters(), (1, 0), "damaged store must miss");
+    assert_eq!(bytes(&cold), bytes(&fresh));
+    assert!(
+        std::fs::read_dir(&damaged_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .any(|p| p.extension().is_some_and(|e| e == "corrupt")),
+        "the damaged entry must be quarantined"
+    );
+}
+
+#[test]
 fn disabled_cache_always_simulates() {
     let cache = RunCache::disabled();
     let cfg = small_config();

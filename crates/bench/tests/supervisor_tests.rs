@@ -1,0 +1,515 @@
+//! Contract of the campaign supervisor: crash-safe journaling, resume
+//! transparency, watchdog/retry classification, poison detection, and the
+//! chaos convergence gate.
+//!
+//! All tests construct explicit [`SupervisorConfig`]s against private temp
+//! dirs (never `from_env`), so they are immune to `ECC_PARITY_*` in the
+//! environment and to each other.
+
+use eccparity_bench::chaos::Chaos;
+use eccparity_bench::supervisor::{
+    replay_journal, supervise, JournalRecord, OutcomeClass, Shard, SupervisorConfig, JOURNAL_SCHEMA,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fresh private temp dir per test (pid + counter; no tempfile dep).
+fn temp_dir() -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eccparity_supervisor_test_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_cfg(campaign: &str, dir: &Path) -> SupervisorConfig {
+    SupervisorConfig {
+        campaign: campaign.to_string(),
+        config_key: "test-v1".to_string(),
+        dir: Some(dir.to_path_buf()),
+        resume: false,
+        timeout: Duration::from_secs(30),
+        retries: 2,
+        backoff: Duration::from_millis(1),
+        poison_threshold: 3,
+        max_inflight: 4,
+        chaos: Chaos::off(),
+        failures_path: None,
+    }
+}
+
+fn journal_path(dir: &Path, campaign: &str) -> PathBuf {
+    dir.join(format!("{campaign}.journal.jsonl"))
+}
+
+/// Shards 0..n computing a deterministic function of their index, with an
+/// execution counter so tests can assert exactly which shards ran.
+fn counting_shards(n: u64, executed: &Arc<AtomicU32>) -> Vec<Shard<u64>> {
+    (0..n)
+        .map(|i| {
+            let executed = Arc::clone(executed);
+            Shard::new(format!("s{i}"), move || {
+                executed.fetch_add(1, Ordering::Relaxed);
+                i * i + 7
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn journal_records_round_trip() {
+    let records = [
+        JournalRecord::Header {
+            schema: JOURNAL_SCHEMA.to_string(),
+            campaign: "camp".to_string(),
+            config_key: "key|with|bars".to_string(),
+            total_shards: 56,
+        },
+        JournalRecord::ShardStart {
+            shard: "cell:Lot5Parity:milc".to_string(),
+        },
+        JournalRecord::ShardDone {
+            shard: "cell:Lot5Parity:milc".to_string(),
+            class: "retried".to_string(),
+            attempts: 2,
+            wall_ms: 1234,
+            checksum: 0xdead_beef_cafe_f00d,
+            payload: "{\"cycles\":42,\"note\":\"quoted \\\"string\\\"\"}".to_string(),
+        },
+        JournalRecord::RunComplete { succeeded: 56 },
+    ];
+    for rec in &records {
+        let line = serde_json::to_string(rec).unwrap();
+        let back: JournalRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(&back, rec, "round-trip must preserve {line}");
+    }
+}
+
+#[test]
+fn replay_tolerates_torn_tail() {
+    let dir = temp_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn.journal.jsonl");
+    let good = [
+        JournalRecord::Header {
+            schema: JOURNAL_SCHEMA.to_string(),
+            campaign: "torn".to_string(),
+            config_key: "k".to_string(),
+            total_shards: 2,
+        },
+        JournalRecord::ShardStart {
+            shard: "a".to_string(),
+        },
+        JournalRecord::ShardDone {
+            shard: "a".to_string(),
+            class: "completed".to_string(),
+            attempts: 1,
+            wall_ms: 5,
+            checksum: 0,
+            payload: String::new(),
+        },
+    ];
+    let mut text = good
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect::<String>();
+    // A write torn mid-record: valid prefix, garbage tail.
+    text.push_str("{\"ShardDone\":{\"shard\":\"b\",\"class\":\"comp");
+    std::fs::write(&path, text).unwrap();
+    let (records, torn) = replay_journal(&path);
+    assert!(torn, "the damaged tail must be reported");
+    assert_eq!(records.len(), 3, "the intact prefix must replay");
+    assert_eq!(&records[..], &good[..]);
+
+    // An intact journal reports no tear.
+    let clean = dir.join("clean.journal.jsonl");
+    std::fs::write(&clean, serde_json::to_string(&good[0]).unwrap() + "\n").unwrap();
+    let (records, torn) = replay_journal(&clean);
+    assert!(!torn);
+    assert_eq!(records.len(), 1);
+}
+
+#[test]
+fn fresh_run_executes_everything_and_journals() {
+    let dir = temp_dir();
+    let cfg = test_cfg("fresh", &dir);
+    let executed = Arc::new(AtomicU32::new(0));
+    let run = supervise(&cfg, counting_shards(5, &executed));
+    assert!(run.all_succeeded());
+    assert_eq!(executed.load(Ordering::Relaxed), 5);
+    let results = run.into_results();
+    assert_eq!(results, (0..5).map(|i| i * i + 7).collect::<Vec<u64>>());
+    let (records, torn) = replay_journal(&journal_path(&dir, "fresh"));
+    assert!(!torn);
+    // Header + 5 starts + 5 dones + RunComplete.
+    assert_eq!(records.len(), 12);
+    assert!(matches!(
+        records[0],
+        JournalRecord::Header {
+            total_shards: 5,
+            ..
+        }
+    ));
+    assert!(matches!(
+        records[11],
+        JournalRecord::RunComplete { succeeded: 5 }
+    ));
+}
+
+#[test]
+fn resume_replays_all_completed_shards_without_execution() {
+    let dir = temp_dir();
+    let cfg = test_cfg("resume_all", &dir);
+    let executed = Arc::new(AtomicU32::new(0));
+    let first = supervise(&cfg, counting_shards(6, &executed));
+    let want = first.into_results();
+    assert_eq!(executed.load(Ordering::Relaxed), 6);
+
+    let mut resume_cfg = test_cfg("resume_all", &dir);
+    resume_cfg.resume = true;
+    let second = supervise(&resume_cfg, counting_shards(6, &executed));
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        6,
+        "a fully journaled run must re-execute nothing"
+    );
+    assert!(second.outcomes.iter().all(|o| o.resumed));
+    assert_eq!(
+        second.into_results(),
+        want,
+        "resumed results must be identical"
+    );
+}
+
+#[test]
+fn resume_after_partial_journal_executes_only_missing_shards() {
+    let dir = temp_dir();
+    let cfg = test_cfg("resume_partial", &dir);
+    let executed = Arc::new(AtomicU32::new(0));
+    let want = supervise(&cfg, counting_shards(6, &executed)).into_results();
+
+    // Simulate a crash while shard s3 was in flight: drop its records (and
+    // the RunComplete) from the journal, as if the process died before
+    // writing them.
+    let path = journal_path(&dir, "resume_partial");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let kept: String = text
+        .lines()
+        .filter(|l| !l.contains("\"s3\"") && !l.contains("RunComplete"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&path, kept).unwrap();
+
+    executed.store(0, Ordering::Relaxed);
+    let mut resume_cfg = test_cfg("resume_partial", &dir);
+    resume_cfg.resume = true;
+    let second = supervise(&resume_cfg, counting_shards(6, &executed));
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        1,
+        "only the missing shard may re-execute"
+    );
+    let resumed: Vec<bool> = second.outcomes.iter().map(|o| o.resumed).collect();
+    assert_eq!(resumed, [true, true, true, false, true, true]);
+    assert_eq!(
+        second.into_results(),
+        want,
+        "tallies must match the uninterrupted run"
+    );
+}
+
+#[test]
+fn mismatched_config_key_discards_the_journal() {
+    let dir = temp_dir();
+    let executed = Arc::new(AtomicU32::new(0));
+    supervise(&test_cfg("drift", &dir), counting_shards(3, &executed));
+    assert_eq!(executed.load(Ordering::Relaxed), 3);
+
+    let mut changed = test_cfg("drift", &dir);
+    changed.resume = true;
+    changed.config_key = "test-v2".to_string();
+    let run = supervise(&changed, counting_shards(3, &executed));
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        6,
+        "a journal for different work must not be resumed"
+    );
+    assert!(run.outcomes.iter().all(|o| !o.resumed));
+}
+
+#[test]
+fn first_attempt_panic_is_retried() {
+    let dir = temp_dir();
+    let cfg = test_cfg("retry", &dir);
+    let attempts = Arc::new(AtomicU32::new(0));
+    let a = Arc::clone(&attempts);
+    let run = supervise(
+        &cfg,
+        vec![Shard::new("flaky", move || {
+            if a.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("injected first-attempt failure");
+            }
+            99u64
+        })],
+    );
+    let o = &run.outcomes[0];
+    assert_eq!(o.class, OutcomeClass::Retried);
+    assert_eq!(o.attempts, 2);
+    assert_eq!(o.result, Some(99));
+}
+
+#[test]
+fn persistent_panic_exhausts_to_panicked() {
+    let dir = temp_dir();
+    let mut cfg = test_cfg("hopeless", &dir);
+    cfg.retries = 1;
+    cfg.failures_path = Some(dir.join("hopeless.failures.jsonl"));
+    let run = supervise(
+        &cfg,
+        vec![
+            Shard::new("doomed", || -> u64 { panic!("always fails") }),
+            Shard::new("fine", || 5u64),
+        ],
+    );
+    assert!(!run.all_succeeded());
+    assert_eq!(run.failed_shards(), ["doomed"]);
+    let doomed = run.outcomes.iter().find(|o| o.name == "doomed").unwrap();
+    assert_eq!(doomed.class, OutcomeClass::Panicked);
+    assert_eq!(doomed.attempts, 2, "retries=1 means two attempts total");
+    assert!(doomed.result.is_none());
+    let fine = run.outcomes.iter().find(|o| o.name == "fine").unwrap();
+    assert_eq!(fine.class, OutcomeClass::Completed);
+    assert_eq!(fine.result, Some(5));
+
+    // The failure ledger recorded both the attempts and the outcomes.
+    let ledger = std::fs::read_to_string(dir.join("hopeless.failures.jsonl")).unwrap();
+    assert!(
+        ledger.lines().count() >= 4,
+        "2 attempt failures + 2 outcomes: {ledger}"
+    );
+    assert!(ledger.contains("eccparity-failures-v1"));
+    assert!(ledger.contains("shard.attempt_failed"));
+    assert!(ledger.contains("\"failure\":\"panicked\""));
+    assert!(ledger.contains("always fails"));
+    assert!(ledger.contains("shard.outcome"));
+}
+
+#[test]
+fn watchdog_times_out_hung_attempt_then_retry_succeeds() {
+    let dir = temp_dir();
+    let mut cfg = test_cfg("hang", &dir);
+    cfg.timeout = Duration::from_millis(100);
+    let attempts = Arc::new(AtomicU32::new(0));
+    let a = Arc::clone(&attempts);
+    let run = supervise(
+        &cfg,
+        vec![Shard::new("sleepy", move || {
+            if a.fetch_add(1, Ordering::Relaxed) == 0 {
+                // Far past the watchdog: the attempt gets abandoned.
+                std::thread::sleep(Duration::from_millis(2_000));
+            }
+            11u64
+        })],
+    );
+    let o = &run.outcomes[0];
+    assert_eq!(o.class, OutcomeClass::Retried);
+    assert_eq!(o.result, Some(11));
+    assert!(o.attempts >= 2);
+}
+
+#[test]
+fn hung_shard_with_no_retries_is_timed_out() {
+    let dir = temp_dir();
+    let mut cfg = test_cfg("hang2", &dir);
+    cfg.timeout = Duration::from_millis(50);
+    cfg.retries = 0;
+    let run = supervise(
+        &cfg,
+        vec![Shard::new("stuck", || {
+            std::thread::sleep(Duration::from_millis(2_000));
+            1u64
+        })],
+    );
+    assert_eq!(run.outcomes[0].class, OutcomeClass::TimedOut);
+    assert!(run.outcomes[0].result.is_none());
+}
+
+#[test]
+fn crash_looping_shard_is_poisoned_not_reexecuted() {
+    let dir = temp_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    // A journal showing shard "bad" in flight at three process deaths:
+    // three ShardStart records, never a ShardDone.
+    let mut text = String::new();
+    let header = JournalRecord::Header {
+        schema: JOURNAL_SCHEMA.to_string(),
+        campaign: "poison".to_string(),
+        config_key: "test-v1".to_string(),
+        total_shards: 2,
+    };
+    text.push_str(&(serde_json::to_string(&header).unwrap() + "\n"));
+    for _ in 0..3 {
+        let start = JournalRecord::ShardStart {
+            shard: "bad".to_string(),
+        };
+        text.push_str(&(serde_json::to_string(&start).unwrap() + "\n"));
+    }
+    std::fs::write(journal_path(&dir, "poison"), text).unwrap();
+
+    let mut cfg = test_cfg("poison", &dir);
+    cfg.resume = true;
+    let executed = Arc::new(AtomicU32::new(0));
+    let e1 = Arc::clone(&executed);
+    let e2 = Arc::clone(&executed);
+    let run = supervise(
+        &cfg,
+        vec![
+            Shard::new("bad", move || {
+                e1.fetch_add(1, Ordering::Relaxed);
+                1u64
+            }),
+            Shard::new("good", move || {
+                e2.fetch_add(1, Ordering::Relaxed);
+                2u64
+            }),
+        ],
+    );
+    let bad = run.outcomes.iter().find(|o| o.name == "bad").unwrap();
+    assert_eq!(bad.class, OutcomeClass::Poisoned);
+    assert!(bad.result.is_none());
+    let good = run.outcomes.iter().find(|o| o.name == "good").unwrap();
+    assert_eq!(good.class, OutcomeClass::Completed);
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        1,
+        "the poisoned shard must never run again"
+    );
+}
+
+#[test]
+fn two_crashes_is_below_the_poison_threshold() {
+    let dir = temp_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut text = String::new();
+    let header = JournalRecord::Header {
+        schema: JOURNAL_SCHEMA.to_string(),
+        campaign: "twice".to_string(),
+        config_key: "test-v1".to_string(),
+        total_shards: 1,
+    };
+    text.push_str(&(serde_json::to_string(&header).unwrap() + "\n"));
+    for _ in 0..2 {
+        let start = JournalRecord::ShardStart {
+            shard: "s".to_string(),
+        };
+        text.push_str(&(serde_json::to_string(&start).unwrap() + "\n"));
+    }
+    std::fs::write(journal_path(&dir, "twice"), text).unwrap();
+    let mut cfg = test_cfg("twice", &dir);
+    cfg.resume = true;
+    let run = supervise(&cfg, vec![Shard::new("s", || 3u64)]);
+    assert_eq!(run.outcomes[0].class, OutcomeClass::Completed);
+    assert_eq!(run.outcomes[0].result, Some(3));
+}
+
+#[test]
+fn corrupt_journal_payload_reexecutes_that_shard() {
+    let dir = temp_dir();
+    let cfg = test_cfg("corrupt", &dir);
+    let executed = Arc::new(AtomicU32::new(0));
+    let want = supervise(&cfg, counting_shards(3, &executed)).into_results();
+
+    // Flip the payload of s1's Done record without fixing its checksum.
+    let path = journal_path(&dir, "corrupt");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let patched: String = text
+        .lines()
+        .map(|l| {
+            if l.contains("\"s1\"") && l.contains("ShardDone") {
+                l.replace("\"payload\":\"8\"", "\"payload\":\"9\"")
+            } else {
+                l.to_string()
+            }
+        })
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(patched, text, "the patch must hit s1's payload (1*1+7 = 8)");
+    std::fs::write(&path, patched).unwrap();
+
+    executed.store(0, Ordering::Relaxed);
+    let mut resume_cfg = test_cfg("corrupt", &dir);
+    resume_cfg.resume = true;
+    let second = supervise(&resume_cfg, counting_shards(3, &executed));
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        1,
+        "the checksum-mismatched shard must re-execute"
+    );
+    assert_eq!(
+        second.into_results(),
+        want,
+        "and still converge to the right value"
+    );
+}
+
+/// The chaos acceptance gate: a run with deterministic infrastructure
+/// faults injected (shard panics, stalls, journal write failures) must
+/// converge to exactly the fault-free results, with zero lost shards.
+#[test]
+fn chaos_soak_converges_to_fault_free_results() {
+    let make_shards = || -> Vec<Shard<u64>> {
+        (0..16u64)
+            .map(|i| {
+                Shard::new(format!("cell{i}"), move || {
+                    i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 7
+                })
+            })
+            .collect()
+    };
+    let clean_dir = temp_dir();
+    let clean = supervise(&test_cfg("chaos_base", &clean_dir), make_shards());
+    assert!(clean.all_succeeded());
+    let want = clean.into_results();
+
+    let mut injected_any = false;
+    for seed in [1u64, 7, 13] {
+        let dir = temp_dir();
+        let mut cfg = test_cfg(&format!("chaos_{seed}"), &dir);
+        cfg.chaos = Chaos::from_seed(seed);
+        let run = supervise(&cfg, make_shards());
+        assert_eq!(run.outcomes.len(), 16, "no shard may be lost (seed {seed})");
+        assert!(
+            run.all_succeeded(),
+            "chaos must never cause terminal failures (seed {seed}): {:?}",
+            run.failed_shards()
+        );
+        injected_any |= run
+            .outcomes
+            .iter()
+            .any(|o| o.class == OutcomeClass::Retried);
+        assert_eq!(
+            run.into_results(),
+            want,
+            "chaos run must produce fault-free results (seed {seed})"
+        );
+    }
+    assert!(
+        injected_any,
+        "at least one chaos seed must actually inject a shard fault"
+    );
+}
+
+#[test]
+#[should_panic(expected = "duplicate shard name")]
+fn duplicate_shard_names_are_rejected() {
+    // Duplicate names would corrupt the journal keying.
+    supervise(
+        &test_cfg("dup", &temp_dir()),
+        vec![Shard::new("x", || 1u64), Shard::new("x", || 2u64)],
+    );
+}

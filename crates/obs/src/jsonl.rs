@@ -1,0 +1,124 @@
+//! Standalone JSONL sinks for structured ledgers.
+//!
+//! [`crate::trace`] serves the *process-global* event stream; some
+//! subsystems (the bench campaign supervisor's failure ledger, for one)
+//! need their own dedicated JSONL file with their own schema stamp,
+//! opened and owned by the caller rather than configured through the
+//! environment. [`JsonlSink`] is that: a buffered line-per-record writer
+//! reusing the same dependency-free JSON emission and the same
+//! `(&str, Value)` field vocabulary as the trace sink.
+//!
+//! Each line has the shape
+//!
+//! ```json
+//! {"schema":"<schema>","seq":3,"kind":"shard.retry","fields":{"shard":"cell:milc","attempt":2}}
+//! ```
+//!
+//! `seq` counts from 1 in emission order. Lines are flushed as they are
+//! written, so a crash loses at most the line being appended — consumers
+//! must tolerate a torn final line, exactly like the checkpoint-journal
+//! readers do.
+//!
+//! ```
+//! let path = std::env::temp_dir().join(format!("obs-jsonl-doc-{}.jsonl", std::process::id()));
+//! let mut sink = obs::jsonl::JsonlSink::create(&path, "demo-v1").unwrap();
+//! sink.append("demo.event", &[("n", obs::trace::Value::U64(7))]).unwrap();
+//! drop(sink);
+//! let text = std::fs::read_to_string(&path).unwrap();
+//! assert!(text.contains("\"kind\":\"demo.event\""));
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use crate::json;
+use crate::trace::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A dedicated JSONL ledger file: one schema, one sequence, one owner.
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: std::io::BufWriter<std::fs::File>,
+    schema: String,
+    seq: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the ledger at `path`, stamping every line with
+    /// `schema`. Parent directories are created.
+    pub fn create(path: &Path, schema: &str) -> std::io::Result<JsonlSink> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            path: path.to_path_buf(),
+            writer: std::io::BufWriter::new(file),
+            schema: schema.to_string(),
+            seq: 0,
+        })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.seq
+    }
+
+    /// Append one record and flush it to disk.
+    pub fn append(&mut self, kind: &str, fields: &[(&str, Value<'_>)]) -> std::io::Result<()> {
+        self.seq += 1;
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"schema\":");
+        json::push_str_literal(&mut line, &self.schema);
+        line.push_str(&format!(",\"seq\":{},\"kind\":", self.seq));
+        json::push_str_literal(&mut line, kind);
+        line.push_str(",\"fields\":{");
+        for (i, (name, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            json::push_str_literal(&mut line, name);
+            line.push(':');
+            match v {
+                Value::U64(n) => line.push_str(&n.to_string()),
+                Value::I64(n) => line.push_str(&n.to_string()),
+                Value::F64(f) => json::push_f64(&mut line, *f),
+                Value::Str(s) => json::push_str_literal(&mut line, s),
+                Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        line.push_str("}}\n");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_writes_schema_stamped_lines_in_seq_order() {
+        let path =
+            std::env::temp_dir().join(format!("obs-jsonl-unit-{}.jsonl", std::process::id()));
+        let mut sink = JsonlSink::create(&path, "unit-v1").unwrap();
+        sink.append("a", &[("x", Value::U64(1))]).unwrap();
+        sink.append("b", &[("s", Value::Str("q\"r"))]).unwrap();
+        assert_eq!(sink.lines(), 2);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"schema\":\"unit-v1\""));
+        assert!(lines[0].contains("\"seq\":1"));
+        assert!(lines[1].contains("\"seq\":2"));
+        assert!(lines[1].contains("\"s\":\"q\\\"r\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

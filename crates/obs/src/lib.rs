@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod jsonl;
 pub mod metrics;
 pub mod trace;
 

@@ -125,6 +125,15 @@ impl SoakConfig {
             threshold: self.threshold,
         }
     }
+
+    /// The config's full identity as a canonical string (its JSON
+    /// serialization: stable field order, every knob that affects results).
+    /// Checkpoint/resume machinery keys soak journals on this, so a resumed
+    /// run against a *different* configuration is rejected rather than
+    /// silently mixing results.
+    pub fn identity_key(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("unserializable-config:{e}"))
+    }
 }
 
 /// Monotonicity monitor over [`ecc_parity::HealthTable`] snapshots: error

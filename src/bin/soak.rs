@@ -13,8 +13,14 @@
 //! With `ECC_PARITY_JSON_DIR` set, emits `soak.json` (schema
 //! `eccparity-soak-v1`, one summary object per scheme) and
 //! `soak_ledger.jsonl` (one JSON object per retained non-clean read).
-//! Exit status: 0 clean, 1 dirty verdicts, 2 usage error.
+//!
+//! Each scheme soaks as one supervised shard (checkpointed to
+//! `results/checkpoints/soak.journal.jsonl`): a SIGKILL mid-soak plus
+//! `ECC_PARITY_RESUME=1` re-runs only the schemes that had not finished.
+//! Exit status: 0 clean, 1 dirty verdicts, 2 usage error, 3 supervised
+//! shard failure (panic/timeout after retries).
 
+use eccparity_bench::supervisor::{supervise, Shard, SupervisorConfig};
 use resilience::{ScenarioKind, SoakConfig, SoakHarness, SoakReport};
 
 fn usage() -> ! {
@@ -131,40 +137,49 @@ fn dump_json(cfg: &SoakConfig, reports: &[SoakReport]) {
     let Some(dir) = eccparity_bench::json_dir() else {
         return;
     };
-    if std::fs::create_dir_all(&dir).is_err() {
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eccparity_bench::warn_io("soak JSON dir create", &e);
         return;
     }
     let summary = summary_json(cfg, reports);
-    let _ = std::fs::write(
-        dir.join("soak.json"),
-        serde_json::to_string_pretty(&summary).unwrap(),
-    );
+    match serde_json::to_string_pretty(&summary) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(dir.join("soak.json"), text) {
+                eccparity_bench::warn_io("soak.json write", &e);
+            }
+        }
+        Err(e) => eccparity_bench::warn_io("soak.json serialize", &e),
+    }
     let mut ledger = String::new();
     for r in reports {
         for rec in &r.ledger {
-            ledger.push_str(
-                &serde_json::to_string(&serde_json::json!({
-                    "scheme": r.scheme.clone(),
-                    "scenario": rec.scenario.clone(),
-                    "access": rec.access,
-                    "channel": rec.channel,
-                    "bank": rec.bank,
-                    "row": rec.row,
-                    "line": rec.line,
-                    "verdict": rec.verdict,
-                }))
-                .unwrap(),
-            );
-            ledger.push('\n');
+            let line = serde_json::json!({
+                "scheme": r.scheme.clone(),
+                "scenario": rec.scenario.clone(),
+                "access": rec.access,
+                "channel": rec.channel,
+                "bank": rec.bank,
+                "row": rec.row,
+                "line": rec.line,
+                "verdict": rec.verdict,
+            });
+            match serde_json::to_string(&line) {
+                Ok(text) => {
+                    ledger.push_str(&text);
+                    ledger.push('\n');
+                }
+                Err(e) => eccparity_bench::warn_io("soak ledger line serialize", &e),
+            }
         }
     }
-    let _ = std::fs::write(dir.join("soak_ledger.jsonl"), ledger);
+    if let Err(e) = std::fs::write(dir.join("soak_ledger.jsonl"), ledger) {
+        eccparity_bench::warn_io("soak_ledger.jsonl write", &e);
+    }
 }
 
 fn main() {
     let _run = eccparity_bench::RunMeter::start("soak");
     let cfg = parse_args();
-    let harness = SoakHarness::new(cfg.clone());
     println!(
         "soak: seed {} | {} accesses/scheme | {} scenarios | {} schemes",
         cfg.seed,
@@ -172,15 +187,35 @@ fn main() {
         cfg.scenarios.len(),
         cfg.schemes.len()
     );
-    let mut reports = Vec::new();
+    // Unknown scheme names are a usage error (exit 2) — catch them before
+    // any shard runs, so the supervisor only ever sees executable work.
     for scheme in &cfg.schemes {
-        let report = match harness.run_scheme(scheme) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("soak: {e}");
-                std::process::exit(2);
-            }
-        };
+        if let Err(e) = resilience::scheme_by_name(scheme) {
+            eprintln!("soak: {e}");
+            std::process::exit(2);
+        }
+    }
+    // One supervised shard per scheme: each soak is deterministic given the
+    // config, so a killed run resumes with finished schemes replayed from
+    // the checkpoint journal and only unfinished ones re-executed.
+    let sup_cfg = SupervisorConfig::from_env("soak", cfg.identity_key());
+    let shards: Vec<Shard<SoakReport>> = cfg
+        .schemes
+        .iter()
+        .map(|scheme| {
+            let cfg = cfg.clone();
+            let scheme = scheme.clone();
+            Shard::new(format!("scheme:{scheme}"), move || {
+                SoakHarness::new(cfg.clone())
+                    .run_scheme(&scheme)
+                    .expect("scheme names are validated before sharding")
+            })
+        })
+        .collect();
+    let supervised = supervise(&sup_cfg, shards);
+    supervised.exit_if_incomplete();
+    let reports = supervised.into_results();
+    for report in &reports {
         println!(
             "  {:<16} {:>9} accesses | clean {:>8} | parity {:>6} | degraded {:>6} | uncorrectable {:>5} | aliased {} | sdc {} | panics {} | mono {} | audit {} -> {}",
             report.scheme,
@@ -196,7 +231,6 @@ fn main() {
             report.audit_failures,
             if report.is_clean() { "CLEAN" } else { "DIRTY" },
         );
-        reports.push(report);
     }
     dump_json(&cfg, &reports);
     let dirty: Vec<String> = reports
