@@ -792,6 +792,89 @@ impl<S: CorrectionSplit> ParityMemory<S> {
         Ok(())
     }
 
+    /// Batched application writes: identical semantics (results, stats,
+    /// parity state, event log) to issuing [`Self::write`] per item in
+    /// order, but the codec work of the common case — healthy bank, clean
+    /// stored line — is pushed through the scheme's batched entry points
+    /// ([`CorrectionSplit::correction_of_lines`] /
+    /// [`CorrectionSplit::detection_of_lines`]), amortizing table/context
+    /// setup across the whole batch. Items on rare paths (faulty bank,
+    /// retired page, detect-dirty stored line, duplicate location within
+    /// the batch, malformed address/length) fall back to the per-line
+    /// write.
+    pub fn write_lines(&mut self, writes: &[(usize, LineLoc, &[u8])]) -> Vec<Result<(), MemError>> {
+        // Classification pass: no mutation yet, so stored contents are
+        // exactly what sequential writes would have seen (duplicates — where
+        // an earlier batch item changes what a later one reads — are sent
+        // down the per-line fallback).
+        let mut seen = std::collections::HashSet::new();
+        let batched: Vec<bool> = writes
+            .iter()
+            .map(|&(channel, loc, data)| {
+                self.check_loc(channel, &loc).is_ok()
+                    && data.len() == self.ecc.data_bytes()
+                    && seen.insert((channel, loc))
+                    && !self.health.is_retired(channel, loc.bank, loc.row)
+                    && !self.health.is_faulty(channel, loc.bank)
+                    && {
+                        let stored = &self.store[channel][self.idx(&loc)];
+                        self.ecc.detect(&stored.data, &stored.detection) == DetectOutcome::Clean
+                    }
+            })
+            .collect();
+        // Batched codec work, before any mutation: new-data correction and
+        // detection bits, plus the old stored lines' correction bits (the
+        // ECC_old term of equation (1)).
+        let new_refs: Vec<&[u8]> = writes
+            .iter()
+            .zip(&batched)
+            .filter(|(_, &b)| b)
+            .map(|(&(_, _, data), _)| data)
+            .collect();
+        let old_refs: Vec<&[u8]> = writes
+            .iter()
+            .zip(&batched)
+            .filter(|(_, &b)| b)
+            .map(|(&(channel, loc, _), _)| self.store[channel][self.idx(&loc)].data.as_slice())
+            .collect();
+        let new_corrs = self.ecc.correction_of_lines(&new_refs);
+        let new_dets = self.ecc.detection_of_lines(&new_refs);
+        let old_corrs = self.ecc.correction_of_lines(&old_refs);
+        // Apply pass, in order. A fallback item can retire pages mid-batch
+        // (the dirty-store machine-check path), so retirement is re-checked
+        // before each precomputed apply; nothing else a write does can
+        // invalidate the classification (writes never mark banks faulty,
+        // and duplicates were excluded above).
+        let mut k = 0usize;
+        writes
+            .iter()
+            .zip(&batched)
+            .map(|(&(channel, loc, data), &is_batched)| {
+                if !is_batched {
+                    return self.write(channel, loc, data);
+                }
+                let (new_corr, new_det, old_corr) = (&new_corrs[k], &new_dets[k], &old_corrs[k]);
+                k += 1;
+                if self.health.is_retired(channel, loc.bank, loc.row) {
+                    return Err(MemError::RetiredPage);
+                }
+                self.stats.writes += 1;
+                let group = self.layout.group_of(channel, &loc);
+                let p = self.parity(group);
+                for ((a, o), n) in p.iter_mut().zip(old_corr).zip(new_corr) {
+                    *a ^= o ^ n;
+                }
+                self.stats.parity_updates += 1;
+                let idx = self.idx(&loc);
+                self.store[channel][idx] = StoredLine {
+                    data: data.to_vec(),
+                    detection: new_det.clone(),
+                };
+                Ok(())
+            })
+            .collect()
+    }
+
     /// One full scrub sweep over every non-retired line of every channel
     /// (§III-C: periodic scanning bounds the window in which a second
     /// channel can fail before a first fault is reacted to).

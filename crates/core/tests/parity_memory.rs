@@ -810,3 +810,192 @@ fn write_to_transiently_corrupted_line_keeps_parity_consistent() {
     assert_eq!(m.read(2, loc).unwrap(), fresh);
     let _ = d0;
 }
+
+/// `write_lines` must be observationally identical to issuing the same
+/// writes one at a time: same per-item results, same stats, same event
+/// log, same health state, same stored bytes and parity — across the
+/// batched fast path AND every per-line fallback (faulty bank, retired
+/// page, in-place-corrupted store, duplicate locations, malformed
+/// length/address).
+#[test]
+fn write_lines_matches_sequential_writes() {
+    let mut batched = mem(4);
+    let mut serial = mem(4);
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Identical fill on both memories.
+    let cfg = *batched.config();
+    let mut all_locs = vec![];
+    for c in 0..cfg.channels {
+        for bank in 0..cfg.banks_per_channel {
+            for row in 0..cfg.data_rows {
+                for l in 0..cfg.lines_per_row {
+                    let loc = LineLoc { bank, row, line: l };
+                    let d = line(&mut rng);
+                    batched.write(c, loc, &d).unwrap();
+                    serial.write(c, loc, &d).unwrap();
+                    all_locs.push((c, loc));
+                }
+            }
+        }
+    }
+
+    // Faulty bank: channel 0, bank 0 takes ECC-line fallback writes.
+    batched.inject_fault(bank_fault(0, 1, 0));
+    serial.inject_fault(bank_fault(0, 1, 0));
+
+    // Transient strike leaves channel 1's stored line detect-dirty, so a
+    // write there must take the parity-reconstruction path.
+    let strike = FaultInstance {
+        chip: ChipLocation {
+            channel: 1,
+            rank: 0,
+            chip: 1,
+        },
+        mode: FaultMode::SingleWord,
+        bank: 1,
+        row: 0,
+        line: 0,
+        pattern_seed: 99,
+    };
+    batched.inject_transient(strike);
+    serial.inject_transient(strike);
+
+    // Row fault + read retires a page (and its group peers) identically.
+    let row_fault = FaultInstance {
+        chip: ChipLocation {
+            channel: 2,
+            rank: 0,
+            chip: 0,
+        },
+        mode: FaultMode::SingleRow,
+        bank: 2,
+        row: 0,
+        line: 0,
+        pattern_seed: 7,
+    };
+    batched.inject_fault(row_fault);
+    serial.inject_fault(row_fault);
+    let rloc = LineLoc {
+        bank: 2,
+        row: 0,
+        line: 0,
+    };
+    let _ = batched.read(2, rloc).unwrap();
+    let _ = serial.read(2, rloc).unwrap();
+    let retired = batched.health().retired_pages();
+    assert_eq!(retired, serial.health().retired_pages());
+    assert!(!retired.is_empty());
+    let (rp_c, rp_bank, rp_row) = retired[0];
+
+    // Batch mixing every path the write-side state machine has.
+    let mut batch: Vec<(usize, LineLoc, Vec<u8>)> = vec![];
+    for c in 0..cfg.channels {
+        for l in 0..cfg.lines_per_row {
+            let loc = LineLoc {
+                bank: 1,
+                row: 1,
+                line: l,
+            };
+            batch.push((c, loc, line(&mut rng))); // clean fast path
+        }
+    }
+    let dup = LineLoc {
+        bank: 3,
+        row: 2,
+        line: 1,
+    };
+    batch.push((3, dup, line(&mut rng))); // duplicate location,
+    batch.push((3, dup, line(&mut rng))); // second wins sequentially
+    batch.push((
+        0,
+        LineLoc {
+            bank: 0,
+            row: 1,
+            line: 2,
+        },
+        line(&mut rng),
+    )); // faulty bank -> ECC-line write
+    batch.push((
+        rp_c,
+        LineLoc {
+            bank: rp_bank,
+            row: rp_row,
+            line: 1,
+        },
+        line(&mut rng),
+    )); // retired page -> Err(RetiredPage)
+    batch.push((
+        1,
+        LineLoc {
+            bank: 1,
+            row: 0,
+            line: 0,
+        },
+        line(&mut rng),
+    )); // detect-dirty store -> reconstruction path
+    batch.push((
+        1,
+        LineLoc {
+            bank: 1,
+            row: 0,
+            line: 1,
+        },
+        line(&mut rng),
+    )); // clean line sharing the dirtied line's row
+    batch.push((2, dup, line(&mut rng)[..32].to_vec())); // wrong length
+    batch.push((
+        2,
+        LineLoc {
+            bank: 99,
+            row: 0,
+            line: 0,
+        },
+        line(&mut rng),
+    )); // invalid address
+
+    let refs: Vec<(usize, LineLoc, &[u8])> = batch
+        .iter()
+        .map(|(c, l, d)| (*c, *l, d.as_slice()))
+        .collect();
+    let got = batched.write_lines(&refs);
+    let want: Vec<_> = batch
+        .iter()
+        .map(|(c, l, d)| serial.write(*c, *l, d))
+        .collect();
+
+    assert_eq!(got, want, "per-item results must match sequential writes");
+    assert_eq!(batched.stats(), serial.stats());
+    assert_eq!(
+        batched.health().retired_pages(),
+        serial.health().retired_pages()
+    );
+    assert_eq!(
+        batched.health().faulty_snapshot(),
+        serial.health().faulty_snapshot()
+    );
+    assert_eq!(
+        serde_json::to_string(batched.event_log()).unwrap(),
+        serde_json::to_string(serial.event_log()).unwrap()
+    );
+    for (c, loc) in &all_locs {
+        assert_eq!(
+            batched.raw_view(*c, loc),
+            serial.raw_view(*c, loc),
+            "stored bytes diverged at channel {c} {loc:?}"
+        );
+    }
+    assert_eq!(
+        batched.audit_parity_consistency(),
+        serial.audit_parity_consistency()
+    );
+}
+
+/// An empty batch is a no-op that still returns an empty result set.
+#[test]
+fn write_lines_empty_batch() {
+    let mut m = mem(2);
+    let before = *m.stats();
+    assert!(m.write_lines(&[]).is_empty());
+    assert_eq!(*m.stats(), before);
+}

@@ -46,6 +46,19 @@ impl Chipkill18 {
         self.rs.encode(word)
     }
 
+    /// Check symbols of every word of every line via one lane-parallel
+    /// batched RS encode (generator nibble tables built once per batch).
+    fn batch_word_checks(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        let mut words = Vec::with_capacity(lines.len() * WORDS_PER_LINE);
+        for data in lines {
+            assert_eq!(data.len(), LINE_BYTES);
+            for w in 0..WORDS_PER_LINE {
+                words.push(&data[w * DATA_SYMBOLS..(w + 1) * DATA_SYMBOLS]);
+            }
+        }
+        self.rs.encode_lines(&words)
+    }
+
     fn assemble(
         data: &[u8],
         detection: &[u8],
@@ -128,6 +141,29 @@ impl MemoryEcc for Chipkill18 {
         }
     }
 
+    fn encode_lines(&self, lines: &[&[u8]]) -> Vec<Codeword> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, data)| {
+                let mut detection = Vec::with_capacity(self.detection_bytes());
+                let mut correction = Vec::with_capacity(self.correction_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    let c = &checks[i * WORDS_PER_LINE + w];
+                    detection.push(c[0]);
+                    correction.push(c[1]);
+                }
+                Codeword {
+                    data: data.to_vec(),
+                    detection,
+                    correction,
+                }
+            })
+            .collect()
+    }
+
     fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
         assert_eq!(data.len(), LINE_BYTES);
         for (w, &det) in detection.iter().enumerate().take(WORDS_PER_LINE) {
@@ -172,7 +208,31 @@ impl MemoryEcc for Chipkill18 {
     }
 }
 
-impl CorrectionSplit for Chipkill18 {}
+impl CorrectionSplit for Chipkill18 {
+    fn correction_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        (0..lines.len())
+            .map(|i| {
+                (0..WORDS_PER_LINE)
+                    .map(|w| checks[i * WORDS_PER_LINE + w][1])
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn detection_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        (0..lines.len())
+            .map(|i| {
+                (0..WORDS_PER_LINE)
+                    .map(|w| checks[i * WORDS_PER_LINE + w][0])
+                    .collect()
+            })
+            .collect()
+    }
+}
 
 #[cfg(test)]
 mod tests {

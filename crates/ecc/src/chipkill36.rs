@@ -49,6 +49,20 @@ impl Chipkill36 {
         self.rs.encode(word)
     }
 
+    /// Check symbols of every word of every line, lane-parallel: one
+    /// batched RS encode over `lines.len() * WORDS_PER_LINE` words, so the
+    /// generator nibble tables are built once for the whole batch.
+    fn batch_word_checks(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        let mut words = Vec::with_capacity(lines.len() * WORDS_PER_LINE);
+        for data in lines {
+            assert_eq!(data.len(), LINE_BYTES);
+            for w in 0..WORDS_PER_LINE {
+                words.push(&data[w * DATA_SYMBOLS..(w + 1) * DATA_SYMBOLS]);
+            }
+        }
+        self.rs.encode_lines(&words)
+    }
+
     /// Assemble the full 36-symbol codeword of word `w`.
     fn assemble(
         data: &[u8],
@@ -136,6 +150,31 @@ impl MemoryEcc for Chipkill36 {
         }
     }
 
+    fn encode_lines(&self, lines: &[&[u8]]) -> Vec<Codeword> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, data)| {
+                let mut detection = Vec::with_capacity(self.detection_bytes());
+                let mut correction = Vec::with_capacity(self.correction_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    let c = &checks[i * WORDS_PER_LINE + w];
+                    detection.push(c[0]);
+                    detection.push(c[1]);
+                    correction.push(c[2]);
+                    correction.push(c[3]);
+                }
+                Codeword {
+                    data: data.to_vec(),
+                    detection,
+                    correction,
+                }
+            })
+            .collect()
+    }
+
     fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
         assert_eq!(data.len(), LINE_BYTES);
         assert_eq!(detection.len(), self.detection_bytes());
@@ -182,7 +221,39 @@ impl MemoryEcc for Chipkill36 {
     }
 }
 
-impl CorrectionSplit for Chipkill36 {}
+impl CorrectionSplit for Chipkill36 {
+    fn correction_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        (0..lines.len())
+            .map(|i| {
+                let mut correction = Vec::with_capacity(self.correction_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    let c = &checks[i * WORDS_PER_LINE + w];
+                    correction.push(c[2]);
+                    correction.push(c[3]);
+                }
+                correction
+            })
+            .collect()
+    }
+
+    fn detection_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        (0..lines.len())
+            .map(|i| {
+                let mut detection = Vec::with_capacity(self.detection_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    let c = &checks[i * WORDS_PER_LINE + w];
+                    detection.push(c[0]);
+                    detection.push(c[1]);
+                }
+                detection
+            })
+            .collect()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -47,6 +47,19 @@ impl ChipkillDouble {
             .encode(&data[w * DATA_SYMBOLS..(w + 1) * DATA_SYMBOLS])
     }
 
+    /// Check symbols of every word of every line via one lane-parallel
+    /// batched RS encode (generator nibble tables built once per batch).
+    fn batch_word_checks(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        let mut words = Vec::with_capacity(lines.len() * WORDS_PER_LINE);
+        for data in lines {
+            assert_eq!(data.len(), LINE_BYTES);
+            for w in 0..WORDS_PER_LINE {
+                words.push(&data[w * DATA_SYMBOLS..(w + 1) * DATA_SYMBOLS]);
+            }
+        }
+        self.rs.encode_lines(&words)
+    }
+
     fn assemble(
         data: &[u8],
         detection: &[u8],
@@ -129,6 +142,29 @@ impl MemoryEcc for ChipkillDouble {
         }
     }
 
+    fn encode_lines(&self, lines: &[&[u8]]) -> Vec<Codeword> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, data)| {
+                let mut detection = Vec::with_capacity(self.detection_bytes());
+                let mut correction = Vec::with_capacity(self.correction_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    let c = &checks[i * WORDS_PER_LINE + w];
+                    detection.extend_from_slice(&c[..4]);
+                    correction.extend_from_slice(&c[4..]);
+                }
+                Codeword {
+                    data: data.to_vec(),
+                    detection,
+                    correction,
+                }
+            })
+            .collect()
+    }
+
     fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
         for w in 0..WORDS_PER_LINE {
             let checks = self.word_checks(data, w);
@@ -174,7 +210,35 @@ impl MemoryEcc for ChipkillDouble {
     }
 }
 
-impl CorrectionSplit for ChipkillDouble {}
+impl CorrectionSplit for ChipkillDouble {
+    fn correction_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        (0..lines.len())
+            .map(|i| {
+                let mut correction = Vec::with_capacity(self.correction_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    correction.extend_from_slice(&checks[i * WORDS_PER_LINE + w][4..]);
+                }
+                correction
+            })
+            .collect()
+    }
+
+    fn detection_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        crate::traits::record_batch(lines.len());
+        let checks = self.batch_word_checks(lines);
+        (0..lines.len())
+            .map(|i| {
+                let mut detection = Vec::with_capacity(self.detection_bytes());
+                for w in 0..WORDS_PER_LINE {
+                    detection.extend_from_slice(&checks[i * WORDS_PER_LINE + w][..4]);
+                }
+                detection
+            })
+            .collect()
+    }
+}
 
 #[cfg(test)]
 mod tests {

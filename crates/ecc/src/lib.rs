@@ -24,9 +24,11 @@
 //! optimization operates on (it stores only the XOR of the *correction* bits
 //! of different channels).
 //!
-//! The underlying machinery — [`gf`] (GF(2^8) and GF(2^16) arithmetic) and
-//! [`rs`] (a systematic Reed–Solomon encoder and errors-and-erasures
-//! decoder) — is general and independently tested.
+//! The underlying machinery — [`gf`] (GF(2^8) and GF(2^16) arithmetic),
+//! [`gfsimd`] (SIMD 4-bit split-table fixed-multiplier kernels with runtime
+//! CPU dispatch) and [`rs`] (a systematic Reed–Solomon encoder and
+//! errors-and-erasures decoder with slice-by-4 and lane-parallel batched
+//! evaluation) — is general and independently tested.
 
 #![warn(missing_docs)]
 
@@ -36,6 +38,7 @@ pub mod chipkill18;
 pub mod chipkill36;
 pub mod chipkill_double;
 pub mod gf;
+pub mod gfsimd;
 pub mod lotecc;
 pub mod multiecc;
 pub mod overhead;

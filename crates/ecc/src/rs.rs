@@ -13,7 +13,23 @@
 //! check symbols; symbol `i` is the coefficient of `x^(n-1-i)`, so data
 //! occupies the high-degree coefficients (the usual systematic convention).
 
-use crate::gf::{poly, Field};
+use crate::gf::{poly, Field, Gf256};
+use crate::gfsimd::{self, NibbleCtx};
+
+/// Symbols consumed per step by the slice-by-N syndrome kernel. Four breaks
+/// the Horner multiply→add serial dependency into four independent table
+/// lookups per step, which out-of-order cores overlap.
+const SYND_SLICE: usize = 4;
+
+/// Precomputed contexts of one syndrome root for the slice-by-N kernel.
+#[derive(Clone, Copy)]
+struct SlicedRoot<F: Field> {
+    /// `mul_ctx(alpha^(j*N))`: the per-chunk accumulator stride.
+    stride: F::MulCtx,
+    /// `mul_ctx(alpha^(j*(t+1)))` for `t` in `0..N-1`: the weights of the
+    /// chunk's symbols (the last symbol's weight is 1 and needs no context).
+    offs: [F::MulCtx; SYND_SLICE - 1],
+}
 
 /// Outcome details of a successful decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +89,8 @@ pub struct ReedSolomon<F: Field> {
     /// `mul_ctx(alpha^j)` for `j in 0..nroots`: the syndrome Horner loops
     /// multiply the accumulator by a fixed root power.
     synd_ctx: Vec<F::MulCtx>,
+    /// Slice-by-N stride/offset contexts per root (see [`SlicedRoot`]).
+    synd_sliced: Vec<SlicedRoot<F>>,
 }
 
 impl<F: Field> std::fmt::Debug for ReedSolomon<F> {
@@ -101,11 +119,24 @@ impl<F: Field> ReedSolomon<F> {
         let synd_ctx = (0..nroots)
             .map(|j| F::mul_ctx(F::alpha_pow(j as i64)))
             .collect();
+        let synd_sliced = (0..nroots)
+            .map(|j| {
+                let mut offs = [F::mul_ctx(F::one()); SYND_SLICE - 1];
+                for (t, o) in offs.iter_mut().enumerate() {
+                    *o = F::mul_ctx(F::alpha_pow((j * (t + 1)) as i64));
+                }
+                SlicedRoot {
+                    stride: F::mul_ctx(F::alpha_pow((j * SYND_SLICE) as i64)),
+                    offs,
+                }
+            })
+            .collect();
         Self {
             nroots,
             genpoly,
             gen_ctx,
             synd_ctx,
+            synd_sliced,
         }
     }
 
@@ -146,7 +177,45 @@ impl<F: Field> ReedSolomon<F> {
 
     /// Compute syndromes `S_j = c(alpha^j)` for `j in 0..nroots`.
     /// All-zero syndromes <=> the codeword is a valid codeword.
+    ///
+    /// Evaluated slice-by-4 (`SYND_SLICE`): each step folds N symbols into the
+    /// accumulator through precomputed stride/offset contexts, so the serial
+    /// Horner dependency chain shrinks by N× while the result stays
+    /// bit-identical (field arithmetic is exact) — see
+    /// [`Self::syndromes_horner`] for the one-symbol-per-step baseline.
     pub fn syndromes(&self, codeword: &[F::Elem]) -> Vec<F::Elem> {
+        let n = codeword.len();
+        let head = n % SYND_SLICE;
+        let mut synd = vec![F::zero(); self.nroots];
+        for (j, s) in synd.iter_mut().enumerate() {
+            let ctx = self.synd_ctx[j];
+            let sl = &self.synd_sliced[j];
+            // Leading remainder first, plain Horner, so every chunk below is
+            // exactly SYND_SLICE symbols.
+            let mut acc = F::zero();
+            for &c in &codeword[..head] {
+                acc = F::add(F::ctx_mul(ctx, acc), c);
+            }
+            let mut i = head;
+            while i < n {
+                // acc·alpha^(jN) ⊕ c_i·alpha^(j(N-1)) ⊕ ... ⊕ c_{i+N-1}
+                let mut x = F::ctx_mul(sl.stride, acc);
+                for t in 0..SYND_SLICE - 1 {
+                    x = F::add(x, F::ctx_mul(sl.offs[SYND_SLICE - 2 - t], codeword[i + t]));
+                }
+                x = F::add(x, codeword[i + SYND_SLICE - 1]);
+                acc = x;
+                i += SYND_SLICE;
+            }
+            *s = acc;
+        }
+        synd
+    }
+
+    /// The per-symbol Horner syndrome loop — the pre-slicing kernel, kept
+    /// callable so benchmarks and differential tests can compare against
+    /// [`Self::syndromes`].
+    pub fn syndromes_horner(&self, codeword: &[F::Elem]) -> Vec<F::Elem> {
         let mut synd = vec![F::zero(); self.nroots];
         for (j, s) in synd.iter_mut().enumerate() {
             // S_j = sum_i cw[i] * alpha^(j*(n-1-i)) — Horner over the
@@ -333,6 +402,100 @@ impl<F: Field> ReedSolomon<F> {
             lambda.pop();
         }
         lambda
+    }
+}
+
+/// Lane-parallel batched kernels, GF(2^8) only: one byte of each line
+/// occupies one SIMD lane, so the fixed-multiplier steps of the encode LFSR
+/// and the syndrome recurrence run across the whole batch per instruction
+/// (see [`crate::gfsimd`]). Outputs are bit-identical to the per-line
+/// methods — the batched LFSR uses the branchless form
+/// `parity[j] = parity[j+1] ⊕ g·feedback`, which equals the zero-feedback
+/// rotate branch of [`ReedSolomon::encode`] because `g·0 = 0`.
+impl ReedSolomon<Gf256> {
+    /// Encode many equal-length data words at once; `out[i]` equals
+    /// `self.encode(datas[i])` exactly.
+    ///
+    /// The generator-coefficient nibble tables are built once per call and
+    /// amortized over every lane and symbol of the batch.
+    pub fn encode_lines(&self, datas: &[&[u8]]) -> Vec<Vec<u8>> {
+        let lanes = datas.len();
+        if lanes == 0 {
+            return vec![];
+        }
+        let k = datas[0].len();
+        for d in datas {
+            assert_eq!(d.len(), k, "batched encode needs equal-length words");
+        }
+        assert!(
+            k + self.nroots < Gf256::ORDER,
+            "codeword longer than field allows"
+        );
+        let nib: Vec<NibbleCtx> = self.genpoly.iter().map(|&g| NibbleCtx::new(g)).collect();
+        // Column-major transpose: symbol position i of every lane is one
+        // contiguous row, so each LFSR step streams whole slices.
+        let mut cols = vec![0u8; k * lanes];
+        for (l, d) in datas.iter().enumerate() {
+            for (i, &b) in d.iter().enumerate() {
+                cols[i * lanes + l] = b;
+            }
+        }
+        let mut rows: Vec<Vec<u8>> = (0..self.nroots).map(|_| vec![0u8; lanes]).collect();
+        let mut fb = vec![0u8; lanes];
+        let last = self.nroots - 1;
+        for i in 0..k {
+            let col = &cols[i * lanes..(i + 1) * lanes];
+            for (f, (&c, &p)) in fb.iter_mut().zip(col.iter().zip(&rows[0])) {
+                *f = c ^ p;
+            }
+            // parity[j] = parity[j+1] ⊕ g[nroots-1-j]·fb, parity[last] = g[0]·fb.
+            // rotate_left realizes the parity[j+1] shift without copying.
+            rows.rotate_left(1);
+            gfsimd::mul_slice(&nib[0], &fb, &mut rows[last]);
+            for (j, row) in rows.iter_mut().take(last).enumerate() {
+                gfsimd::mul_xor_slice(&nib[self.nroots - 1 - j], &fb, row);
+            }
+        }
+        (0..lanes)
+            .map(|l| rows.iter().map(|r| r[l]).collect())
+            .collect()
+    }
+
+    /// Syndromes of many equal-length codewords at once; `out[i]` equals
+    /// `self.syndromes(codewords[i])` exactly, computed lane-parallel: per
+    /// root, the accumulator of every lane advances through one
+    /// fixed-multiplier slice multiply per symbol position.
+    pub fn syndromes_lines(&self, codewords: &[&[u8]]) -> Vec<Vec<u8>> {
+        let lanes = codewords.len();
+        if lanes == 0 {
+            return vec![];
+        }
+        let n = codewords[0].len();
+        for cw in codewords {
+            assert_eq!(cw.len(), n, "batched syndromes need equal-length codewords");
+        }
+        let mut cols = vec![0u8; n * lanes];
+        for (l, cw) in codewords.iter().enumerate() {
+            for (i, &b) in cw.iter().enumerate() {
+                cols[i * lanes + l] = b;
+            }
+        }
+        let mut out = vec![vec![0u8; self.nroots]; lanes];
+        let mut acc = vec![0u8; lanes];
+        for j in 0..self.nroots {
+            let nib = NibbleCtx::new(Gf256::alpha_pow(j as i64));
+            acc.fill(0);
+            for i in 0..n {
+                gfsimd::mul_slice_inplace(&nib, &mut acc);
+                for (a, &c) in acc.iter_mut().zip(&cols[i * lanes..(i + 1) * lanes]) {
+                    *a ^= c;
+                }
+            }
+            for (l, o) in out.iter_mut().enumerate() {
+                o[j] = acc[l];
+            }
+        }
+        out
     }
 }
 
@@ -540,6 +703,94 @@ mod tests {
             cw2[6] = rng.gen();
             rs.decode(&mut cw2, &[1, 6], None).unwrap();
             assert_eq!(cw2, clean);
+        }
+    }
+
+    #[test]
+    fn sliced_syndromes_match_horner_gf256() {
+        // Every codeword length around the slice width, several nroots:
+        // the slice-by-N kernel must agree with per-symbol Horner exactly.
+        let mut rng = StdRng::seed_from_u64(23);
+        for nroots in [1usize, 2, 4, 8] {
+            let rs = ReedSolomon::<Gf256>::new(nroots);
+            for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 18, 20, 36, 68, 255] {
+                if n <= nroots {
+                    continue;
+                }
+                for _ in 0..10 {
+                    let cw: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+                    assert_eq!(
+                        rs.syndromes(&cw),
+                        rs.syndromes_horner(&cw),
+                        "nroots={nroots} n={n}"
+                    );
+                }
+                // and on a valid codeword both must be all-zero
+                let data: Vec<u8> = (0..n - nroots).map(|_| rng.gen()).collect();
+                let mut cw = data.clone();
+                cw.extend(rs.encode(&data));
+                assert!(rs.syndromes(&cw).iter().all(|&s| s == 0));
+                assert!(rs.syndromes_horner(&cw).iter().all(|&s| s == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_syndromes_match_horner_gf65536() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let rs = ReedSolomon::<Gf65536>::new(2);
+        for n in [3usize, 4, 5, 8, 10, 13] {
+            for _ in 0..10 {
+                let cw: Vec<u16> = (0..n).map(|_| rng.gen()).collect();
+                assert_eq!(rs.syndromes(&cw), rs.syndromes_horner(&cw), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_encode_matches_per_line() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for nroots in [1usize, 2, 4, 8] {
+            let rs = ReedSolomon::<Gf256>::new(nroots);
+            for k in [1usize, 16, 32, 64] {
+                for lanes in [0usize, 1, 2, 3, 16, 33, 64] {
+                    let words: Vec<Vec<u8>> = (0..lanes)
+                        .map(|_| (0..k).map(|_| rng.gen()).collect())
+                        .collect();
+                    let refs: Vec<&[u8]> = words.iter().map(|w| w.as_slice()).collect();
+                    let batched = rs.encode_lines(&refs);
+                    assert_eq!(batched.len(), lanes);
+                    for (w, got) in words.iter().zip(&batched) {
+                        assert_eq!(got, &rs.encode(w), "nroots={nroots} k={k} lanes={lanes}");
+                    }
+                }
+            }
+        }
+        // zero feedback path: all-zero words must match too
+        let rs = ReedSolomon::<Gf256>::new(4);
+        let zero = vec![0u8; 32];
+        let refs: Vec<&[u8]> = vec![&zero, &zero];
+        for checks in rs.encode_lines(&refs) {
+            assert_eq!(checks, rs.encode(&zero));
+        }
+    }
+
+    #[test]
+    fn batched_syndromes_match_per_line() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let rs = ReedSolomon::<Gf256>::new(4);
+        for lanes in [0usize, 1, 5, 17, 64] {
+            for n in [5usize, 20, 36, 68] {
+                let cws: Vec<Vec<u8>> = (0..lanes)
+                    .map(|_| (0..n).map(|_| rng.gen()).collect())
+                    .collect();
+                let refs: Vec<&[u8]> = cws.iter().map(|c| c.as_slice()).collect();
+                let batched = rs.syndromes_lines(&refs);
+                assert_eq!(batched.len(), lanes);
+                for (cw, got) in cws.iter().zip(&batched) {
+                    assert_eq!(got, &rs.syndromes(cw), "lanes={lanes} n={n}");
+                }
+            }
         }
     }
 

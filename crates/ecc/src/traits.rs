@@ -135,6 +135,20 @@ pub trait MemoryEcc: Send + Sync {
     /// Encode a data line into a full codeword.
     fn encode(&self, data: &[u8]) -> Codeword;
 
+    /// Encode a batch of data lines at once. Semantically exactly
+    /// `lines.iter().map(|l| self.encode(l))` — the default does just that —
+    /// but schemes built on Reed–Solomon override it with lane-parallel
+    /// kernels so table/context setup is amortized across the whole batch
+    /// (see [`crate::rs::ReedSolomon::encode_lines`]).
+    ///
+    /// Implementations (including overrides) call [`record_batch`] once per
+    /// invocation so the `codec.batch.lines` counter and batch-size
+    /// histogram stay accurate.
+    fn encode_lines(&self, lines: &[&[u8]]) -> Vec<Codeword> {
+        record_batch(lines.len());
+        lines.iter().map(|l| self.encode(l)).collect()
+    }
+
     /// On-the-fly check of `data` against stored `detection` bits.
     fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome;
 
@@ -186,6 +200,23 @@ pub trait CorrectionSplit: MemoryEcc {
     fn detection_of(&self, data: &[u8]) -> Vec<u8> {
         self.encode(data).detection
     }
+
+    /// Correction bits of a whole batch of clean lines; semantically
+    /// `lines.iter().map(|l| self.correction_of(l))`. Overridden by
+    /// Reed–Solomon schemes to run lane-parallel. Implementations call
+    /// [`record_batch`] once per invocation.
+    fn correction_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        record_batch(lines.len());
+        lines.iter().map(|l| self.correction_of(l)).collect()
+    }
+
+    /// Detection bits of a whole batch of clean lines; semantically
+    /// `lines.iter().map(|l| self.detection_of(l))`. Implementations call
+    /// [`record_batch`] once per invocation.
+    fn detection_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        record_batch(lines.len());
+        lines.iter().map(|l| self.detection_of(l)).collect()
+    }
 }
 
 impl MemoryEcc for Box<dyn CorrectionSplit> {
@@ -209,6 +240,11 @@ impl MemoryEcc for Box<dyn CorrectionSplit> {
     }
     fn encode(&self, data: &[u8]) -> Codeword {
         (**self).encode(data)
+    }
+    fn encode_lines(&self, lines: &[&[u8]]) -> Vec<Codeword> {
+        // Forward, don't default: a boxed scheme must keep its batched
+        // override (and record_batch must fire exactly once).
+        (**self).encode_lines(lines)
     }
     fn detect(&self, data: &[u8], detection: &[u8]) -> DetectOutcome {
         (**self).detect(data, detection)
@@ -234,6 +270,12 @@ impl CorrectionSplit for Box<dyn CorrectionSplit> {
     fn detection_of(&self, data: &[u8]) -> Vec<u8> {
         (**self).detection_of(data)
     }
+    fn correction_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        (**self).correction_of_lines(lines)
+    }
+    fn detection_of_lines(&self, lines: &[&[u8]]) -> Vec<Vec<u8>> {
+        (**self).detection_of_lines(lines)
+    }
 }
 
 /// Record a successful correction in the observability registry (`obs`
@@ -250,6 +292,18 @@ pub fn record_correction(code: &'static str, repaired_bytes: usize) {
     obs::counter!("ecc.corrections").inc();
     obs::histogram!("ecc.repaired_bytes").observe(repaired_bytes as u64);
     per_code_counter(code).inc();
+}
+
+/// Record one batched-codec invocation covering `lines` lines. Emits the
+/// `codec.batch.lines` counter (total lines pushed through batched entry
+/// points) and the `codec.batch.size` log2 histogram of batch sizes. While
+/// `ECC_PARITY_METRICS` is unset the call is one relaxed load and a branch.
+pub fn record_batch(lines: usize) {
+    if !obs::metrics::enabled() {
+        return;
+    }
+    obs::counter!("codec.batch.lines").add(lines as u64);
+    obs::histogram!("codec.batch.size").observe(lines as u64);
 }
 
 /// Per-scheme counters are keyed by the scheme's `name()`; the composed

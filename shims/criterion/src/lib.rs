@@ -66,8 +66,16 @@ impl Criterion {
         f(&mut bencher);
         let ns = bencher.best_ns_per_iter;
         let rate = throughput.map(|t| match t {
-            Throughput::Bytes(b) => format!(" ({:.1} MiB/s)", b as f64 / ns * 953.674_316),
-            Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / ns * 1000.0),
+            Throughput::Bytes(b) => format!(
+                " ({:.1} MiB/s, {:.3} GiB/s)",
+                b as f64 / ns * 953.674_316,
+                gib_per_s(b, ns)
+            ),
+            Throughput::Elements(n) => format!(
+                " ({:.1} Melem/s, {:.0} elem/s)",
+                n as f64 / ns * 1000.0,
+                elems_per_s(n, ns)
+            ),
         });
         println!(
             "bench: {id:<48} {ns:>14.1} ns/iter{}",
@@ -93,8 +101,14 @@ impl Criterion {
                 out.push_str(",\n");
             }
             let tp = match r.throughput {
-                Some(Throughput::Bytes(b)) => format!(",\"throughput_bytes\":{b}"),
-                Some(Throughput::Elements(n)) => format!(",\"throughput_elements\":{n}"),
+                Some(Throughput::Bytes(b)) => format!(
+                    ",\"throughput_bytes\":{b},\"gib_per_s\":{:.6}",
+                    gib_per_s(b, r.ns_per_iter)
+                ),
+                Some(Throughput::Elements(n)) => format!(
+                    ",\"throughput_elements\":{n},\"elems_per_s\":{:.3}",
+                    elems_per_s(n, r.ns_per_iter)
+                ),
                 None => String::new(),
             };
             out.push_str(&format!(
@@ -108,6 +122,16 @@ impl Criterion {
             eprintln!("criterion shim: cannot write {path}: {e}");
         }
     }
+}
+
+/// Bytes-per-iteration at `ns` per iteration, in binary gibibytes/second.
+fn gib_per_s(bytes: u64, ns: f64) -> f64 {
+    bytes as f64 / ns * 1e9 / (1u64 << 30) as f64
+}
+
+/// Elements (lines, field ops, ...) per second at `ns` per iteration.
+fn elems_per_s(elements: u64, ns: f64) -> f64 {
+    elements as f64 / ns * 1e9
 }
 
 fn measurement_window() -> Duration {
@@ -234,5 +258,15 @@ mod tests {
         assert_eq!(c.results.len(), 1);
         assert!(c.results[0].ns_per_iter.is_finite());
         assert!(c.results[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn throughput_rate_conversions() {
+        // 1 GiB processed in 1 s (1e9 ns) is exactly 1 GiB/s.
+        assert!((gib_per_s(1 << 30, 1e9) - 1.0).abs() < 1e-12);
+        // 64 bytes in 10 ns = 6.4 GB/s = ~5.96 GiB/s.
+        assert!((gib_per_s(64, 10.0) - 5.960_464_477_539_063).abs() < 1e-9);
+        // 512 lines in 1 us = 512 Melem/s.
+        assert!((elems_per_s(512, 1000.0) - 512e6).abs() < 1e-3);
     }
 }
