@@ -237,13 +237,17 @@ pub fn ratio(v: f64) -> String {
 pub mod paper {
     /// Fig 10 (quad-equivalent) EPI reductions of LOT-ECC5+Parity, (bin1, bin2).
     pub const FIG10_VS_CK36: (f64, f64) = (46.0, 59.5);
+    /// Fig 10 reduction vs ChipKill x18 (bin1, bin2).
     pub const FIG10_VS_CK18: (f64, f64) = (34.6, 48.9);
+    /// Fig 10 reduction vs LOT-ECC x9 (bin1, bin2).
     pub const FIG10_VS_LOT9: (f64, f64) = (12.8, 23.1);
+    /// Fig 10 reduction vs Multi-ECC (bin1, bin2).
     pub const FIG10_VS_MULTI: (f64, f64) = (11.3, 20.5);
     /// RAIM+Parity vs RAIM (bin1, bin2), quad-equivalent.
     pub const FIG10_RAIM: (f64, f64) = (18.5, 22.6);
     /// Fig 16: LOT5+Parity accesses/instr vs 18-dev (+13.3%) and vs 36-dev (-20%).
     pub const FIG16_VS_CK18_PCT: f64 = 13.3;
+    /// Fig 16: LOT5+Parity accesses/instr vs 36-dev (-20%).
     pub const FIG16_VS_CK36_PCT: f64 = -20.0;
 }
 

@@ -6,6 +6,8 @@
 //! statistics, and rendering aligned text tables with the paper's reported
 //! values alongside ours.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod chaos;
 pub mod harness;

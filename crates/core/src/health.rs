@@ -70,6 +70,72 @@ impl HealthTable {
         self.threshold
     }
 
+    /// Number of channels this table tracks.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Banks per channel (twice the pair count).
+    pub fn banks_per_channel(&self) -> usize {
+        self.pairs_per_channel * 2
+    }
+
+    /// Bank pairs per channel.
+    pub fn pairs_per_channel(&self) -> usize {
+        self.pairs_per_channel
+    }
+
+    /// Sum of the error counters of pairs that have **not** migrated —
+    /// the fleet-health "pressure" statistic: counts still walking toward
+    /// the threshold. Migrated pairs are excluded because their counters
+    /// are frozen at the threshold and no longer represent risk (the pair
+    /// already fell back to stored correction bits).
+    pub fn active_counter_sum(&self) -> u64 {
+        self.counters
+            .iter()
+            .zip(&self.faulty)
+            .filter(|&(_, &f)| !f)
+            .map(|(&c, _)| u64::from(c))
+            .sum()
+    }
+
+    /// Number of pairs marked faulty (migrated to stored ECC bits).
+    pub fn faulty_pair_count(&self) -> usize {
+        self.faulty.iter().filter(|&&f| f).count()
+    }
+
+    /// Does `channel` contain any migrated (faulty) pair?
+    pub fn channel_has_faulty_pair(&self, channel: usize) -> bool {
+        assert!(channel < self.channels);
+        let base = channel * self.pairs_per_channel;
+        self.faulty[base..base + self.pairs_per_channel]
+            .iter()
+            .any(|&f| f)
+    }
+
+    /// Highest non-migrated pair counter in `channel` (0 when every pair
+    /// is clean or everything already migrated).
+    pub fn max_active_counter_in_channel(&self, channel: usize) -> u8 {
+        assert!(channel < self.channels);
+        let base = channel * self.pairs_per_channel;
+        self.counters[base..base + self.pairs_per_channel]
+            .iter()
+            .zip(&self.faulty[base..base + self.pairs_per_channel])
+            .filter(|&(_, &f)| !f)
+            .map(|(&c, _)| c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Retired pages within `channel`, counted without materializing the
+    /// sorted page list.
+    pub fn retired_count_in_channel(&self, channel: usize) -> usize {
+        self.retired
+            .iter()
+            .filter(|&&(ch, _, _)| ch == channel)
+            .count()
+    }
+
     fn idx(&self, p: PairId) -> usize {
         assert!(p.channel < self.channels && p.pair < self.pairs_per_channel);
         p.channel * self.pairs_per_channel + p.pair
@@ -407,6 +473,40 @@ mod tests {
             HealthAction::RetirePage,
             "restored table keeps counting from where it left off"
         );
+    }
+
+    #[test]
+    fn fleet_summary_accessors() {
+        let mut h = HealthTable::new(4, 8, 4);
+        assert_eq!(h.channels(), 4);
+        assert_eq!(h.banks_per_channel(), 8);
+        assert_eq!(h.pairs_per_channel(), 4);
+        assert_eq!(h.active_counter_sum(), 0);
+        assert_eq!(h.faulty_pair_count(), 0);
+
+        h.record_error(1, 4); // pair (1,2) at 1
+        h.record_error(1, 0); // pair (1,0) at 1
+        h.record_error(2, 6); // pair (2,3) at 1
+        assert_eq!(h.active_counter_sum(), 3);
+        assert_eq!(h.max_active_counter_in_channel(1), 1);
+        assert_eq!(h.max_active_counter_in_channel(0), 0);
+
+        for _ in 0..3 {
+            h.record_error(1, 4); // drive pair (1,2) to migration
+        }
+        assert_eq!(h.faulty_pair_count(), 1);
+        assert!(h.channel_has_faulty_pair(1));
+        assert!(!h.channel_has_faulty_pair(2));
+        // Migrated pair's frozen counter no longer counts as pressure.
+        assert_eq!(h.active_counter_sum(), 2);
+        assert_eq!(h.max_active_counter_in_channel(1), 1);
+
+        h.retire_page(1, 4, 9);
+        h.retire_page(2, 6, 3);
+        h.retire_page(2, 7, 3);
+        assert_eq!(h.retired_count_in_channel(1), 1);
+        assert_eq!(h.retired_count_in_channel(2), 2);
+        assert_eq!(h.retired_count_in_channel(0), 0);
     }
 
     #[test]

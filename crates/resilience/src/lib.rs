@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod loadgen;
 pub mod scenario;
 pub mod shadow;
 pub mod verdict;

@@ -1,0 +1,262 @@
+//! Deterministic fleet event streams for the `eccparityd` load generator.
+//!
+//! The soak harness replays *one* node's fault history against a live
+//! memory; the fleet daemon ingests corrected-error telemetry from
+//! *millions* of nodes. This module bridges the two: it derives, from the
+//! same [`LifetimeSim`] Poisson machinery the soak harness uses, a
+//! per-node fault history and then expands each materialized fault into
+//! the stream of corrected-error (CE) events a memory controller would
+//! report as the workload keeps striking the faulty cells. The expansion
+//! mirrors the empirical shape of fleet CE logs: a small number of fault
+//! sites produce almost all events, repeated strikes cluster on the same
+//! row, and the occasional large (whole-bank) fault shows up as a
+//! diagnosis event rather than a CE drizzle.
+//!
+//! Everything is a pure function of `(seed, node)`, so any two expansions
+//! of the same node agree — the daemon's kill-and-restart smoke relies on
+//! replaying byte-identical streams.
+
+use mem_faults::{FaultMode, FitTable, LifetimeSim, SystemGeometry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fleet telemetry event, pre-addressing: which node saw what where.
+///
+/// `channel`/`bank`/`row` are in the daemon's health-table coordinates
+/// (logical banks per channel, as [`SystemGeometry::banks_per_channel`]
+/// counts them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Node (simulated DIMM/host) the event originates from.
+    pub node: u64,
+    /// Channel within the node.
+    pub channel: u32,
+    /// Logical bank within the channel.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// `true` for a whole-bank diagnosis (the daemon marks the pair
+    /// faulty directly); `false` for an ordinary corrected error.
+    pub bank_fault: bool,
+}
+
+/// Configuration of one deterministic fleet stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Master seed; combined with the node id per node.
+    pub seed: u64,
+    /// Number of nodes emitting events (round-robin interleaved).
+    pub nodes: u64,
+    /// Total events to emit across all nodes.
+    pub events: u64,
+    /// Channels per node (must match the daemon's `--channels`).
+    pub channels: u32,
+    /// Logical banks per channel (must match the daemon's `--banks`).
+    pub banks: u32,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            seed: 1,
+            nodes: 1024,
+            events: 1_000_000,
+            channels: 8,
+            banks: 16,
+        }
+    }
+}
+
+/// FNV-1a over 8 bytes — cheap per-node seed mixing.
+fn mix(seed: u64, node: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x0010_0000_01b3);
+    for b in node.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The fault sites of one node, expanded lazily into CE events.
+struct NodeScript {
+    rng: StdRng,
+    /// `(channel, bank, row, weight)` — CE strikes draw sites by weight.
+    sites: Vec<(u32, u32, u32, u32)>,
+    /// Whole-bank faults reported once, early in the node's stream.
+    bank_faults: Vec<(u32, u32)>,
+    emitted: u64,
+}
+
+impl NodeScript {
+    fn new(cfg: &StreamConfig, node: u64) -> NodeScript {
+        let mut rng = StdRng::seed_from_u64(mix(cfg.seed, node));
+        // Sample the node's lifetime fault history with the soak harness's
+        // sampler, on a geometry scaled to the requested channel count.
+        // DDR3's 8 banks/chip times 2 ranks gives 16 logical banks, the
+        // daemon default; other `banks` values just remap modulo below.
+        let geo = SystemGeometry {
+            channels: cfg.channels.max(1) as usize,
+            ranks_per_channel: 2,
+            chips_per_rank: 9,
+            banks_per_chip: 8,
+        };
+        // DDR3_AVERAGE yields <1 fault per 7-year life; fleet telemetry is
+        // interesting when most nodes have at least one active site, so
+        // scale the FIT rates up — the *shape* (mode mix, placement) stays
+        // the paper's.
+        let sim = LifetimeSim::new(geo, FitTable::DDR3_AVERAGE.scaled_to(1_500.0));
+        let history = sim.sample(&mut rng);
+        let mut sites = Vec::new();
+        let mut bank_faults = Vec::new();
+        for ev in &history {
+            let channel = (ev.fault.chip.channel as u32) % cfg.channels.max(1);
+            let bank = ev.fault.bank % cfg.banks.max(1);
+            let row = ev.fault.row;
+            if ev.fault.mode.is_large() && matches!(ev.fault.mode, FaultMode::SingleBank) {
+                bank_faults.push((channel, bank));
+            }
+            // Large or small, the site keeps producing CEs; permanent
+            // large faults strike far more often.
+            let weight = if ev.fault.mode.is_large() { 16 } else { 4 };
+            sites.push((channel, bank, row, weight));
+        }
+        if sites.is_empty() {
+            // A clean node still emits sporadic transient CEs from one
+            // random cell (cosmic-ray style), so every node contributes
+            // traffic and the health table sees singleton counters.
+            sites.push((
+                rng.gen_range(0..cfg.channels.max(1)),
+                rng.gen_range(0..cfg.banks.max(1)),
+                rng.gen_range(0..4096),
+                1,
+            ));
+        }
+        NodeScript {
+            rng,
+            sites,
+            bank_faults,
+            emitted: 0,
+        }
+    }
+
+    fn next_event(&mut self, node: u64) -> FleetEvent {
+        self.emitted += 1;
+        // Report whole-bank diagnoses as the node's first events.
+        if let Some((channel, bank)) = self.bank_faults.get(self.emitted as usize - 1).copied() {
+            return FleetEvent {
+                node,
+                channel,
+                bank,
+                row: 0,
+                bank_fault: true,
+            };
+        }
+        let total: u32 = self.sites.iter().map(|s| s.3).sum();
+        let mut pick = self.rng.gen_range(0..total.max(1));
+        let mut site = self.sites[0];
+        for &s in &self.sites {
+            if pick < s.3 {
+                site = s;
+                break;
+            }
+            pick -= s.3;
+        }
+        // Strikes cluster on the fault row but wander within the page.
+        let row = site.2.wrapping_add(self.rng.gen_range(0..4)) & 0x000f_ffff;
+        FleetEvent {
+            node,
+            channel: site.0,
+            bank: site.1,
+            row,
+            bank_fault: false,
+        }
+    }
+}
+
+/// Iterator over the full stream: nodes interleave round-robin, so the
+/// daemon's shards all stay busy from the first batch onward.
+pub struct FleetStream {
+    cfg: StreamConfig,
+    scripts: Vec<NodeScript>,
+    next_node: u64,
+    emitted: u64,
+}
+
+impl FleetStream {
+    /// Build the stream for `cfg`. Allocates per-node scripts up front
+    /// (cheap: a few fault sites per node).
+    pub fn new(cfg: StreamConfig) -> FleetStream {
+        assert!(cfg.nodes >= 1, "need at least one node");
+        assert!(cfg.channels >= 1 && cfg.banks >= 2);
+        let scripts = (0..cfg.nodes).map(|n| NodeScript::new(&cfg, n)).collect();
+        FleetStream {
+            cfg,
+            scripts,
+            next_node: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Total events this stream will yield.
+    pub fn len_events(&self) -> u64 {
+        self.cfg.events
+    }
+}
+
+impl Iterator for FleetStream {
+    type Item = FleetEvent;
+
+    fn next(&mut self) -> Option<FleetEvent> {
+        if self.emitted >= self.cfg.events {
+            return None;
+        }
+        let node = self.next_node;
+        self.next_node = (self.next_node + 1) % self.cfg.nodes;
+        self.emitted += 1;
+        Some(self.scripts[node as usize].next_event(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_bounded() {
+        let cfg = StreamConfig {
+            seed: 7,
+            nodes: 13,
+            events: 500,
+            channels: 4,
+            banks: 8,
+        };
+        let a: Vec<_> = FleetStream::new(cfg).collect();
+        let b: Vec<_> = FleetStream::new(cfg).collect();
+        assert_eq!(a, b, "same config must replay identically");
+        assert_eq!(a.len(), 500);
+        for ev in &a {
+            assert!(ev.node < 13);
+            assert!(ev.channel < 4);
+            assert!(ev.bank < 8);
+        }
+        // Round-robin interleave: first 13 events cover all 13 nodes.
+        let first: std::collections::HashSet<u64> = a[..13].iter().map(|e| e.node).collect();
+        assert_eq!(first.len(), 13);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            FleetStream::new(StreamConfig {
+                seed,
+                nodes: 5,
+                events: 200,
+                channels: 4,
+                banks: 8,
+            })
+            .map(|e| (e.node, e.channel, e.bank, e.row))
+            .collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+}

@@ -1,0 +1,739 @@
+//! The sharded ingest/query engine behind `eccparityd`.
+//!
+//! Actor-per-shard: [`Engine::start`] spawns one worker thread per shard,
+//! each exclusively owning a [`ShardState`] partition (`node % shards`).
+//! Connections route raw event lines to shards through bounded channels
+//! (backpressure instead of unbounded queues); queries fan out to every
+//! shard and merge deterministically, so responses are byte-identical
+//! regardless of shard count or thread schedule.
+//!
+//! Persistence reuses the `eccparity-journal-v1` checkpoint discipline
+//! from [`eccparity_bench::supervisor`]: a checkpoint serializes every
+//! shard's partition into `ShardDone` records behind a `Header`, publishes
+//! the whole journal tmp+fsync+rename (readers never see a torn file),
+//! and [`Engine::start`] with [`EngineConfig::resume`] replays it —
+//! checksum-verified, torn-tail-tolerant — so a SIGKILL'd daemon restarts
+//! to exactly the state of its last checkpoint.
+
+use crate::rpc::{self, Query};
+use crate::state::{
+    merge_top_pages, Geometry, NodeSnapshot, PageRisk, RegionRec, ShardAgg, ShardSnapshot,
+    ShardState,
+};
+use eccparity_bench::hash::fnv1a64;
+use eccparity_bench::supervisor::{replay_journal, JournalRecord, JOURNAL_SCHEMA};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Batches a shard channel holds before senders block (backpressure).
+const CHANNEL_DEPTH: usize = 256;
+
+/// Router flushes a per-shard buffer once it holds this many bytes.
+const BATCH_BYTES: usize = 64 * 1024;
+
+/// Configuration of one engine instance.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Shard (worker thread) count, ≥ 1.
+    pub shards: usize,
+    /// Per-node health-table geometry.
+    pub geom: Geometry,
+    /// Checkpoint directory; `None` disables persistence.
+    pub state_dir: Option<PathBuf>,
+    /// Instance name: journal file stem and metrics title.
+    pub name: String,
+    /// Load the existing checkpoint journal on start.
+    pub resume: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            geom: Geometry::default(),
+            state_dir: None,
+            name: "eccparityd".to_string(),
+            resume: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Path of this instance's checkpoint journal, if persistence is on.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        let dir = self.state_dir.as_ref()?;
+        let stem: String = self
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        Some(dir.join(format!("{stem}.journal.jsonl")))
+    }
+}
+
+enum ShardMsg {
+    /// Newline-separated raw request lines owned by this shard.
+    Batch(Vec<u8>),
+    /// Reply when everything previously enqueued has been applied.
+    Barrier(Sender<()>),
+    Agg(Sender<ShardAgg>),
+    NodeView(u64, Sender<Option<crate::state::NodeView>>),
+    TopPages(usize, Sender<Vec<PageRisk>>),
+    Recommend(u64, Sender<Option<Vec<RegionRec>>>),
+    Snapshot(Sender<ShardSnapshot>),
+    Shutdown,
+}
+
+/// What a checkpoint wrote.
+#[derive(Debug, Clone)]
+pub struct CheckpointInfo {
+    /// Journal file published.
+    pub path: PathBuf,
+    /// Shards serialized.
+    pub shards: u64,
+    /// Nodes serialized across all shards.
+    pub nodes: u64,
+}
+
+/// The running engine: shard workers plus routing/query front-end.
+pub struct Engine {
+    cfg: EngineConfig,
+    txs: Vec<SyncSender<ShardMsg>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Lines the connection readers rejected before routing.
+    reader_rejects: AtomicU64,
+    checkpoints: AtomicU64,
+    resumed_nodes: u64,
+}
+
+fn shard_worker(shard: u64, mut state: ShardState, rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(bytes) => {
+                let t0 = Instant::now();
+                let before_applied = state.applied;
+                let before_rejected = state.rejected;
+                // A panic while applying (it would take a bug — malformed
+                // input is rejected, not thrown) must not kill the shard:
+                // a dead shard would hang every future barrier.
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    for line in bytes.split(|&b| b == b'\n') {
+                        if !line.is_empty() {
+                            state.apply_line(line);
+                        }
+                    }
+                }));
+                if res.is_err() {
+                    obs::counter!("service.shard_panics").inc();
+                }
+                let applied = state.applied - before_applied;
+                let rejected = state.rejected - before_rejected;
+                if obs::metrics::enabled() {
+                    obs::counter!("service.events_ingested").add(applied);
+                    obs::counter!("service.events_rejected").add(rejected);
+                    obs::histogram!("service.ingest.batch_events").observe(applied);
+                    obs::histogram!("service.ingest.batch_ns")
+                        .observe(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            ShardMsg::Barrier(tx) => {
+                let _ = tx.send(());
+            }
+            ShardMsg::Agg(tx) => {
+                let _ = tx.send(state.agg());
+            }
+            ShardMsg::NodeView(node, tx) => {
+                let _ = tx.send(state.node_view(node));
+            }
+            ShardMsg::TopPages(k, tx) => {
+                let _ = tx.send(state.top_pages(k));
+            }
+            ShardMsg::Recommend(node, tx) => {
+                let _ = tx.send(state.recommend(node));
+            }
+            ShardMsg::Snapshot(tx) => {
+                let _ = tx.send(state.snapshot(shard));
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+impl Engine {
+    /// Spawn the shard workers, loading the checkpoint journal first when
+    /// `cfg.resume` is set and a valid journal exists.
+    pub fn start(cfg: EngineConfig) -> Engine {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let mut initial: Vec<Vec<NodeSnapshot>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        let mut resumed_nodes = 0u64;
+        if cfg.resume {
+            if let Some(path) = cfg.journal_path() {
+                if path.exists() {
+                    let nodes = load_checkpoint(&path, &cfg.name, &cfg.geom.config_key());
+                    resumed_nodes = nodes.len() as u64;
+                    for snap in nodes {
+                        let shard = (snap.node % cfg.shards as u64) as usize;
+                        initial[shard].push(snap);
+                    }
+                    obs::counter!("service.resumes").inc();
+                    if obs::trace::enabled() {
+                        obs::trace::event(
+                            "service.resume",
+                            &[
+                                (
+                                    "journal",
+                                    obs::trace::Value::Str(&path.display().to_string()),
+                                ),
+                                ("nodes", obs::trace::Value::U64(resumed_nodes)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for (i, nodes) in initial.into_iter().enumerate() {
+            let (tx, rx) = sync_channel(CHANNEL_DEPTH);
+            let state = ShardState::restore(cfg.geom, nodes);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-{i}"))
+                    .spawn(move || shard_worker(i as u64, state, rx))
+                    .expect("spawn shard worker"),
+            );
+            txs.push(tx);
+        }
+        if obs::trace::enabled() {
+            obs::trace::event(
+                "service.start",
+                &[
+                    ("shards", obs::trace::Value::U64(cfg.shards as u64)),
+                    ("resumed_nodes", obs::trace::Value::U64(resumed_nodes)),
+                ],
+            );
+        }
+        Engine {
+            cfg,
+            txs,
+            handles: Mutex::new(Vec::from_iter(handles)),
+            reader_rejects: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            resumed_nodes,
+        }
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Shard owning `node`.
+    pub fn shard_of(&self, node: u64) -> usize {
+        (node % self.cfg.shards as u64) as usize
+    }
+
+    /// Enqueue a raw batch for `shard` (blocks when the shard is
+    /// `CHANNEL_DEPTH` batches behind — backpressure to the socket).
+    pub fn send_batch(&self, shard: usize, bytes: Vec<u8>) {
+        self.txs[shard]
+            .send(ShardMsg::Batch(bytes))
+            .expect("shard worker alive");
+    }
+
+    /// Count a line the connection reader rejected before routing.
+    pub fn note_reader_reject(&self) {
+        self.reader_rejects.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("service.events_rejected").inc();
+    }
+
+    /// Wait until every shard has drained everything enqueued before the
+    /// call (the read-your-writes barrier queries rely on).
+    pub fn barrier(&self) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for s in &self.txs {
+            s.send(ShardMsg::Barrier(tx.clone())).expect("shard alive");
+        }
+        drop(tx);
+        while rx.recv().is_ok() {}
+    }
+
+    fn gather<R>(&self, make: impl Fn(Sender<R>) -> ShardMsg) -> Vec<R> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        for s in &self.txs {
+            s.send(make(tx.clone())).expect("shard alive");
+        }
+        drop(tx);
+        let mut out: Vec<R> = rx.iter().collect();
+        debug_assert_eq!(out.len(), self.txs.len());
+        // Shard replies arrive in scheduler order; queries that merge
+        // per-shard lists sort again, and aggregates are commutative, so
+        // ordering here only matters for determinism hygiene.
+        out.reverse();
+        out
+    }
+
+    fn merged_agg(&self) -> ShardAgg {
+        let mut total = ShardAgg::default();
+        for a in self.gather(ShardMsg::Agg) {
+            total.merge(&a);
+        }
+        total
+    }
+
+    /// Answer one query. The caller is responsible for flushing its
+    /// router and calling [`Engine::barrier`] first. `Checkpoint` and
+    /// `Shutdown` are *not* answered here — the server owns their side
+    /// effects — and render as errors if they reach this path.
+    pub fn query(&self, q: &Query) -> String {
+        obs::counter!("service.queries").inc();
+        match *q {
+            Query::Ping => rpc::ok_response("ping", "\"pong\""),
+            Query::NodeRisk { node } => {
+                let shard = self.shard_of(node);
+                let (tx, rx) = std::sync::mpsc::channel();
+                self.txs[shard]
+                    .send(ShardMsg::NodeView(node, tx))
+                    .expect("shard alive");
+                let view = rx.recv().expect("shard replies");
+                let result = match view {
+                    Some(v) => format!(
+                        "{{\"node\":{},\"known\":true,\"risk_ppm\":{},\"events\":{},\"faulty_pairs\":{},\"retired_pages\":{},\"active_counter_sum\":{}}}",
+                        v.node, v.risk_ppm, v.events, v.faulty_pairs, v.retired_pages,
+                        v.active_counter_sum
+                    ),
+                    None => format!(
+                        "{{\"node\":{node},\"known\":false,\"risk_ppm\":0,\"events\":0,\"faulty_pairs\":0,\"retired_pages\":0,\"active_counter_sum\":0}}"
+                    ),
+                };
+                rpc::ok_response("node_risk", &result)
+            }
+            Query::Fleet => {
+                let a = self.merged_agg();
+                let result = format!(
+                    "{{\"nodes\":{},\"events\":{},\"faulty_pairs\":{},\"retired_pages\":{},\"active_counter_sum\":{},\"at_risk_nodes\":{},\"posture\":\"{}\"}}",
+                    a.nodes,
+                    a.events,
+                    a.faulty_pairs,
+                    a.retired_pages,
+                    a.active_counter_sum,
+                    a.at_risk_nodes,
+                    a.posture()
+                );
+                rpc::ok_response("fleet", &result)
+            }
+            Query::TopPages { k } => {
+                let lists = self.gather(|tx| ShardMsg::TopPages(k, tx));
+                let top = merge_top_pages(lists, k);
+                let mut pages = String::from("[");
+                for (i, p) in top.iter().enumerate() {
+                    if i > 0 {
+                        pages.push(',');
+                    }
+                    pages.push_str(&format!(
+                        "{{\"node\":{},\"channel\":{},\"bank\":{},\"row\":{},\"ce\":{},\"retired\":{}}}",
+                        p.node, p.channel, p.bank, p.row, p.ce, p.retired
+                    ));
+                }
+                pages.push(']');
+                rpc::ok_response("top_pages", &format!("{{\"k\":{k},\"pages\":{pages}}}"))
+            }
+            Query::Recommend { node } => {
+                let shard = self.shard_of(node);
+                let (tx, rx) = std::sync::mpsc::channel();
+                self.txs[shard]
+                    .send(ShardMsg::Recommend(node, tx))
+                    .expect("shard alive");
+                let result = match rx.recv().expect("shard replies") {
+                    Some(recs) => {
+                        let mut regions = String::from("[");
+                        for (i, r) in recs.iter().enumerate() {
+                            if i > 0 {
+                                regions.push(',');
+                            }
+                            regions.push_str(&format!(
+                                "{{\"channel\":{},\"action\":\"{}\"}}",
+                                r.channel, r.action
+                            ));
+                        }
+                        regions.push(']');
+                        format!(
+                            "{{\"node\":{node},\"known\":true,\"threshold\":{},\"regions\":{regions}}}",
+                            self.cfg.geom.threshold
+                        )
+                    }
+                    None => format!(
+                        "{{\"node\":{node},\"known\":false,\"threshold\":{},\"regions\":[]}}",
+                        self.cfg.geom.threshold
+                    ),
+                };
+                rpc::ok_response("recommend", &result)
+            }
+            Query::Stats => {
+                let a = self.merged_agg();
+                let result = format!(
+                    "{{\"shards\":{},\"nodes\":{},\"events_ingested\":{},\"events_rejected\":{},\"checkpoints\":{},\"resumed_nodes\":{}}}",
+                    self.cfg.shards,
+                    a.nodes,
+                    a.applied,
+                    a.rejected + self.reader_rejects.load(Ordering::Relaxed),
+                    self.checkpoints.load(Ordering::Relaxed),
+                    self.resumed_nodes
+                );
+                rpc::ok_response("stats", &result)
+            }
+            Query::Checkpoint | Query::Shutdown => {
+                rpc::error_response("checkpoint/shutdown must be handled by the server")
+            }
+        }
+    }
+
+    /// Checkpoint every shard's partition to the journal. Runs a barrier
+    /// first, so everything enqueued by the calling connection is
+    /// captured. (Each shard snapshots at its own message position; for
+    /// a globally consistent cut, quiesce other writers — see
+    /// `docs/OPERATIONS.md`.)
+    pub fn checkpoint(&self) -> std::io::Result<CheckpointInfo> {
+        let path = self.cfg.journal_path().ok_or_else(|| {
+            std::io::Error::other("no state dir configured (--state-dir / ECC_PARITY_SERVICE_DIR)")
+        })?;
+        self.barrier();
+        let mut snaps = self.gather(ShardMsg::Snapshot);
+        snaps.sort_by_key(|s| s.shard);
+        let nodes: u64 = snaps.iter().map(|s| s.nodes.len() as u64).sum();
+        let mut records = Vec::with_capacity(snaps.len() + 2);
+        records.push(JournalRecord::Header {
+            schema: JOURNAL_SCHEMA.to_string(),
+            campaign: self.cfg.name.clone(),
+            config_key: self.cfg.geom.config_key(),
+            total_shards: snaps.len() as u64,
+        });
+        for snap in &snaps {
+            let payload = serde_json::to_string(snap)
+                .map_err(|e| std::io::Error::other(format!("serialize shard snapshot: {e}")))?;
+            records.push(JournalRecord::ShardDone {
+                shard: format!("shard-{}", snap.shard),
+                class: "completed".to_string(),
+                attempts: 1,
+                wall_ms: 0,
+                checksum: fnv1a64(payload.as_bytes()),
+                payload,
+            });
+        }
+        records.push(JournalRecord::RunComplete {
+            succeeded: snaps.len() as u64,
+        });
+        publish_journal(&path, &records)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("service.checkpoints").inc();
+        if obs::trace::enabled() {
+            obs::trace::event(
+                "service.checkpoint",
+                &[
+                    (
+                        "journal",
+                        obs::trace::Value::Str(&path.display().to_string()),
+                    ),
+                    ("nodes", obs::trace::Value::U64(nodes)),
+                ],
+            );
+        }
+        obs::metrics::write_snapshot_if_configured(&self.cfg.name);
+        Ok(CheckpointInfo {
+            path,
+            shards: snaps.len() as u64,
+            nodes,
+        })
+    }
+
+    /// Stop the shard workers and join them.
+    pub fn shutdown(&self) {
+        for s in &self.txs {
+            let _ = s.send(ShardMsg::Shutdown);
+        }
+        for h in self.handles.lock().expect("engine lock").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Publish `records` to `path` atomically: one JSON line per record,
+/// written to a pid-suffixed temp file, fsynced, renamed over the
+/// journal — the same discipline as the campaign supervisor's journal.
+fn publish_journal(path: &Path, records: &[JournalRecord]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut text = String::new();
+    for rec in records {
+        let line = serde_json::to_string(rec)
+            .map_err(|e| std::io::Error::other(format!("serialize journal record: {e}")))?;
+        text.push_str(&line);
+        text.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a checkpoint journal: validate the header against this daemon's
+/// identity, verify each shard payload's checksum, and return every
+/// recovered node snapshot. Damaged shards are skipped with a counter
+/// (partial recovery beats none); a mismatched header recovers nothing.
+pub fn load_checkpoint(path: &Path, name: &str, config_key: &str) -> Vec<NodeSnapshot> {
+    let (records, torn) = replay_journal(path);
+    if torn {
+        obs::counter!("service.journal_torn_tail").inc();
+        eprintln!(
+            "eccparityd: checkpoint journal {} had a torn/damaged tail; replaying the intact prefix",
+            path.display()
+        );
+    }
+    let header_ok = matches!(
+        records.first(),
+        Some(JournalRecord::Header { schema, campaign, config_key: ck, .. })
+            if schema == JOURNAL_SCHEMA && campaign == name && ck == config_key
+    );
+    if !header_ok {
+        obs::counter!("service.journal_discarded").inc();
+        eprintln!(
+            "eccparityd: checkpoint journal {} does not match this instance (name/geometry); starting empty",
+            path.display()
+        );
+        return Vec::new();
+    }
+    let mut nodes = Vec::new();
+    for rec in &records {
+        if let JournalRecord::ShardDone {
+            shard,
+            checksum,
+            payload,
+            ..
+        } = rec
+        {
+            if *checksum != fnv1a64(payload.as_bytes()) {
+                obs::counter!("service.journal_corrupt_payloads").inc();
+                eprintln!("eccparityd: checkpoint shard {shard} failed its checksum; skipping");
+                continue;
+            }
+            match serde_json::from_str::<ShardSnapshot>(payload) {
+                Ok(snap) => nodes.extend(snap.nodes),
+                Err(e) => {
+                    obs::counter!("service.journal_corrupt_payloads").inc();
+                    eprintln!(
+                        "eccparityd: checkpoint shard {shard} failed to parse ({e}); skipping"
+                    );
+                }
+            }
+        }
+    }
+    nodes
+}
+
+// ---- router ----------------------------------------------------------------
+
+/// Per-connection batcher: accumulates raw event lines per shard and
+/// flushes them as bulk batches, amortizing channel traffic.
+pub struct Router {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl Router {
+    /// A router for `engine`'s shard count.
+    pub fn new(engine: &Engine) -> Router {
+        Router {
+            bufs: (0..engine.cfg.shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Route one raw request line. Event lines go to their owning shard;
+    /// anything unrecognized still goes to shard 0 so rejection is
+    /// counted exactly once, in one place.
+    pub fn push_line(&mut self, engine: &Engine, line: &[u8]) {
+        let shard = match rpc::fast_route(line) {
+            Some(node) => engine.shard_of(node),
+            None => match rpc::parse_line(line) {
+                Ok(rpc::Request::Event(ev)) => engine.shard_of(ev.node),
+                _ => 0,
+            },
+        };
+        self.push_routed(engine, shard, line);
+    }
+
+    /// Append a line the caller has already routed (the connection reader
+    /// runs [`rpc::fast_route`] once and hands the shard in, so the hot
+    /// path never scans a line twice).
+    pub fn push_routed(&mut self, engine: &Engine, shard: usize, line: &[u8]) {
+        let buf = &mut self.bufs[shard];
+        buf.extend_from_slice(line);
+        buf.push(b'\n');
+        if buf.len() >= BATCH_BYTES {
+            engine.send_batch(shard, std::mem::take(buf));
+        }
+    }
+
+    /// Flush every non-empty per-shard buffer.
+    pub fn flush(&mut self, engine: &Engine) {
+        for (shard, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                engine.send_batch(shard, std::mem::take(buf));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::Event;
+
+    fn line(node: u64, ch: u32, bank: u32, row: u32) -> String {
+        rpc::render_event(&Event {
+            node,
+            channel: ch,
+            bank,
+            row,
+            count: 1,
+            bank_fault: false,
+        })
+    }
+
+    fn drive(engine: &Engine, lines: &[String]) {
+        let mut router = Router::new(engine);
+        for l in lines {
+            router.push_line(engine, l.as_bytes());
+        }
+        router.flush(engine);
+        engine.barrier();
+    }
+
+    #[test]
+    fn queries_identical_across_shard_counts() {
+        let lines: Vec<String> = (0..500)
+            .map(|i| {
+                line(
+                    i % 37,
+                    (i % 8) as u32,
+                    (i % 16) as u32,
+                    (i * 13 % 97) as u32,
+                )
+            })
+            .collect();
+        let mut golden: Option<Vec<String>> = None;
+        for shards in [1usize, 2, 3, 8] {
+            let engine = Engine::start(EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            });
+            drive(&engine, &lines);
+            let responses: Vec<String> = [
+                Query::Fleet,
+                Query::TopPages { k: 12 },
+                Query::NodeRisk { node: 5 },
+                Query::NodeRisk { node: 9999 },
+                Query::Recommend { node: 5 },
+            ]
+            .iter()
+            .map(|q| engine.query(q))
+            .collect();
+            engine.shutdown();
+            match &golden {
+                None => golden = Some(responses),
+                Some(g) => assert_eq!(g, &responses, "shards={shards}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_across_shard_counts() {
+        let dir = std::env::temp_dir().join(format!("eccparityd-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lines: Vec<String> = (0..300)
+            .map(|i| line(i % 23, (i % 8) as u32, (i % 16) as u32, (i % 41) as u32))
+            .collect();
+        let cfg = EngineConfig {
+            shards: 3,
+            state_dir: Some(dir.clone()),
+            name: "ckpt-test".to_string(),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(cfg.clone());
+        drive(&engine, &lines);
+        let queries = [
+            Query::Fleet,
+            Query::TopPages { k: 20 },
+            Query::NodeRisk { node: 7 },
+            Query::Recommend { node: 7 },
+        ];
+        let golden: Vec<String> = queries.iter().map(|q| engine.query(q)).collect();
+        let info = engine.checkpoint().unwrap();
+        assert_eq!(info.shards, 3);
+        assert!(info.nodes > 0);
+        engine.shutdown();
+
+        // Restart with a different shard count: resume repartitions.
+        for shards in [1usize, 5] {
+            let engine = Engine::start(EngineConfig {
+                shards,
+                resume: true,
+                ..cfg.clone()
+            });
+            let resumed: Vec<String> = queries.iter().map(|q| engine.query(q)).collect();
+            assert_eq!(golden, resumed, "resume with shards={shards}");
+            engine.shutdown();
+        }
+
+        // A mismatched geometry refuses the journal.
+        let engine = Engine::start(EngineConfig {
+            shards: 2,
+            resume: true,
+            geom: Geometry {
+                channels: 4,
+                banks: 8,
+                threshold: 2,
+            },
+            ..cfg.clone()
+        });
+        let fleet = engine.query(&Query::Fleet);
+        assert!(fleet.contains("\"nodes\":0"), "{fleet}");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_reject_without_killing_shards() {
+        let engine = Engine::start(EngineConfig::default());
+        let mut router = Router::new(&engine);
+        router.push_line(&engine, b"garbage that is not json");
+        router.push_line(
+            &engine,
+            b"{\"kind\":\"event\",\"node\":1,\"channel\":77,\"bank\":0,\"row\":0}",
+        );
+        router.push_line(&engine, line(1, 0, 0, 5).as_bytes());
+        router.flush(&engine);
+        engine.barrier();
+        let stats = engine.query(&Query::Stats);
+        assert!(stats.contains("\"events_ingested\":1"), "{stats}");
+        assert!(stats.contains("\"events_rejected\":2"), "{stats}");
+        // Shards are still alive and answering.
+        let fleet = engine.query(&Query::Fleet);
+        assert!(fleet.contains("\"events\":1"), "{fleet}");
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,39 @@
+//! `eccparity-service`: the long-lived fleet reliability daemon behind
+//! the `eccparityd` binary.
+//!
+//! The batch pipeline in this repository answers "what *would* each ECC
+//! scheme's reliability be" by Monte-Carlo simulation; this crate answers
+//! the operational question that motivates ECC Parity deployment in the
+//! first place: *given the corrected-error and fault events my fleet is
+//! reporting right now, which nodes are at uncorrected-error risk, which
+//! pages should be retired (HARP-style), and which memory regions should
+//! be promoted to stored-ECC or pre-migrated* (paper §5's counter-mode
+//! policy, run continuously instead of per-simulation).
+//!
+//! Layering, bottom-up:
+//!
+//! - [`rpc`] — the `eccparity-rpc-v1` wire protocol: newline-delimited
+//!   JSON requests (events + queries) and response rendering, with a
+//!   byte-scanner fast path for compact event lines.
+//! - [`state`] — per-shard state: a [`ecc_parity::health::HealthTable`]
+//!   per node plus page CE ledgers, risk scoring, per-region scheme
+//!   recommendation, and serde snapshot types.
+//! - [`engine`] — actor-per-shard execution (`node % shards` routing,
+//!   bounded channels, deterministic merged queries) and the
+//!   `eccparity-journal-v1` checkpoint/resume discipline.
+//! - [`server`] — Unix-socket / TCP front-end, one router per
+//!   connection, read-your-writes barrier before every query.
+//!
+//! Determinism is load-bearing: the same event stream produces
+//! byte-identical query responses regardless of shard count, thread
+//! schedule, or an intervening SIGKILL+restart from a checkpoint. The
+//! daemon-lifecycle integration tests and the CI `daemon-smoke` job both
+//! `cmp` response transcripts to enforce this.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod rpc;
+pub mod server;
+pub mod state;

@@ -1,0 +1,462 @@
+//! `eccparity-rpc-v1`: the daemon's newline-delimited JSON wire protocol.
+//!
+//! One JSON object per line, in both directions. Two request kinds:
+//!
+//! * **events** (`"kind":"event"`) — fire-and-forget corrected-error /
+//!   fault telemetry. Events get **no** response line; at the target
+//!   ingest rates (≥1M events/s) a per-event acknowledgement would
+//!   dominate the wire. Rejected events are counted
+//!   (`service.events_rejected`) and visible through the `stats` query.
+//! * **queries** (`"kind":"query"`) — request/response. Before a query
+//!   executes, the connection's buffered events are flushed and a shard
+//!   barrier drains them, so a query observes every event previously
+//!   written on the same connection (read-your-writes).
+//!
+//! The hot ingest path never goes through the full JSON parser: a
+//! compact-form event line (exactly what [`render_event`] and the
+//! `loadgen` binary emit) is recognized by [`fast_event`] with a byte
+//! scanner; anything else falls back to a tolerant [`serde_json`] parse.
+//! The fallback accepts whitespace, reordered fields, and extra fields —
+//! the scanner is an optimization, never the definition of validity.
+//!
+//! See `docs/SCHEMAS.md` § `eccparity-rpc-v1` for the field-by-field
+//! reference with example payloads.
+
+use serde_json::Value;
+
+/// Schema stamp carried by every response line.
+pub const RPC_SCHEMA: &str = "eccparity-rpc-v1";
+
+/// Largest `count` an event may carry (coalesced repeat strikes); larger
+/// values are rejected as malformed rather than looping the health table.
+pub const MAX_EVENT_COUNT: u64 = 4096;
+
+/// Largest `k` a `top_pages` query may request.
+pub const MAX_TOP_K: u64 = 10_000;
+
+/// One ingested telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Originating node (simulated DIMM/host).
+    pub node: u64,
+    /// Channel within the node.
+    pub channel: u32,
+    /// Logical bank within the channel.
+    pub bank: u32,
+    /// Row (page) within the bank.
+    pub row: u32,
+    /// Coalesced occurrence count (≥ 1).
+    pub count: u32,
+    /// `true`: a whole-bank fault diagnosis (pair marked faulty
+    /// directly); `false`: an ordinary corrected error.
+    pub bank_fault: bool,
+}
+
+/// One fleet-health query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Per-node UE-risk summary.
+    NodeRisk {
+        /// Node to report on.
+        node: u64,
+    },
+    /// Whole-fleet SDC posture.
+    Fleet,
+    /// HARP-style top-K at-risk pages across the fleet.
+    TopPages {
+        /// How many pages to return.
+        k: usize,
+    },
+    /// Per-region (per-channel) scheme recommendation for one node.
+    Recommend {
+        /// Node to report on.
+        node: u64,
+    },
+    /// Daemon ingest/shard statistics (process-local, not persisted).
+    Stats,
+    /// Write a checkpoint journal now.
+    Checkpoint,
+    /// Checkpoint (when persistence is configured) and exit cleanly.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Telemetry to ingest.
+    Event(Event),
+    /// A query to answer.
+    Query(Query),
+}
+
+// ---- fast path -------------------------------------------------------------
+
+/// Single-pass cursor over a compact-form line. Every helper either
+/// consumes exactly what it claims or leaves the caller to bail out to
+/// the tolerant parser — the scanner never guesses.
+struct Scan<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Scan<'a> {
+    /// Consume `lit` if it is next; `false` leaves the cursor in place.
+    #[inline]
+    fn lit(&mut self, lit: &[u8]) -> bool {
+        if self.s[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a decimal integer (checked, so `u64::MAX` parses and
+    /// anything larger bails to the tolerant path).
+    #[inline]
+    fn u64(&mut self) -> Option<u64> {
+        let start = self.i;
+        let mut v: u64 = 0;
+        while let Some(d) = self.s.get(self.i).filter(|b| b.is_ascii_digit()) {
+            v = v.checked_mul(10)?.checked_add(u64::from(d - b'0'))?;
+            self.i += 1;
+        }
+        (self.i > start).then_some(v)
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.i == self.s.len()
+    }
+}
+
+/// The opening every compact-form event line starts with; field order is
+/// fixed (it is exactly what [`render_event`] emits).
+const COMPACT_PREFIX: &[u8] = b"{\"kind\":\"event\",\"node\":";
+
+/// Cheap routing probe: is this a compact-form event line, and if so for
+/// which node? The connection reader uses this to pick the owning shard
+/// without a full parse; the shard then parses the line authoritatively.
+pub fn fast_route(line: &[u8]) -> Option<u64> {
+    let mut sc = Scan { s: line, i: 0 };
+    if !sc.lit(COMPACT_PREFIX) {
+        return None;
+    }
+    sc.u64()
+}
+
+/// Full scanner parse of a compact-form event line — one left-to-right
+/// pass over the fixed field order. Returns `None` for anything it is
+/// not *sure* about; the caller then falls back to [`parse_line`]'s
+/// tolerant path, which is the definition of validity.
+pub fn fast_event(line: &[u8]) -> Option<Event> {
+    let mut sc = Scan { s: line, i: 0 };
+    if !sc.lit(COMPACT_PREFIX) {
+        return None;
+    }
+    let node = sc.u64()?;
+    if !sc.lit(b",\"channel\":") {
+        return None;
+    }
+    let channel = u32::try_from(sc.u64()?).ok()?;
+    if !sc.lit(b",\"bank\":") {
+        return None;
+    }
+    let bank = u32::try_from(sc.u64()?).ok()?;
+    if !sc.lit(b",\"row\":") {
+        return None;
+    }
+    let row = u32::try_from(sc.u64()?).ok()?;
+    let count = if sc.lit(b",\"count\":") {
+        let c = sc.u64()?;
+        if c == 0 || c > MAX_EVENT_COUNT {
+            return None;
+        }
+        c as u32
+    } else {
+        1
+    };
+    let bank_fault = sc.lit(b",\"fault\":\"bank\"");
+    if !sc.lit(b"}") || !sc.done() {
+        return None;
+    }
+    Some(Event {
+        node,
+        channel,
+        bank,
+        row,
+        count,
+        bank_fault,
+    })
+}
+
+// ---- tolerant path ---------------------------------------------------------
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn event_from_value(v: &Value) -> Result<Event, String> {
+    let count = match v.get("count") {
+        None => 1,
+        Some(c) => {
+            let c = c.as_u64().ok_or("count must be an integer")?;
+            if c == 0 || c > MAX_EVENT_COUNT {
+                return Err(format!("count must be in 1..={MAX_EVENT_COUNT}"));
+            }
+            c as u32
+        }
+    };
+    let bank_fault = match v.get("fault").and_then(Value::as_str) {
+        None => false,
+        Some("bank") => true,
+        Some("ce") => false,
+        Some(other) => return Err(format!("unknown fault kind {other:?}")),
+    };
+    let narrow = |name: &str, val: u64| -> Result<u32, String> {
+        u32::try_from(val).map_err(|_| format!("{name} out of range"))
+    };
+    Ok(Event {
+        node: field_u64(v, "node")?,
+        channel: narrow("channel", field_u64(v, "channel")?)?,
+        bank: narrow("bank", field_u64(v, "bank")?)?,
+        row: narrow("row", field_u64(v, "row")?)?,
+        count,
+        bank_fault,
+    })
+}
+
+fn query_from_value(v: &Value) -> Result<Query, String> {
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("query is missing string field \"op\"")?;
+    Ok(match op {
+        "node_risk" => Query::NodeRisk {
+            node: field_u64(v, "node")?,
+        },
+        "fleet" => Query::Fleet,
+        "top_pages" => {
+            let k = match v.get("k") {
+                None => 10,
+                Some(k) => {
+                    let k = k.as_u64().ok_or("k must be an integer")?;
+                    if k == 0 || k > MAX_TOP_K {
+                        return Err(format!("k must be in 1..={MAX_TOP_K}"));
+                    }
+                    k as usize
+                }
+            };
+            Query::TopPages { k }
+        }
+        "recommend" => Query::Recommend {
+            node: field_u64(v, "node")?,
+        },
+        "stats" => Query::Stats,
+        "checkpoint" => Query::Checkpoint,
+        "shutdown" => Query::Shutdown,
+        "ping" => Query::Ping,
+        other => return Err(format!("unknown op {other:?}")),
+    })
+}
+
+/// Parse one request line: scanner fast path first, tolerant JSON parse
+/// otherwise. Errors describe what was malformed (for the error response
+/// and the failure ledger; the line itself is never echoed back).
+pub fn parse_line(line: &[u8]) -> Result<Request, String> {
+    if let Some(ev) = fast_event(line) {
+        return Ok(Request::Event(ev));
+    }
+    let text = std::str::from_utf8(line).map_err(|_| "line is not UTF-8".to_string())?;
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e}"))?;
+    match v.get("kind").and_then(Value::as_str) {
+        Some("event") => event_from_value(&v).map(Request::Event),
+        Some("query") => query_from_value(&v).map(Request::Query),
+        Some(other) => Err(format!("unknown kind {other:?}")),
+        None => Err("missing string field \"kind\"".to_string()),
+    }
+}
+
+// ---- rendering -------------------------------------------------------------
+
+/// Render an event in the compact form [`fast_event`] recognizes.
+pub fn render_event(ev: &Event) -> String {
+    let mut s = format!(
+        "{{\"kind\":\"event\",\"node\":{},\"channel\":{},\"bank\":{},\"row\":{}",
+        ev.node, ev.channel, ev.bank, ev.row
+    );
+    if ev.count != 1 {
+        s.push_str(&format!(",\"count\":{}", ev.count));
+    }
+    if ev.bank_fault {
+        s.push_str(",\"fault\":\"bank\"");
+    }
+    s.push('}');
+    s
+}
+
+/// Render a query line (the client side of the protocol; `loadgen` and
+/// the tests use this).
+pub fn render_query(q: &Query) -> String {
+    match q {
+        Query::NodeRisk { node } => {
+            format!("{{\"kind\":\"query\",\"op\":\"node_risk\",\"node\":{node}}}")
+        }
+        Query::Fleet => "{\"kind\":\"query\",\"op\":\"fleet\"}".to_string(),
+        Query::TopPages { k } => format!("{{\"kind\":\"query\",\"op\":\"top_pages\",\"k\":{k}}}"),
+        Query::Recommend { node } => {
+            format!("{{\"kind\":\"query\",\"op\":\"recommend\",\"node\":{node}}}")
+        }
+        Query::Stats => "{\"kind\":\"query\",\"op\":\"stats\"}".to_string(),
+        Query::Checkpoint => "{\"kind\":\"query\",\"op\":\"checkpoint\"}".to_string(),
+        Query::Shutdown => "{\"kind\":\"query\",\"op\":\"shutdown\"}".to_string(),
+        Query::Ping => "{\"kind\":\"query\",\"op\":\"ping\"}".to_string(),
+    }
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A success response: `result_json` must already be rendered JSON.
+pub fn ok_response(op: &str, result_json: &str) -> String {
+    format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":true,\"op\":\"{op}\",\"result\":{result_json}}}")
+}
+
+/// An error response.
+pub fn error_response(msg: &str) -> String {
+    let mut s = format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":false,\"error\":");
+    push_json_str(&mut s, msg);
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_and_tolerant_paths_agree() {
+        let cases = [
+            Event {
+                node: 0,
+                channel: 0,
+                bank: 0,
+                row: 0,
+                count: 1,
+                bank_fault: false,
+            },
+            Event {
+                node: 18_446_744_073_709_551_615,
+                channel: 7,
+                bank: 15,
+                row: 1_048_575,
+                count: 4096,
+                bank_fault: false,
+            },
+            Event {
+                node: 42,
+                channel: 3,
+                bank: 9,
+                row: 512,
+                count: 1,
+                bank_fault: true,
+            },
+        ];
+        for ev in cases {
+            let line = render_event(&ev);
+            assert_eq!(fast_event(line.as_bytes()), Some(ev), "{line}");
+            assert_eq!(fast_route(line.as_bytes()), Some(ev.node), "{line}");
+            assert_eq!(
+                parse_line(line.as_bytes()),
+                Ok(Request::Event(ev)),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerant_path_accepts_reordered_and_spaced_fields() {
+        let line = br#"{ "row": 7, "kind": "event", "bank": 2, "node": 5, "channel": 1 }"#;
+        assert_eq!(fast_event(line), None, "not compact form");
+        assert_eq!(
+            parse_line(line),
+            Ok(Request::Event(Event {
+                node: 5,
+                channel: 1,
+                bank: 2,
+                row: 7,
+                count: 1,
+                bank_fault: false,
+            }))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking() {
+        let bad: &[&[u8]] = &[
+            b"",
+            b"not json at all",
+            b"{\"kind\":\"event\"}",
+            b"{\"kind\":\"event\",\"node\":1,\"channel\":0,\"bank\":0,\"row\":0,\"count\":0}",
+            b"{\"kind\":\"event\",\"node\":1,\"channel\":0,\"bank\":0,\"row\":0,\"count\":999999}",
+            b"{\"kind\":\"event\",\"node\":1,\"channel\":4294967296,\"bank\":0,\"row\":0}",
+            b"{\"kind\":\"query\"}",
+            b"{\"kind\":\"query\",\"op\":\"warp-core\"}",
+            b"{\"kind\":\"mystery\"}",
+            b"{\"node\":1}",
+            b"\xff\xfe",
+        ];
+        for line in bad {
+            assert!(
+                parse_line(line).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(line)
+            );
+        }
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let qs = [
+            Query::NodeRisk { node: 9 },
+            Query::Fleet,
+            Query::TopPages { k: 25 },
+            Query::Recommend { node: 3 },
+            Query::Stats,
+            Query::Checkpoint,
+            Query::Shutdown,
+            Query::Ping,
+        ];
+        for q in qs {
+            let line = render_query(&q);
+            assert_eq!(parse_line(line.as_bytes()), Ok(Request::Query(q)), "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_escape_error_text() {
+        let resp = error_response("bad \"quote\"\nnewline");
+        let v: Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(RPC_SCHEMA));
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"].as_str(), Some("bad \"quote\"\nnewline"));
+    }
+}

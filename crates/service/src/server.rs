@@ -1,0 +1,238 @@
+//! Socket front-end for `eccparityd`: newline-delimited requests over a
+//! Unix-domain socket or TCP.
+//!
+//! One thread per connection; each connection owns a [`Router`] so its
+//! event lines batch per shard. Event lines get **no** response (that is
+//! what makes ≥1M events/s feasible over a byte stream); query lines get
+//! exactly one `eccparity-rpc-v1` response line. A query first flushes
+//! the connection's router and runs an engine barrier, so every event
+//! written earlier on the same connection is visible to the answer
+//! (read-your-writes).
+
+use crate::engine::{Engine, Router};
+use crate::rpc::{self, Query, Request};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// Unix-domain socket at this path (created, removed on exit).
+    Unix(PathBuf),
+    /// TCP listener bound to this `host:port`.
+    Tcp(String),
+}
+
+fn write_line(out: &mut impl Write, resp: &str) -> std::io::Result<()> {
+    out.write_all(resp.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+/// Serve one connection until EOF, I/O error, or a `shutdown` request.
+/// Returns `true` when the client asked the daemon to shut down.
+fn handle_conn<S: Read + Write>(engine: &Engine, stream_in: S, mut out: S) -> bool {
+    obs::counter!("service.connections").inc();
+    let mut reader = BufReader::with_capacity(1 << 20, stream_in);
+    let mut router = Router::new(engine);
+    let mut line: Vec<u8> = Vec::with_capacity(1024);
+    let mut shutdown = false;
+    loop {
+        line.clear();
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            line.pop();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        // Hot path: a compact event line routes without a full parse and
+        // without a response.
+        if let Some(node) = rpc::fast_route(&line) {
+            router.push_routed(engine, engine.shard_of(node), &line);
+            continue;
+        }
+        match rpc::parse_line(&line) {
+            Ok(Request::Event(_)) => router.push_line(engine, &line),
+            Ok(Request::Query(q)) => {
+                router.flush(engine);
+                engine.barrier();
+                let resp = match q {
+                    Query::Checkpoint => match engine.checkpoint() {
+                        Ok(info) => {
+                            let mut path_json = String::new();
+                            rpc::push_json_str(&mut path_json, &info.path.display().to_string());
+                            rpc::ok_response(
+                                "checkpoint",
+                                &format!(
+                                    "{{\"path\":{},\"shards\":{},\"nodes\":{}}}",
+                                    path_json, info.shards, info.nodes
+                                ),
+                            )
+                        }
+                        Err(e) => rpc::error_response(&format!("checkpoint failed: {e}")),
+                    },
+                    Query::Shutdown => {
+                        shutdown = true;
+                        rpc::ok_response("shutdown", "\"stopping\"")
+                    }
+                    ref q => engine.query(q),
+                };
+                if write_line(&mut out, &resp).is_err() || shutdown {
+                    break;
+                }
+            }
+            Err(msg) => {
+                engine.note_reader_reject();
+                if write_line(&mut out, &rpc::error_response(&msg)).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    router.flush(engine);
+    shutdown
+}
+
+/// Accept connections until a client sends `{"kind":"query","op":"shutdown"}`.
+/// Each connection runs on its own thread; the shutdown flag is observed
+/// by the accept loop via a self-connect nudge, so `serve` returns
+/// promptly after the shutdown response is written.
+pub fn serve(engine: Arc<Engine>, listen: Listen) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    match listen {
+        Listen::Unix(path) => {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path)?;
+            eprintln!("eccparityd: listening on unix://{}", path.display());
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let Ok(writer) = stream.try_clone() else {
+                        return;
+                    };
+                    if handle_conn(&engine, stream, writer) {
+                        stop.store(true, Ordering::SeqCst);
+                        // Nudge the accept loop out of its blocking accept.
+                        let _ = UnixStream::connect(&path);
+                    }
+                });
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+        Listen::Tcp(addr) => {
+            let listener = TcpListener::bind(&addr)?;
+            let local = listener.local_addr()?;
+            eprintln!("eccparityd: listening on tcp://{local}");
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let _ = stream.set_nodelay(true);
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let Ok(writer) = stream.try_clone() else {
+                        return;
+                    };
+                    if handle_conn(&engine, stream, writer) {
+                        stop.store(true, Ordering::SeqCst);
+                        let _ = TcpStream::connect(local);
+                    }
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::rpc::Event;
+
+    fn connect_with_retry(path: &std::path::Path) -> UnixStream {
+        for _ in 0..200 {
+            if let Ok(s) = UnixStream::connect(path) {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("daemon socket never appeared at {}", path.display());
+    }
+
+    #[test]
+    fn unix_socket_round_trip_and_shutdown() {
+        let sock =
+            std::env::temp_dir().join(format!("eccparityd-sock-{}.sock", std::process::id()));
+        let engine = Arc::new(Engine::start(EngineConfig {
+            shards: 2,
+            ..EngineConfig::default()
+        }));
+        let e2 = Arc::clone(&engine);
+        let s2 = sock.clone();
+        let srv = std::thread::spawn(move || serve(e2, Listen::Unix(s2)));
+
+        let stream = connect_with_retry(&sock);
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for i in 0..100u64 {
+            let ev = rpc::render_event(&Event {
+                node: i % 7,
+                channel: (i % 8) as u32,
+                bank: (i % 16) as u32,
+                row: (i % 32) as u32,
+                count: 1,
+                bank_fault: false,
+            });
+            writer.write_all(ev.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+        }
+        writer.write_all(b"not even json\n").unwrap();
+        writer
+            .write_all(b"{\"kind\":\"query\",\"op\":\"fleet\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut resp).unwrap();
+        assert!(
+            resp.contains("\"ok\":false"),
+            "malformed line error first: {resp}"
+        );
+        resp.clear();
+        std::io::BufRead::read_line(&mut reader, &mut resp).unwrap();
+        assert!(resp.contains("\"op\":\"fleet\""), "{resp}");
+        assert!(resp.contains("\"events\":100"), "{resp}");
+
+        writer
+            .write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        resp.clear();
+        std::io::BufRead::read_line(&mut reader, &mut resp).unwrap();
+        assert!(resp.contains("\"op\":\"shutdown\""), "{resp}");
+        srv.join().unwrap().unwrap();
+        engine.shutdown();
+        assert!(!sock.exists(), "socket file cleaned up");
+    }
+}

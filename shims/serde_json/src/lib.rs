@@ -295,12 +295,24 @@ mod parse {
                     *pos += 1;
                 }
                 Some(_) => {
-                    // Advance one full UTF-8 character.
-                    let rest = std::str::from_utf8(&b[*pos..])
+                    // Consume the whole run of unescaped bytes at once and
+                    // validate it as UTF-8 in one pass. (`"` and `\` are
+                    // ASCII, so they never occur inside a multi-byte
+                    // character — splitting on them is UTF-8 safe. A
+                    // per-character `from_utf8(&b[pos..])` here would
+                    // re-validate the entire remaining input every
+                    // character: quadratic on megabyte-scale strings such
+                    // as checkpoint payloads.)
+                    let start = *pos;
+                    while let Some(c) = b.get(*pos) {
+                        if *c == b'"' || *c == b'\\' {
+                            break;
+                        }
+                        *pos += 1;
+                    }
+                    let run = std::str::from_utf8(&b[start..*pos])
                         .map_err(|_| Error::custom("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    *pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

@@ -1,0 +1,263 @@
+//! `eccparity-loadgen` — deterministic load generator and smoke client
+//! for `eccparityd`.
+//!
+//! Derives a fleet-wide corrected-error / fault event stream from the
+//! soak harness's [`resilience::loadgen`] machinery (a pure function of
+//! `--seed`), pre-renders it to `eccparity-rpc-v1` lines, and replays it
+//! into a running daemon as fast as the socket accepts — then reports the
+//! measured ingest rate (a `stats` query doubles as the end-of-stream
+//! barrier, so the clock covers parse + apply, not just the write).
+//!
+//! ```text
+//! eccparity-loadgen (--socket PATH | --tcp HOST:PORT)
+//!                   [--events N] [--nodes N] [--seed N]
+//!                   [--channels N] [--banks N]
+//!                   [--skip-ingest] [--min-rate EVENTS_PER_SEC]
+//!                   [--checkpoint] [--queries FILE] [--shutdown]
+//! ```
+//!
+//! Steps run in a fixed order: ingest (unless `--skip-ingest`), then
+//! `--checkpoint`, then `--queries` (a deterministic query suite whose
+//! responses are written verbatim, one per line, to FILE — two daemons
+//! holding the same state produce byte-identical files, which is exactly
+//! what the kill-and-restart smoke `cmp`s), then `--shutdown`.
+//!
+//! Exit status: 0 success, 1 ingest rate below `--min-rate` or daemon
+//! I/O failure, 2 usage error.
+
+use resilience::loadgen::{FleetStream, StreamConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eccparity-loadgen (--socket PATH | --tcp HOST:PORT)\n\
+         \x20                        [--events N] [--nodes N] [--seed N]\n\
+         \x20                        [--channels N] [--banks N]\n\
+         \x20                        [--skip-ingest] [--min-rate N]\n\
+         \x20                        [--checkpoint] [--queries FILE] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("eccparity-loadgen: {flag} needs an unsigned integer argument");
+            usage();
+        }
+    }
+}
+
+enum Target {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// Connect, retrying for a few seconds so scripts can start the daemon
+/// and the loadgen concurrently.
+fn connect(target: &Target) -> (Box<dyn Read>, Box<dyn Write>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let pair: std::io::Result<(Box<dyn Read>, Box<dyn Write>)> = match target {
+            Target::Unix(path) => UnixStream::connect(path).and_then(|s| {
+                let w = s.try_clone()?;
+                Ok((Box::new(s) as Box<dyn Read>, Box::new(w) as Box<dyn Write>))
+            }),
+            Target::Tcp(addr) => TcpStream::connect(addr).and_then(|s| {
+                s.set_nodelay(true)?;
+                let w = s.try_clone()?;
+                Ok((Box::new(s) as Box<dyn Read>, Box::new(w) as Box<dyn Write>))
+            }),
+        };
+        match pair {
+            Ok(p) => return p,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("eccparity-loadgen: cannot connect to daemon: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Send one query line and read its one response line.
+fn query(writer: &mut dyn Write, reader: &mut impl BufRead, line: &str) -> String {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .unwrap_or_else(|e| {
+            eprintln!("eccparity-loadgen: write failed: {e}");
+            std::process::exit(1);
+        });
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(n) if n > 0 => resp.trim_end().to_string(),
+        _ => {
+            eprintln!("eccparity-loadgen: daemon closed the connection mid-query");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut target: Option<Target> = None;
+    let mut cfg = StreamConfig {
+        nodes: 256,
+        events: 1_000_000,
+        ..StreamConfig::default()
+    };
+    let mut skip_ingest = false;
+    let mut min_rate: u64 = 0;
+    let mut do_checkpoint = false;
+    let mut queries_out: Option<PathBuf> = None;
+    let mut do_shutdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let Some(p) = args.next() else { usage() };
+                target = Some(Target::Unix(PathBuf::from(p)));
+            }
+            "--tcp" => {
+                let Some(a) = args.next() else { usage() };
+                target = Some(Target::Tcp(a));
+            }
+            "--events" => cfg.events = parse_u64("--events", args.next()),
+            "--nodes" => cfg.nodes = parse_u64("--nodes", args.next()).max(1),
+            "--seed" => cfg.seed = parse_u64("--seed", args.next()),
+            "--channels" => cfg.channels = parse_u64("--channels", args.next()).max(1) as u32,
+            "--banks" => cfg.banks = parse_u64("--banks", args.next()).max(2) as u32,
+            "--skip-ingest" => skip_ingest = true,
+            "--min-rate" => min_rate = parse_u64("--min-rate", args.next()),
+            "--checkpoint" => do_checkpoint = true,
+            "--queries" => {
+                let Some(f) = args.next() else { usage() };
+                queries_out = Some(PathBuf::from(f));
+            }
+            "--shutdown" => do_shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("eccparity-loadgen: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("eccparity-loadgen: need --socket or --tcp");
+        usage();
+    };
+
+    let (reader, mut writer) = connect(&target);
+    let mut reader = BufReader::new(reader);
+
+    if !skip_ingest && cfg.events > 0 {
+        // Pre-render the whole stream so the timed window measures the
+        // daemon, not the generator.
+        let mut buf = Vec::with_capacity(cfg.events as usize * 64);
+        for ev in FleetStream::new(cfg) {
+            let line = eccparity_service::rpc::render_event(&eccparity_service::rpc::Event {
+                node: ev.node,
+                channel: ev.channel,
+                bank: ev.bank,
+                row: ev.row,
+                count: 1,
+                bank_fault: ev.bank_fault,
+            });
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+        }
+        let t0 = Instant::now();
+        writer.write_all(&buf).unwrap_or_else(|e| {
+            eprintln!("eccparity-loadgen: ingest write failed: {e}");
+            std::process::exit(1);
+        });
+        // The stats response only arrives after a shard barrier, so this
+        // clock covers routing + parse + apply of every event above.
+        let stats = query(
+            &mut writer,
+            &mut reader,
+            "{\"kind\":\"query\",\"op\":\"stats\"}",
+        );
+        let wall = t0.elapsed();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let rate = (cfg.events as f64 / secs) as u64;
+        println!(
+            "loadgen: ingested {} events in {:.1} ms ({} events/s)",
+            cfg.events,
+            wall.as_secs_f64() * 1e3,
+            rate
+        );
+        println!("loadgen: stats {stats}");
+        if min_rate > 0 && rate < min_rate {
+            eprintln!("eccparity-loadgen: ingest rate {rate} events/s below required {min_rate}");
+            std::process::exit(1);
+        }
+    }
+
+    if do_checkpoint {
+        let resp = query(
+            &mut writer,
+            &mut reader,
+            "{\"kind\":\"query\",\"op\":\"checkpoint\"}",
+        );
+        println!("loadgen: checkpoint {resp}");
+        if !resp.contains("\"ok\":true") {
+            eprintln!("eccparity-loadgen: checkpoint failed");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(out) = queries_out {
+        // A deterministic suite over state-only queries (no stats — its
+        // process-local counters differ between a fresh daemon and a
+        // resumed one even when the fleet state is identical).
+        let probes = [cfg.nodes / 2, cfg.nodes.saturating_sub(1), cfg.nodes + 7];
+        let mut lines = vec![
+            "{\"kind\":\"query\",\"op\":\"ping\"}".to_string(),
+            "{\"kind\":\"query\",\"op\":\"fleet\"}".to_string(),
+            "{\"kind\":\"query\",\"op\":\"top_pages\",\"k\":50}".to_string(),
+            "{\"kind\":\"query\",\"op\":\"node_risk\",\"node\":0}".to_string(),
+            "{\"kind\":\"query\",\"op\":\"recommend\",\"node\":0}".to_string(),
+        ];
+        for n in probes {
+            lines.push(format!(
+                "{{\"kind\":\"query\",\"op\":\"node_risk\",\"node\":{n}}}"
+            ));
+            lines.push(format!(
+                "{{\"kind\":\"query\",\"op\":\"recommend\",\"node\":{n}}}"
+            ));
+        }
+        let mut text = String::new();
+        for line in &lines {
+            text.push_str(&query(&mut writer, &mut reader, line));
+            text.push('\n');
+        }
+        std::fs::write(&out, &text).unwrap_or_else(|e| {
+            eprintln!("eccparity-loadgen: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        println!(
+            "loadgen: wrote {} query responses to {}",
+            lines.len(),
+            out.display()
+        );
+    }
+
+    if do_shutdown {
+        let resp = query(
+            &mut writer,
+            &mut reader,
+            "{\"kind\":\"query\",\"op\":\"shutdown\"}",
+        );
+        println!("loadgen: shutdown {resp}");
+    }
+}

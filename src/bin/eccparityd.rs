@@ -1,0 +1,145 @@
+//! `eccparityd` — the long-lived fleet reliability daemon.
+//!
+//! Ingests newline-delimited JSON fault / corrected-error telemetry
+//! (`eccparity-rpc-v1`) over a Unix-domain socket or TCP, shards per-node
+//! [`ecc_parity::health::HealthTable`] state across worker threads, and
+//! answers fleet-health queries: per-node UE risk, fleet SDC posture,
+//! HARP-style top-K at-risk pages, and per-region scheme recommendations.
+//!
+//! ```text
+//! eccparityd [--socket PATH | --tcp HOST:PORT]
+//!            [--shards N] [--state-dir DIR] [--resume] [--name NAME]
+//!            [--channels N] [--banks N] [--threshold N]
+//! ```
+//!
+//! Defaults: `--socket eccparityd.sock` in the working directory, shard
+//! count from `ECC_PARITY_SERVICE_SHARDS` (else 4), state dir from
+//! `ECC_PARITY_SERVICE_DIR` (else none — checkpoints disabled).
+//!
+//! With a state dir, a `checkpoint` query (and clean shutdown) publishes
+//! the whole fleet state as an `eccparity-journal-v1` journal,
+//! tmp+fsync+rename; `--resume` replays it on start, so a SIGKILL'd
+//! daemon restarts to exactly its last checkpoint. See
+//! `docs/OPERATIONS.md` for the run-book.
+//!
+//! Exit status: 0 clean shutdown, 2 usage error, 3 listener failure.
+
+use eccparity_service::engine::{Engine, EngineConfig};
+use eccparity_service::server::{serve, Listen};
+use eccparity_service::state::Geometry;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eccparityd [--socket PATH | --tcp HOST:PORT] [--shards N]\n\
+         \x20                 [--state-dir DIR] [--resume] [--name NAME]\n\
+         \x20                 [--channels N] [--banks N] [--threshold N]\n\
+         \n\
+         env: ECC_PARITY_SERVICE_SHARDS (default shard count)\n\
+         \x20    ECC_PARITY_SERVICE_DIR    (default state dir)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("eccparityd: {flag} needs an unsigned integer argument");
+            usage();
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("eccparityd: ignoring non-integer {name}={raw}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let mut listen: Option<Listen> = None;
+    let mut cfg = EngineConfig {
+        shards: env_u64("ECC_PARITY_SERVICE_SHARDS").unwrap_or(4).max(1) as usize,
+        state_dir: std::env::var("ECC_PARITY_SERVICE_DIR")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from),
+        ..EngineConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let Some(p) = args.next() else { usage() };
+                listen = Some(Listen::Unix(PathBuf::from(p)));
+            }
+            "--tcp" => {
+                let Some(a) = args.next() else { usage() };
+                listen = Some(Listen::Tcp(a));
+            }
+            "--shards" => cfg.shards = parse_u64("--shards", args.next()).max(1) as usize,
+            "--state-dir" => {
+                let Some(d) = args.next() else { usage() };
+                cfg.state_dir = Some(PathBuf::from(d));
+            }
+            "--resume" => cfg.resume = true,
+            "--name" => {
+                let Some(n) = args.next() else { usage() };
+                cfg.name = n;
+            }
+            "--channels" => cfg.geom.channels = parse_u64("--channels", args.next()).max(1) as u32,
+            "--banks" => cfg.geom.banks = parse_u64("--banks", args.next()).max(2) as u32,
+            "--threshold" => {
+                cfg.geom.threshold = parse_u64("--threshold", args.next()).clamp(1, 255) as u8
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("eccparityd: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if !cfg.geom.banks.is_multiple_of(2) {
+        eprintln!("eccparityd: --banks must be even (banks pair within a channel)");
+        usage();
+    }
+    let listen = listen.unwrap_or_else(|| Listen::Unix(PathBuf::from("eccparityd.sock")));
+    let geom: Geometry = cfg.geom;
+    eprintln!(
+        "eccparityd: {} shards, geometry {}x{} threshold {}, state {}",
+        cfg.shards,
+        geom.channels,
+        geom.banks,
+        geom.threshold,
+        cfg.state_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "(none — checkpoints disabled)".to_string()),
+    );
+    let engine = Arc::new(Engine::start(cfg));
+    if let Err(e) = serve(Arc::clone(&engine), listen) {
+        eprintln!("eccparityd: listener failed: {e}");
+        std::process::exit(3);
+    }
+    // Clean shutdown: checkpoint (best-effort) so the next --resume start
+    // sees the final state even without an explicit checkpoint query.
+    if engine.config().state_dir.is_some() {
+        match engine.checkpoint() {
+            Ok(info) => eprintln!(
+                "eccparityd: final checkpoint {} ({} nodes)",
+                info.path.display(),
+                info.nodes
+            ),
+            Err(e) => eprintln!("eccparityd: final checkpoint failed: {e}"),
+        }
+    }
+    engine.shutdown();
+    obs::metrics::write_snapshot_if_configured("eccparityd");
+}

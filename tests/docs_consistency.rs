@@ -1,0 +1,247 @@
+//! Documentation consistency gates.
+//!
+//! Docs rot when nothing fails on drift, so three properties are
+//! enforced here rather than promised in review:
+//!
+//! 1. **Knob coverage** — every environment variable the source reads
+//!    (`ECC_PARITY_*`, `SOAK_DEBUG`, `CRITERION_SHIM_*`) appears in
+//!    `docs/KNOBS.md`, and the doc names no knob the source has
+//!    dropped.
+//! 2. **Schema examples parse** — every ```json block in
+//!    `docs/SCHEMAS.md` is strict JSON (the example payloads stay
+//!    machine-checkable, not decorative).
+//! 3. **Links resolve** — every relative markdown link in the
+//!    top-level docs and `docs/` points at a file that exists.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All `.rs` files under the repo's source trees (not `target/`).
+fn source_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = ["src", "crates", "shims", "tests", "examples"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|d| d.is_dir())
+        .collect();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read source dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    assert!(
+        out.len() > 50,
+        "source walk looks broken: {} files",
+        out.len()
+    );
+    out
+}
+
+/// Extract every occurrence of `prefix` followed by uppercase/underscore
+/// characters from `text`.
+fn extract_with_prefix(text: &str, prefix: &str, into: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(prefix) {
+        let start = from + pos;
+        let mut end = start + prefix.len();
+        while end < bytes.len() && (bytes[end].is_ascii_uppercase() || bytes[end] == b'_') {
+            end += 1;
+        }
+        // Trim a trailing underscore: `ECC_PARITY_` in a format string or
+        // prose is a prefix mention, not a knob name.
+        let mut name = &text[start..end];
+        while name.ends_with('_') {
+            name = &name[..name.len() - 1];
+        }
+        if name.len() > prefix.len() {
+            into.insert(name.to_string());
+        }
+        from = end;
+    }
+}
+
+/// Every knob-shaped string in the workspace source.
+fn knobs_in_source() -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    for path in source_files() {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        extract_with_prefix(&text, "ECC_PARITY_", &mut found);
+        extract_with_prefix(&text, "CRITERION_SHIM_", &mut found);
+        if text.contains("SOAK_DEBUG") {
+            found.insert("SOAK_DEBUG".to_string());
+        }
+    }
+    found
+}
+
+#[test]
+fn every_source_knob_is_documented() {
+    let doc_path = repo_root().join("docs/KNOBS.md");
+    let doc = std::fs::read_to_string(&doc_path).expect("read docs/KNOBS.md");
+    let source_knobs = knobs_in_source();
+    assert!(
+        source_knobs.contains("ECC_PARITY_METRICS"),
+        "knob extraction found nothing plausible: {source_knobs:?}"
+    );
+
+    let undocumented: Vec<&String> = source_knobs
+        .iter()
+        .filter(|k| !doc.contains(k.as_str()))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "knobs read by source but missing from docs/KNOBS.md: {undocumented:?}"
+    );
+
+    // The reverse direction: the doc must not advertise knobs the source
+    // no longer reads.
+    let mut doc_knobs = BTreeSet::new();
+    extract_with_prefix(&doc, "ECC_PARITY_", &mut doc_knobs);
+    extract_with_prefix(&doc, "CRITERION_SHIM_", &mut doc_knobs);
+    let stale: Vec<&String> = doc_knobs
+        .iter()
+        .filter(|k| !source_knobs.contains(k.as_str()))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "docs/KNOBS.md documents knobs no source file reads: {stale:?}"
+    );
+}
+
+/// The ```json fenced blocks of a markdown document, with the line
+/// number each block starts on.
+fn json_blocks(text: &str) -> Vec<(usize, String)> {
+    let mut blocks = Vec::new();
+    let mut current: Option<(usize, String)> = None;
+    for (idx, line) in text.lines().enumerate() {
+        match &mut current {
+            None if line.trim() == "```json" => current = Some((idx + 1, String::new())),
+            Some((start, body)) => {
+                if line.trim() == "```" {
+                    blocks.push((*start, std::mem::take(body)));
+                    current = None;
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+            None => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json block");
+    blocks
+}
+
+#[test]
+fn schema_examples_are_valid_json() {
+    let path = repo_root().join("docs/SCHEMAS.md");
+    let text = std::fs::read_to_string(&path).expect("read docs/SCHEMAS.md");
+    let blocks = json_blocks(&text);
+    assert!(
+        blocks.len() >= 10,
+        "expected an example per schema section, found {} json blocks",
+        blocks.len()
+    );
+    for (line, body) in blocks {
+        // A block may hold several one-line examples (JSONL formats);
+        // each non-empty line must parse on its own unless the block is
+        // one pretty-printed object.
+        let parsed_whole = serde_json::from_str::<serde_json::Value>(&body);
+        if parsed_whole.is_ok() {
+            continue;
+        }
+        for (off, l) in body.lines().enumerate() {
+            if l.trim().is_empty() {
+                continue;
+            }
+            serde_json::from_str::<serde_json::Value>(l).unwrap_or_else(|e| {
+                panic!(
+                    "docs/SCHEMAS.md json block at line {} (example line {}): {e}",
+                    line,
+                    line + off + 1
+                )
+            });
+        }
+    }
+}
+
+/// Relative link targets of a markdown document: the `](target)` parts,
+/// minus external URLs and pure in-page anchors.
+fn relative_links(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("](") {
+        let start = from + pos + 2;
+        let Some(len) = text[start..].find(')') else {
+            break;
+        };
+        let target = &text[start..start + len];
+        from = start + len;
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        out.push(target.to_string());
+    }
+    out
+}
+
+#[test]
+fn markdown_links_resolve() {
+    let root = repo_root();
+    let mut docs: Vec<PathBuf> = [
+        "README.md",
+        "ARCHITECTURE.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "ROADMAP.md",
+        "CHANGES.md",
+    ]
+    .iter()
+    .map(|f| root.join(f))
+    .filter(|p| p.is_file())
+    .collect();
+    for entry in std::fs::read_dir(root.join("docs")).expect("read docs/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push(path);
+        }
+    }
+    assert!(docs.len() >= 6, "doc walk looks broken: {docs:?}");
+
+    let mut broken = Vec::new();
+    for doc in &docs {
+        let text =
+            std::fs::read_to_string(doc).unwrap_or_else(|e| panic!("read {}: {e}", doc.display()));
+        let base = doc.parent().unwrap_or(Path::new(""));
+        for link in relative_links(&text) {
+            let file = link.split('#').next().unwrap_or(&link);
+            if file.is_empty() {
+                continue; // same-page anchor
+            }
+            if !base.join(file).exists() {
+                broken.push(format!("{} -> {link}", doc.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative markdown links:\n{}",
+        broken.join("\n")
+    );
+}
