@@ -29,6 +29,7 @@
 
 pub mod harness;
 pub mod loadgen;
+pub mod netchaos;
 pub mod scenario;
 pub mod shadow;
 pub mod verdict;

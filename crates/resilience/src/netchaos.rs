@@ -1,0 +1,490 @@
+//! Deterministic network chaos against a live `eccparityd`.
+//!
+//! The service crate's [`chaos`](../../eccparity_service/chaos/index.html)
+//! module attacks the daemon's *internals* (shard panics, stalls, worker
+//! poisoning); this module attacks it from the *outside*, the way a
+//! hostile or broken fleet would: torn frames, drip-fed bytes,
+//! mid-line disconnects, malformed-JSON and oversized-line floods, and
+//! invalid UTF-8 — all derived from one seed, so a CI run replays
+//! byte-identically.
+//!
+//! Two carefully separated roles keep the CI gate meaningful:
+//!
+//! - **The relay is content-pure.** [`run_relay`] forwards every client
+//!   byte to the daemon unmodified and in order — it only distorts the
+//!   *framing* (deterministic torn writes and drip-feed pauses). A
+//!   newline-delimited protocol must not care where the write boundaries
+//!   fall, so a daemon behind the relay must produce byte-identical query
+//!   transcripts to one talking directly. That is exactly what the
+//!   `chaos-smoke` CI job `cmp`s.
+//! - **Abuse rides on sacrificial connections.** [`run_abuse`] opens its
+//!   *own* connections to inject garbage (parse rejects), invalid UTF-8,
+//!   out-of-geometry events (shard-level rejects), oversized lines
+//!   (bounded-reader refusals), and mid-line disconnects (truncated
+//!   final frames). None of these mutate fleet state — they only drive
+//!   the daemon's `service.reject.*` accounting — so they can interleave
+//!   with relayed traffic arbitrarily without perturbing transcripts.
+//!
+//! [`ChaosSummary::to_json`] renders an `eccparity-netchaos-v1` record of
+//! everything injected, so CI can assert the daemon's reject counters
+//! attribute every hostile line.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Schema tag of the summary JSON emitted by `eccparity-chaosproxy`.
+pub const NETCHAOS_SCHEMA: &str = "eccparity-netchaos-v1";
+
+/// Where the daemon under attack listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP `host:port`.
+    Tcp(String),
+}
+
+/// A connected socket of either family, with the two operations chaos
+/// needs beyond byte I/O: cloning (split read/write halves) and
+/// half-close (drain responses after EOF'ing the request side).
+pub enum ChaosStream {
+    /// Unix-domain connection.
+    Unix(UnixStream),
+    /// TCP connection.
+    Tcp(TcpStream),
+}
+
+impl ChaosStream {
+    /// Connect to `ep`, retrying until `deadline` so the daemon and the
+    /// chaos tooling can start concurrently.
+    pub fn connect(ep: &Endpoint, deadline: Instant) -> std::io::Result<ChaosStream> {
+        loop {
+            let attempt = match ep {
+                Endpoint::Unix(path) => UnixStream::connect(path).map(ChaosStream::Unix),
+                Endpoint::Tcp(addr) => TcpStream::connect(addr).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    ChaosStream::Tcp(s)
+                }),
+            };
+            match attempt {
+                Ok(s) => return Ok(s),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    /// An independently owned handle to the same connection.
+    pub fn try_clone(&self) -> std::io::Result<ChaosStream> {
+        match self {
+            ChaosStream::Unix(s) => s.try_clone().map(ChaosStream::Unix),
+            ChaosStream::Tcp(s) => s.try_clone().map(ChaosStream::Tcp),
+        }
+    }
+
+    /// Half-close the write side: the daemon sees EOF but can still
+    /// answer everything already sent.
+    pub fn shutdown_write(&self) {
+        match self {
+            ChaosStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Write);
+            }
+            ChaosStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Write);
+            }
+        }
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ChaosStream::Unix(s) => s.read(buf),
+            ChaosStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ChaosStream::Unix(s) => s.write(buf),
+            ChaosStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ChaosStream::Unix(s) => s.flush(),
+            ChaosStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Knobs of one chaos campaign. Everything downstream is a pure function
+/// of these values.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Master seed for torn-write boundaries, drip pauses, and garbage
+    /// content.
+    pub seed: u64,
+    /// Hostile lines injected *per category* by the abuse phase
+    /// (0 disables abuse).
+    pub abuse_lines: u64,
+    /// Size of each injected oversized line (should exceed the daemon's
+    /// `--max-line-bytes`).
+    pub oversized_bytes: usize,
+    /// Torn-write split cap in bytes: the relay never writes more than
+    /// this in one syscall (minimum 1).
+    pub max_split: usize,
+    /// Roughly one relay split in `drip_every` sleeps 1–3 ms (slow-loris
+    /// drip; 0 disables).
+    pub drip_every: u64,
+    /// Sacrificial connections that die mid-line (no trailing newline).
+    pub torn_disconnects: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 7,
+            abuse_lines: 25,
+            oversized_bytes: 2 << 20,
+            max_split: 1024,
+            drip_every: 64,
+            torn_disconnects: 3,
+        }
+    }
+}
+
+/// Everything a campaign injected, for the CI attribution check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosSummary {
+    /// Malformed-JSON lines injected (daemon: parse rejects + error lines).
+    pub garbage_lines: u64,
+    /// Invalid-UTF-8 lines injected (daemon: parse rejects + error lines).
+    pub utf8_lines: u64,
+    /// Well-formed events with out-of-range geometry (daemon: shard-level
+    /// geometry rejects, no response line).
+    pub geometry_bad_lines: u64,
+    /// Oversized lines injected (daemon: `"code":"oversized"` refusals).
+    pub oversized_lines: u64,
+    /// Connections dropped mid-line with no newline.
+    pub torn_disconnects: u64,
+    /// Error/refusal response lines read back on abuse connections.
+    pub abuse_responses: u64,
+    /// Client bytes relayed to the daemon, verbatim.
+    pub relay_bytes_in: u64,
+    /// Daemon bytes relayed back to the client, verbatim.
+    pub relay_bytes_out: u64,
+    /// Torn-write splits performed by the relay.
+    pub relay_splits: u64,
+    /// Drip-feed pauses taken by the relay.
+    pub relay_drips: u64,
+}
+
+impl ChaosSummary {
+    /// Expected parse rejects at the daemon from this campaign's abuse
+    /// (torn disconnects surface as truncated-final-line parse rejects).
+    pub fn expected_parse_rejects(&self) -> u64 {
+        self.garbage_lines + self.utf8_lines + self.torn_disconnects
+    }
+
+    /// Render the `eccparity-netchaos-v1` summary record.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",",
+                "\"garbage_lines\":{},\"utf8_lines\":{},",
+                "\"geometry_bad_lines\":{},\"oversized_lines\":{},",
+                "\"torn_disconnects\":{},\"abuse_responses\":{},",
+                "\"relay_bytes_in\":{},\"relay_bytes_out\":{},",
+                "\"relay_splits\":{},\"relay_drips\":{}}}"
+            ),
+            NETCHAOS_SCHEMA,
+            self.garbage_lines,
+            self.utf8_lines,
+            self.geometry_bad_lines,
+            self.oversized_lines,
+            self.torn_disconnects,
+            self.abuse_responses,
+            self.relay_bytes_in,
+            self.relay_bytes_out,
+            self.relay_splits,
+            self.relay_drips,
+        )
+    }
+}
+
+/// Deterministic torn-write planner: the sequence of split sizes and
+/// drip decisions is a pure function of the seed.
+pub struct Framer {
+    rng: StdRng,
+    max_split: usize,
+    drip_every: u64,
+}
+
+impl Framer {
+    /// A planner for `cfg`, salted with `stream` so concurrent relay
+    /// connections tear differently but reproducibly.
+    pub fn new(cfg: &ChaosConfig, stream: u64) -> Framer {
+        Framer {
+            rng: StdRng::seed_from_u64(cfg.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            max_split: cfg.max_split.max(1),
+            drip_every: cfg.drip_every,
+        }
+    }
+
+    /// How many of the `remaining` bytes the next write should carry
+    /// (1..=max_split), and whether to pause 1–3 ms first.
+    pub fn next_split(&mut self, remaining: usize) -> (usize, Option<Duration>) {
+        let cap = self.max_split.min(remaining).max(1);
+        let take = self.rng.gen_range(1..=cap);
+        let drip = if self.drip_every > 0 && self.rng.gen_range(0..self.drip_every.max(1)) == 0 {
+            Some(Duration::from_millis(self.rng.gen_range(1..=3)))
+        } else {
+            None
+        };
+        (take, drip)
+    }
+}
+
+/// Write `buf` to `out` in deterministically torn pieces, flushing each
+/// piece so the peer really sees the partial frames. Returns
+/// `(splits, drips)`.
+pub fn write_torn(
+    out: &mut impl Write,
+    framer: &mut Framer,
+    mut buf: &[u8],
+) -> std::io::Result<(u64, u64)> {
+    let (mut splits, mut drips) = (0u64, 0u64);
+    while !buf.is_empty() {
+        let (take, drip) = framer.next_split(buf.len());
+        if let Some(pause) = drip {
+            std::thread::sleep(pause);
+            drips += 1;
+        }
+        out.write_all(&buf[..take])?;
+        out.flush()?;
+        splits += 1;
+        buf = &buf[take..];
+    }
+    Ok((splits, drips))
+}
+
+/// One deterministic malformed-JSON line (index `i` of the campaign).
+fn garbage_line(rng: &mut StdRng, i: u64) -> Vec<u8> {
+    let shapes: [&[u8]; 4] = [
+        b"{\"kind\":\"event\",\"node\":",
+        b"not json at all",
+        b"{\"kind\":\"query\",\"op\":\"no_such_op\"}",
+        b"[1,2,3]",
+    ];
+    let mut line = shapes[(i % 4) as usize].to_vec();
+    // Vary the tail so dedup/caching anywhere cannot mask a bug.
+    line.extend_from_slice(format!(" #{}", rng.gen_range(0..1_000_000u64)).as_bytes());
+    line
+}
+
+/// Inject every abuse category over dedicated connections; the relayed
+/// client traffic is never touched. Returns what was injected.
+pub fn run_abuse(upstream: &Endpoint, cfg: &ChaosConfig) -> std::io::Result<ChaosSummary> {
+    let mut summary = ChaosSummary::default();
+    if cfg.abuse_lines == 0 && cfg.torn_disconnects == 0 {
+        return Ok(summary);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xa076_1d64_78bd_642f));
+    let deadline = Instant::now() + Duration::from_secs(10);
+
+    // Mid-line disconnects: a frame torn by connection death. The partial
+    // line is garbage, so the daemon's truncated-final-line handling
+    // counts a parse reject and nothing else.
+    for i in 0..cfg.torn_disconnects {
+        let mut conn = ChaosStream::connect(upstream, deadline)?;
+        let mut partial = garbage_line(&mut rng, i);
+        partial.truncate(partial.len().saturating_sub(2).max(1));
+        conn.write_all(&partial)?;
+        conn.flush()?;
+        summary.torn_disconnects += 1;
+        // Dropped with no newline and no half-close: an abrupt death.
+    }
+
+    if cfg.abuse_lines > 0 {
+        let conn = ChaosStream::connect(upstream, deadline)?;
+        let mut writer = conn.try_clone()?;
+        let mut reader = BufReader::new(conn);
+        let mut framer = Framer::new(cfg, u64::MAX);
+        for i in 0..cfg.abuse_lines {
+            // Malformed JSON → parse reject + error response.
+            let mut line = garbage_line(&mut rng, i);
+            line.push(b'\n');
+            write_torn(&mut writer, &mut framer, &line)?;
+            summary.garbage_lines += 1;
+            // Invalid UTF-8 → parse reject + error response.
+            let mut line = vec![0xff, 0xfe, 0x80, b'{', 0xc0];
+            line.extend_from_slice(i.to_string().as_bytes());
+            line.push(b'\n');
+            write_torn(&mut writer, &mut framer, &line)?;
+            summary.utf8_lines += 1;
+            // Geometry-bad event: parses fine, routes to a shard, rejected
+            // there (no response line — events are fire-and-forget).
+            let line = format!(
+                "{{\"kind\":\"event\",\"node\":{},\"channel\":9999,\"bank\":9999,\"row\":1}}\n",
+                rng.gen_range(0..1_000_000u64),
+            );
+            write_torn(&mut writer, &mut framer, line.as_bytes())?;
+            summary.geometry_bad_lines += 1;
+        }
+        // One oversized flood line per 8 abuse rounds, at least one.
+        for _ in 0..cfg.abuse_lines.div_ceil(8) {
+            let mut line = vec![b'z'; cfg.oversized_bytes.max(2)];
+            line.push(b'\n');
+            writer.write_all(&line)?;
+            writer.flush()?;
+            summary.oversized_lines += 1;
+        }
+        writer.shutdown_write();
+        // Drain every error/refusal the daemon answered with; EOF once it
+        // has processed our half-closed stream.
+        let mut resp = String::new();
+        loop {
+            resp.clear();
+            match reader.read_line(&mut resp) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => summary.abuse_responses += 1,
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Relay `client` to the daemon at `upstream`, byte-for-byte and
+/// in-order, tearing only the write framing. Responses stream back
+/// verbatim. Returns relay counters once the client side finishes.
+pub fn run_relay(
+    client: ChaosStream,
+    upstream: &Endpoint,
+    cfg: &ChaosConfig,
+    stream_id: u64,
+) -> std::io::Result<ChaosSummary> {
+    let mut summary = ChaosSummary::default();
+    let up = ChaosStream::connect(upstream, Instant::now() + Duration::from_secs(10))?;
+    let mut up_writer = up.try_clone()?;
+    let mut up_reader = up;
+    let mut client_writer = client.try_clone()?;
+    let mut client_reader = client;
+
+    // Daemon → client: responses copied verbatim (chaos on this leg
+    // would desync the loadgen's request/response pairing).
+    let responder = std::thread::spawn(move || -> u64 {
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut bytes = 0u64;
+        loop {
+            match up_reader.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if client_writer.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    let _ = client_writer.flush();
+                    bytes += n as u64;
+                }
+            }
+        }
+        bytes
+    });
+
+    // Client → daemon: torn framing, pure content.
+    let mut framer = Framer::new(cfg, stream_id);
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        match client_reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                let (splits, drips) = write_torn(&mut up_writer, &mut framer, &buf[..n])?;
+                summary.relay_bytes_in += n as u64;
+                summary.relay_splits += splits;
+                summary.relay_drips += drips;
+            }
+        }
+    }
+    up_writer.shutdown_write();
+    summary.relay_bytes_out = responder.join().unwrap_or(0);
+    Ok(summary)
+}
+
+/// Merge two campaigns' counters (abuse phase + relay phase).
+pub fn merge(a: ChaosSummary, b: ChaosSummary) -> ChaosSummary {
+    ChaosSummary {
+        garbage_lines: a.garbage_lines + b.garbage_lines,
+        utf8_lines: a.utf8_lines + b.utf8_lines,
+        geometry_bad_lines: a.geometry_bad_lines + b.geometry_bad_lines,
+        oversized_lines: a.oversized_lines + b.oversized_lines,
+        torn_disconnects: a.torn_disconnects + b.torn_disconnects,
+        abuse_responses: a.abuse_responses + b.abuse_responses,
+        relay_bytes_in: a.relay_bytes_in + b.relay_bytes_in,
+        relay_bytes_out: a.relay_bytes_out + b.relay_bytes_out,
+        relay_splits: a.relay_splits + b.relay_splits,
+        relay_drips: a.relay_drips + b.relay_drips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framer_is_deterministic_per_seed_and_stream() {
+        let cfg = ChaosConfig::default();
+        let plan = |stream: u64| {
+            let mut f = Framer::new(&cfg, stream);
+            (0..200).map(|_| f.next_split(4096)).collect::<Vec<_>>()
+        };
+        assert_eq!(plan(1), plan(1), "same seed+stream must replay");
+        assert_ne!(plan(1), plan(2), "streams must tear differently");
+        for (take, _) in plan(1) {
+            assert!((1..=cfg.max_split).contains(&take));
+        }
+    }
+
+    #[test]
+    fn torn_writes_preserve_content_exactly() {
+        let cfg = ChaosConfig {
+            drip_every: 0, // keep the test fast
+            max_split: 7,
+            ..ChaosConfig::default()
+        };
+        let mut framer = Framer::new(&cfg, 3);
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut out = Vec::new();
+        let (splits, _) = write_torn(&mut out, &mut framer, &payload).unwrap();
+        assert_eq!(out, payload, "relay must be content-pure");
+        assert!(
+            splits as usize >= payload.len() / cfg.max_split,
+            "must actually tear ({splits} splits)"
+        );
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_tagged() {
+        let s = ChaosSummary {
+            garbage_lines: 3,
+            utf8_lines: 2,
+            torn_disconnects: 1,
+            ..ChaosSummary::default()
+        };
+        let v: serde_json::Value = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(v["schema"].as_str(), Some(NETCHAOS_SCHEMA));
+        assert_eq!(v["garbage_lines"].as_u64(), Some(3));
+        assert_eq!(s.expected_parse_rejects(), 6);
+    }
+}

@@ -18,11 +18,19 @@
 //! - [`state`] — per-shard state: a [`ecc_parity::health::HealthTable`]
 //!   per node plus page CE ledgers, risk scoring, per-region scheme
 //!   recommendation, and serde snapshot types.
+//! - [`queue`] — bounded, generation-aware shard mailboxes: blocking
+//!   backpressure or oldest-batch shedding under overload, with every
+//!   shed line returned for accounting.
+//! - [`chaos`] — deterministic fault injection against the daemon's own
+//!   machinery (batch panics, stalls, worker poisoning), armed by
+//!   `ECC_PARITY_SERVICE_CHAOS`.
 //! - [`engine`] — actor-per-shard execution (`node % shards` routing,
-//!   bounded channels, deterministic merged queries) and the
+//!   bounded mailboxes, deterministic merged queries), degraded-shard
+//!   quarantine/respawn, timer-driven self-checkpointing, and the
 //!   `eccparity-journal-v1` checkpoint/resume discipline.
 //! - [`server`] — Unix-socket / TCP front-end, one router per
-//!   connection, read-your-writes barrier before every query.
+//!   connection, read-your-writes barrier before every query, bounded
+//!   line reads, connection admission caps, and idle timeouts.
 //!
 //! Determinism is load-bearing: the same event stream produces
 //! byte-identical query responses regardless of shard count, thread
@@ -33,7 +41,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod engine;
+pub mod queue;
 pub mod rpc;
 pub mod server;
 pub mod state;

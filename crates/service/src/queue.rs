@@ -1,0 +1,332 @@
+//! Bounded, generation-aware shard mailboxes.
+//!
+//! The first daemon iteration used `std::sync::mpsc::sync_channel`, which
+//! is bounded but offers no way to (a) shed the *oldest* queued work under
+//! overload or (b) invalidate a queue's current consumer when a shard
+//! worker is quarantined and respawned. This queue adds both:
+//!
+//! - **Depth accounting counts only `Batch` messages.** Control messages
+//!   (barriers, queries, snapshots, shutdown) always enqueue: a full
+//!   ingest queue must never be able to starve the query plane or wedge a
+//!   barrier.
+//! - **Two overload policies.** [`OverloadPolicy::Block`] applies
+//!   backpressure to the pushing connection thread (the default —
+//!   preserves the read-your-writes barrier and lossless ingest).
+//!   [`OverloadPolicy::Shed`] drops the *oldest* queued batch to make
+//!   room, returning it so the caller can count every shed line in
+//!   `service.shed.*`.
+//! - **Generations.** Each respawn of a shard's worker bumps the queue
+//!   generation. A worker passes its own generation to [`ShardQueue::pop`]
+//!   and exits cleanly on [`Popped::Stale`], so a hung-but-alive worker
+//!   that finally wakes up cannot race its replacement for messages.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::engine::ShardMsg;
+
+/// What to do when a shard's ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the pusher until the worker drains a batch. Lossless;
+    /// backpressure propagates to the client socket. The default.
+    #[default]
+    Block,
+    /// Drop the oldest queued batch to admit the new one. Trades the
+    /// read-your-writes guarantee for ingest liveness; every dropped
+    /// line is returned to the caller for counting.
+    Shed,
+}
+
+/// Outcome of pushing a batch onto a full-or-not queue.
+#[derive(Debug)]
+pub enum Pushed {
+    /// Enqueued without dropping anything.
+    Ok,
+    /// Enqueued after shedding the oldest batch; the shed payload is
+    /// returned so the caller can attribute every lost line.
+    Shed {
+        /// The evicted batch's raw newline-delimited bytes.
+        bytes: Vec<u8>,
+    },
+    /// The queue was closed (engine shutting down); nothing enqueued —
+    /// the rejected payload is returned so the caller can count it.
+    Closed {
+        /// The batch that was not admitted.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Outcome of a worker's pop.
+#[derive(Debug)]
+pub enum Popped {
+    /// A message to process.
+    Msg(ShardMsg),
+    /// The caller's generation is no longer current — a replacement
+    /// worker owns this queue now; exit without touching state.
+    Stale,
+    /// Queue closed and fully drained.
+    Closed,
+}
+
+struct QueueInner {
+    msgs: VecDeque<ShardMsg>,
+    /// Number of `Batch` messages currently queued (control messages are
+    /// exempt from the depth limit).
+    batches: usize,
+    generation: u64,
+    closed: bool,
+}
+
+/// One shard's mailbox. See the module docs for semantics.
+pub struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    /// Signalled when a message is enqueued or the queue closes/bumps.
+    pop_cv: Condvar,
+    /// Signalled when a batch is drained (room for blocked pushers).
+    push_cv: Condvar,
+    depth: usize,
+}
+
+impl ShardQueue {
+    /// A queue admitting at most `depth` batches (minimum 1).
+    pub fn new(depth: usize) -> ShardQueue {
+        ShardQueue {
+            inner: Mutex::new(QueueInner {
+                msgs: VecDeque::new(),
+                batches: 0,
+                generation: 0,
+                closed: false,
+            }),
+            pop_cv: Condvar::new(),
+            push_cv: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Push an ingest batch under `policy`. Blocks only under
+    /// [`OverloadPolicy::Block`] with a full queue.
+    pub fn push_batch(&self, bytes: Vec<u8>, policy: OverloadPolicy) -> Pushed {
+        let mut g = self.inner.lock().expect("shard queue poisoned");
+        loop {
+            if g.closed {
+                return Pushed::Closed { bytes };
+            }
+            if g.batches < self.depth {
+                g.batches += 1;
+                g.msgs.push_back(ShardMsg::Batch(bytes));
+                drop(g);
+                self.pop_cv.notify_one();
+                return Pushed::Ok;
+            }
+            match policy {
+                OverloadPolicy::Block => {
+                    g = self.push_cv.wait(g).expect("shard queue poisoned");
+                }
+                OverloadPolicy::Shed => {
+                    // Evict the oldest queued batch; control messages keep
+                    // their relative order and are never shed.
+                    let pos = g
+                        .msgs
+                        .iter()
+                        .position(|m| matches!(m, ShardMsg::Batch(_)))
+                        .expect("batches counter says a batch is queued");
+                    let Some(ShardMsg::Batch(old)) = g.msgs.remove(pos) else {
+                        unreachable!("position() found a batch");
+                    };
+                    g.msgs.push_back(ShardMsg::Batch(bytes));
+                    drop(g);
+                    self.pop_cv.notify_one();
+                    return Pushed::Shed { bytes: old };
+                }
+            }
+        }
+    }
+
+    /// Enqueue a control message (barrier, query, snapshot, shutdown).
+    /// Never blocks on depth and succeeds even on a closed queue, so the
+    /// shutdown path can always deliver its final messages.
+    pub fn push_ctl(&self, msg: ShardMsg) {
+        let mut g = self.inner.lock().expect("shard queue poisoned");
+        g.msgs.push_back(msg);
+        drop(g);
+        self.pop_cv.notify_one();
+    }
+
+    /// Pop the next message for a worker running at `my_gen`. Blocks
+    /// until a message arrives, the generation moves on, or the queue is
+    /// closed *and* drained.
+    pub fn pop(&self, my_gen: u64) -> Popped {
+        let mut g = self.inner.lock().expect("shard queue poisoned");
+        loop {
+            if g.generation != my_gen {
+                return Popped::Stale;
+            }
+            if let Some(msg) = g.msgs.pop_front() {
+                if matches!(msg, ShardMsg::Batch(_)) {
+                    g.batches -= 1;
+                    drop(g);
+                    self.push_cv.notify_one();
+                }
+                return Popped::Msg(msg);
+            }
+            if g.closed {
+                return Popped::Closed;
+            }
+            let (ng, timeout) = self
+                .pop_cv
+                .wait_timeout(g, Duration::from_millis(200))
+                .expect("shard queue poisoned");
+            g = ng;
+            let _ = timeout; // loop re-checks generation/close either way
+        }
+    }
+
+    /// Bump the generation (quarantine): the current worker's next pop
+    /// returns [`Popped::Stale`]. Queued messages are *retained* for the
+    /// replacement worker. Returns the new generation.
+    pub fn bump_generation(&self) -> u64 {
+        let mut g = self.inner.lock().expect("shard queue poisoned");
+        g.generation += 1;
+        let gen = g.generation;
+        drop(g);
+        self.pop_cv.notify_all();
+        gen
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().expect("shard queue poisoned").generation
+    }
+
+    /// Number of batches currently queued (diagnostics).
+    pub fn queued_batches(&self) -> usize {
+        self.inner.lock().expect("shard queue poisoned").batches
+    }
+
+    /// Close the queue: pushers get [`Pushed::Closed`], the worker drains
+    /// what is queued and then sees [`Popped::Closed`].
+    pub fn close(&self) {
+        let mut g = self.inner.lock().expect("shard queue poisoned");
+        g.closed = true;
+        drop(g);
+        self.pop_cv.notify_all();
+        self.push_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn batch(tag: u8) -> Vec<u8> {
+        vec![tag, b'\n']
+    }
+
+    #[test]
+    fn shed_drops_oldest_batch_and_returns_it() {
+        let q = ShardQueue::new(2);
+        assert!(matches!(
+            q.push_batch(batch(1), OverloadPolicy::Shed),
+            Pushed::Ok
+        ));
+        assert!(matches!(
+            q.push_batch(batch(2), OverloadPolicy::Shed),
+            Pushed::Ok
+        ));
+        match q.push_batch(batch(3), OverloadPolicy::Shed) {
+            Pushed::Shed { bytes } => assert_eq!(bytes, batch(1), "oldest is shed"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Queue now holds batches 2 and 3, in order.
+        match q.pop(0) {
+            Popped::Msg(ShardMsg::Batch(b)) => assert_eq!(b, batch(2)),
+            other => panic!("{other:?}"),
+        }
+        match q.pop(0) {
+            Popped::Msg(ShardMsg::Batch(b)) => assert_eq!(b, batch(3)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_bypass_depth_and_survive_shed() {
+        let q = ShardQueue::new(1);
+        assert!(matches!(
+            q.push_batch(batch(1), OverloadPolicy::Shed),
+            Pushed::Ok
+        ));
+        let (tx, _rx) = std::sync::mpsc::channel();
+        q.push_ctl(ShardMsg::Barrier(tx));
+        // Queue full of batches (depth 1) + one barrier; shedding a new
+        // batch must evict batch 1, not the barrier.
+        assert!(matches!(
+            q.push_batch(batch(2), OverloadPolicy::Shed),
+            Pushed::Shed { .. }
+        ));
+        match q.pop(0) {
+            Popped::Msg(ShardMsg::Barrier(_)) => {}
+            other => panic!("barrier should still be first: {other:?}"),
+        }
+        match q.pop(0) {
+            Popped::Msg(ShardMsg::Batch(b)) => assert_eq!(b, batch(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_policy_waits_for_room() {
+        let q = Arc::new(ShardQueue::new(1));
+        assert!(matches!(
+            q.push_batch(batch(1), OverloadPolicy::Block),
+            Pushed::Ok
+        ));
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_batch(batch(2), OverloadPolicy::Block));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!pusher.is_finished(), "push must block on a full queue");
+        match q.pop(0) {
+            Popped::Msg(ShardMsg::Batch(b)) => assert_eq!(b, batch(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(pusher.join().unwrap(), Pushed::Ok));
+    }
+
+    #[test]
+    fn generation_bump_stales_old_worker_and_keeps_messages() {
+        let q = ShardQueue::new(4);
+        assert!(matches!(
+            q.push_batch(batch(7), OverloadPolicy::Block),
+            Pushed::Ok
+        ));
+        let new_gen = q.bump_generation();
+        assert_eq!(new_gen, 1);
+        assert!(
+            matches!(q.pop(0), Popped::Stale),
+            "old generation must exit"
+        );
+        // The replacement worker (generation 1) still sees the batch.
+        match q.pop(1) {
+            Popped::Msg(ShardMsg::Batch(b)) => assert_eq!(b, batch(7)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = ShardQueue::new(4);
+        assert!(matches!(
+            q.push_batch(batch(1), OverloadPolicy::Block),
+            Pushed::Ok
+        ));
+        q.close();
+        assert!(matches!(
+            q.push_batch(batch(2), OverloadPolicy::Block),
+            Pushed::Closed { .. }
+        ));
+        assert!(matches!(q.pop(0), Popped::Msg(ShardMsg::Batch(_))));
+        assert!(matches!(q.pop(0), Popped::Closed));
+    }
+}

@@ -336,13 +336,31 @@ pub fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// A success response: `result_json` must already be rendered JSON.
-pub fn ok_response(op: &str, result_json: &str) -> String {
-    format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":true,\"op\":\"{op}\",\"result\":{result_json}}}")
+/// `degraded` is `true` when at least one shard was quarantined while
+/// the query was answered — the result may be missing events applied
+/// after the last checkpoint on those shards (see
+/// `docs/OPERATIONS.md` § Failure modes and degraded operation).
+pub fn ok_response(op: &str, degraded: bool, result_json: &str) -> String {
+    format!(
+        "{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":true,\"op\":\"{op}\",\"degraded\":{degraded},\"result\":{result_json}}}"
+    )
 }
 
 /// An error response.
 pub fn error_response(msg: &str) -> String {
     let mut s = format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":false,\"error\":");
+    push_json_str(&mut s, msg);
+    s.push('}');
+    s
+}
+
+/// A structured refusal: an error response carrying a machine-readable
+/// `code` (`"oversized"`, `"overloaded"`, …) so abuse-defense rejections
+/// can be asserted on without string-matching the human text.
+pub fn refusal_response(code: &str, msg: &str) -> String {
+    let mut s = format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":false,\"code\":");
+    push_json_str(&mut s, code);
+    s.push_str(",\"error\":");
     push_json_str(&mut s, msg);
     s.push('}');
     s
@@ -458,5 +476,25 @@ mod tests {
         assert_eq!(v["schema"].as_str(), Some(RPC_SCHEMA));
         assert_eq!(v["ok"].as_bool(), Some(false));
         assert_eq!(v["error"].as_str(), Some("bad \"quote\"\nnewline"));
+    }
+
+    #[test]
+    fn ok_envelope_carries_degraded_stamp() {
+        for degraded in [false, true] {
+            let resp = ok_response("fleet", degraded, "{\"nodes\":3}");
+            let v: Value = serde_json::from_str(&resp).unwrap();
+            assert_eq!(v["ok"].as_bool(), Some(true));
+            assert_eq!(v["degraded"].as_bool(), Some(degraded));
+            assert_eq!(v["result"]["nodes"].as_u64(), Some(3));
+        }
+    }
+
+    #[test]
+    fn refusals_carry_a_machine_readable_code() {
+        let resp = refusal_response("oversized", "line exceeds 1048576 bytes");
+        let v: Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["code"].as_str(), Some("oversized"));
+        assert!(v["error"].as_str().unwrap().contains("1048576"));
     }
 }

@@ -8,15 +8,42 @@
 //! the connection's router and runs an engine barrier, so every event
 //! written earlier on the same connection is visible to the answer
 //! (read-your-writes).
+//!
+//! **Hostile-client defenses** (all knobs in [`ServerConfig`]):
+//!
+//! - *Bounded line reads.* The per-connection read buffer never grows
+//!   past `max_line_bytes`. A longer line is answered with a structured
+//!   `"code":"oversized"` refusal, counted in `service.reject.oversized`,
+//!   and discarded up to its terminating newline — the connection stays
+//!   usable and memory stays bounded no matter what the client streams.
+//! - *Admission cap.* At most `max_conns` connections are served at
+//!   once; excess connections get one `"code":"overloaded"` refusal line
+//!   (counted in `service.reject.conn_limit`) and are closed.
+//! - *Idle timeout.* With `idle_timeout_ms` set, a connection that sends
+//!   nothing for that long is closed (counted in
+//!   `service.conn.idle_closed`), so abandoned sockets cannot pin the
+//!   admission cap.
+//! - *Drained shutdown.* After a `shutdown` request, the accept loop
+//!   waits up to `drain_ms` for live connections to flush their routers
+//!   and exit (they poll the stop flag every 200 ms), so the final
+//!   checkpoint taken by the binary sees every in-flight event.
 
-use crate::engine::{Engine, Router};
+use crate::engine::{Engine, RejectKind, Router};
 use crate::rpc::{self, Query, Request};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Connection readers wake at this cadence to poll the stop flag and the
+/// idle deadline even when the client sends nothing.
+const POLL_TICK: Duration = Duration::from_millis(200);
+
+/// Read chunk size; also the resolution of the oversized-line check.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Where the daemon listens.
 #[derive(Debug, Clone)]
@@ -27,86 +54,269 @@ pub enum Listen {
     Tcp(String),
 }
 
+/// Front-end limits. Defaults are production-safe; the `eccparityd`
+/// binary overrides them from flags and `ECC_PARITY_SERVICE_*` knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections served concurrently before refusing with
+    /// `"code":"overloaded"` (minimum 1).
+    pub max_conns: usize,
+    /// Close a connection idle this long, in milliseconds (0 = never).
+    pub idle_timeout_ms: u64,
+    /// Longest request line accepted, in bytes; longer lines are refused
+    /// with `"code":"oversized"` and discarded (minimum 1024).
+    pub max_line_bytes: usize,
+    /// After shutdown, wait this long (milliseconds) for live
+    /// connections to flush and exit before `serve` returns.
+    pub drain_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_conns: 1024,
+            idle_timeout_ms: 0,
+            max_line_bytes: 1 << 20,
+            drain_ms: 5_000,
+        }
+    }
+}
+
+/// What the connection loop needs from a socket beyond byte I/O: a read
+/// timeout, so the reader can poll the stop flag and idle deadline.
+trait ConnStream: Read + Write {
+    fn set_poll_timeout(&self, d: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl ConnStream for UnixStream {
+    fn set_poll_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(d)
+    }
+}
+
+impl ConnStream for TcpStream {
+    fn set_poll_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(d)
+    }
+}
+
 fn write_line(out: &mut impl Write, resp: &str) -> std::io::Result<()> {
     out.write_all(resp.as_bytes())?;
     out.write_all(b"\n")?;
     out.flush()
 }
 
-/// Serve one connection until EOF, I/O error, or a `shutdown` request.
-/// Returns `true` when the client asked the daemon to shut down.
-fn handle_conn<S: Read + Write>(engine: &Engine, stream_in: S, mut out: S) -> bool {
-    obs::counter!("service.connections").inc();
-    let mut reader = BufReader::with_capacity(1 << 20, stream_in);
-    let mut router = Router::new(engine);
-    let mut line: Vec<u8> = Vec::with_capacity(1024);
-    let mut shutdown = false;
-    loop {
-        line.clear();
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+/// What processing one request line decided about the connection.
+enum LineOutcome {
+    Continue,
+    Shutdown,
+    Closed,
+}
+
+fn process_line(
+    engine: &Engine,
+    router: &mut Router,
+    out: &mut impl Write,
+    cfg: &ServerConfig,
+    mut line: &[u8],
+) -> LineOutcome {
+    while line.last().is_some_and(|&b| b == b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    if line.is_empty() {
+        return LineOutcome::Continue;
+    }
+    if line.len() > cfg.max_line_bytes {
+        engine.note_reject(RejectKind::Oversized);
+        let resp = rpc::refusal_response(
+            "oversized",
+            &format!("line exceeds the {}-byte cap", cfg.max_line_bytes),
+        );
+        return if write_line(out, &resp).is_err() {
+            LineOutcome::Closed
+        } else {
+            LineOutcome::Continue
+        };
+    }
+    // Hot path: a compact event line routes without a full parse and
+    // without a response.
+    if let Some(node) = rpc::fast_route(line) {
+        router.push_routed(engine, engine.shard_of(node), line);
+        return LineOutcome::Continue;
+    }
+    match rpc::parse_line(line) {
+        Ok(Request::Event(_)) => {
+            router.push_line(engine, line);
+            LineOutcome::Continue
         }
-        while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
-            line.pop();
-        }
-        if line.is_empty() {
-            continue;
-        }
-        // Hot path: a compact event line routes without a full parse and
-        // without a response.
-        if let Some(node) = rpc::fast_route(&line) {
-            router.push_routed(engine, engine.shard_of(node), &line);
-            continue;
-        }
-        match rpc::parse_line(&line) {
-            Ok(Request::Event(_)) => router.push_line(engine, &line),
-            Ok(Request::Query(q)) => {
-                router.flush(engine);
-                engine.barrier();
-                let resp = match q {
-                    Query::Checkpoint => match engine.checkpoint() {
-                        Ok(info) => {
-                            let mut path_json = String::new();
-                            rpc::push_json_str(&mut path_json, &info.path.display().to_string());
-                            rpc::ok_response(
-                                "checkpoint",
-                                &format!(
-                                    "{{\"path\":{},\"shards\":{},\"nodes\":{}}}",
-                                    path_json, info.shards, info.nodes
-                                ),
-                            )
-                        }
-                        Err(e) => rpc::error_response(&format!("checkpoint failed: {e}")),
-                    },
-                    Query::Shutdown => {
-                        shutdown = true;
-                        rpc::ok_response("shutdown", "\"stopping\"")
+        Ok(Request::Query(q)) => {
+            router.flush(engine);
+            engine.barrier();
+            let mut shutdown = false;
+            let resp = match q {
+                Query::Checkpoint => match engine.checkpoint() {
+                    Ok(info) => {
+                        let mut path_json = String::new();
+                        rpc::push_json_str(&mut path_json, &info.path.display().to_string());
+                        rpc::ok_response(
+                            "checkpoint",
+                            engine.degraded(),
+                            &format!(
+                                "{{\"path\":{},\"shards\":{},\"nodes\":{}}}",
+                                path_json, info.shards, info.nodes
+                            ),
+                        )
                     }
-                    ref q => engine.query(q),
-                };
-                if write_line(&mut out, &resp).is_err() || shutdown {
-                    break;
+                    Err(e) => rpc::error_response(&format!("checkpoint failed: {e}")),
+                },
+                Query::Shutdown => {
+                    shutdown = true;
+                    rpc::ok_response("shutdown", engine.degraded(), "\"stopping\"")
                 }
-            }
-            Err(msg) => {
-                engine.note_reader_reject();
-                if write_line(&mut out, &rpc::error_response(&msg)).is_err() {
-                    break;
-                }
+                ref q => engine.query(q),
+            };
+            if write_line(out, &resp).is_err() {
+                LineOutcome::Closed
+            } else if shutdown {
+                LineOutcome::Shutdown
+            } else {
+                LineOutcome::Continue
             }
         }
+        Err(msg) => {
+            engine.note_reject(RejectKind::Parse);
+            if write_line(out, &rpc::error_response(&msg)).is_err() {
+                LineOutcome::Closed
+            } else {
+                LineOutcome::Continue
+            }
+        }
+    }
+}
+
+/// Serve one connection until EOF, I/O error, idle timeout, server stop,
+/// or a `shutdown` request. Returns `true` when the client asked the
+/// daemon to shut down.
+fn handle_conn<S: ConnStream>(
+    engine: &Engine,
+    cfg: &ServerConfig,
+    mut reader: S,
+    mut out: S,
+    stop: &AtomicBool,
+) -> bool {
+    obs::counter!("service.connections").inc();
+    let _ = reader.set_poll_timeout(Some(POLL_TICK));
+    let mut router = Router::new(engine);
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut pending: Vec<u8> = Vec::with_capacity(1024);
+    // Inside an oversized line: eat bytes until its newline.
+    let mut discarding = false;
+    let mut last_activity = Instant::now();
+    let mut shutdown = false;
+    'conn: loop {
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if cfg.idle_timeout_ms > 0
+                    && last_activity.elapsed() >= Duration::from_millis(cfg.idle_timeout_ms)
+                {
+                    engine.note_idle_close();
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        last_activity = Instant::now();
+        let mut data = &chunk[..n];
+        if discarding {
+            match data.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    data = &data[nl + 1..];
+                    discarding = false;
+                }
+                None => continue,
+            }
+        }
+        pending.extend_from_slice(data);
+        let mut start = 0;
+        while let Some(nl) = pending[start..].iter().position(|&b| b == b'\n') {
+            let end = start + nl;
+            match process_line(engine, &mut router, &mut out, cfg, &pending[start..end]) {
+                LineOutcome::Continue => start = end + 1,
+                LineOutcome::Shutdown => {
+                    shutdown = true;
+                    break 'conn;
+                }
+                LineOutcome::Closed => break 'conn,
+            }
+        }
+        pending.drain(..start);
+        // An incomplete line past the cap is refused *now*, before it can
+        // grow without bound; the rest of it is discarded on arrival.
+        if pending.len() > cfg.max_line_bytes {
+            engine.note_reject(RejectKind::Oversized);
+            let resp = rpc::refusal_response(
+                "oversized",
+                &format!("line exceeds the {}-byte cap", cfg.max_line_bytes),
+            );
+            if write_line(&mut out, &resp).is_err() {
+                break;
+            }
+            pending.clear();
+            discarding = true;
+        }
+    }
+    // A truncated final line (no trailing newline at EOF) is still a
+    // request: process it rather than silently dropping bytes the client
+    // thinks it sent.
+    if !shutdown && !discarding && !pending.is_empty() {
+        let line = std::mem::take(&mut pending);
+        let _ = process_line(engine, &mut router, &mut out, cfg, &line);
     }
     router.flush(engine);
     shutdown
 }
 
+/// Decrements the live-connection count even if the handler panics.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Refuse a connection over the admission cap: one structured error
+/// line, then close. Runs on its own thread so a client that never
+/// reads cannot wedge the accept loop.
+fn refuse_conn<S: ConnStream + Send + 'static>(engine: Arc<Engine>, mut stream: S) {
+    engine.note_reject(RejectKind::ConnLimit);
+    std::thread::spawn(move || {
+        let _ = stream.set_poll_timeout(Some(POLL_TICK));
+        let resp = rpc::refusal_response("overloaded", "connection limit reached, retry later");
+        let _ = write_line(&mut stream, &resp);
+    });
+}
+
 /// Accept connections until a client sends `{"kind":"query","op":"shutdown"}`.
 /// Each connection runs on its own thread; the shutdown flag is observed
-/// by the accept loop via a self-connect nudge, so `serve` returns
-/// promptly after the shutdown response is written.
-pub fn serve(engine: Arc<Engine>, listen: Listen) -> std::io::Result<()> {
+/// by the accept loop via a self-connect nudge, and `serve` then waits up
+/// to [`ServerConfig::drain_ms`] for live connections to flush their
+/// routers and exit before returning — so a final checkpoint taken after
+/// `serve` sees every in-flight event.
+pub fn serve(engine: Arc<Engine>, listen: Listen, cfg: ServerConfig) -> std::io::Result<()> {
+    let cfg = Arc::new(ServerConfig {
+        max_conns: cfg.max_conns.max(1),
+        max_line_bytes: cfg.max_line_bytes.max(1024),
+        ..cfg
+    });
     let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
     match listen {
         Listen::Unix(path) => {
             if let Some(dir) = path.parent() {
@@ -122,20 +332,29 @@ pub fn serve(engine: Arc<Engine>, listen: Listen) -> std::io::Result<()> {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                if active.load(Ordering::SeqCst) >= cfg.max_conns {
+                    refuse_conn(Arc::clone(&engine), stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
                 let engine = Arc::clone(&engine);
                 let stop = Arc::clone(&stop);
+                let cfg = Arc::clone(&cfg);
                 let path = path.clone();
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let Ok(writer) = stream.try_clone() else {
                         return;
                     };
-                    if handle_conn(&engine, stream, writer) {
+                    if handle_conn(&engine, &cfg, stream, writer, &stop) {
                         stop.store(true, Ordering::SeqCst);
                         // Nudge the accept loop out of its blocking accept.
                         let _ = UnixStream::connect(&path);
                     }
                 });
             }
+            drain(&active, cfg.drain_ms);
             let _ = std::fs::remove_file(&path);
         }
         Listen::Tcp(addr) => {
@@ -148,21 +367,42 @@ pub fn serve(engine: Arc<Engine>, listen: Listen) -> std::io::Result<()> {
                 }
                 let Ok(stream) = conn else { continue };
                 let _ = stream.set_nodelay(true);
+                if active.load(Ordering::SeqCst) >= cfg.max_conns {
+                    refuse_conn(Arc::clone(&engine), stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
                 let engine = Arc::clone(&engine);
                 let stop = Arc::clone(&stop);
+                let cfg = Arc::clone(&cfg);
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let Ok(writer) = stream.try_clone() else {
                         return;
                     };
-                    if handle_conn(&engine, stream, writer) {
+                    if handle_conn(&engine, &cfg, stream, writer, &stop) {
                         stop.store(true, Ordering::SeqCst);
                         let _ = TcpStream::connect(local);
                     }
                 });
             }
+            drain(&active, cfg.drain_ms);
         }
     }
     Ok(())
+}
+
+/// Wait up to `drain_ms` for every live connection thread to exit.
+fn drain(active: &AtomicUsize, drain_ms: u64) {
+    let deadline = Instant::now() + Duration::from_millis(drain_ms);
+    while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let leftover = active.load(Ordering::SeqCst);
+    if leftover > 0 {
+        eprintln!("eccparityd: drain deadline hit with {leftover} connection(s) still open");
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +410,7 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use crate::rpc::Event;
+    use std::io::{BufRead, BufReader};
 
     fn connect_with_retry(path: &std::path::Path) -> UnixStream {
         for _ in 0..200 {
@@ -181,17 +422,29 @@ mod tests {
         panic!("daemon socket never appeared at {}", path.display());
     }
 
+    fn start_daemon(
+        engine: &Arc<Engine>,
+        cfg: ServerConfig,
+        tag: &str,
+    ) -> (
+        std::path::PathBuf,
+        std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        let sock =
+            std::env::temp_dir().join(format!("eccparityd-{tag}-{}.sock", std::process::id()));
+        let e2 = Arc::clone(engine);
+        let s2 = sock.clone();
+        let srv = std::thread::spawn(move || serve(e2, Listen::Unix(s2), cfg));
+        (sock, srv)
+    }
+
     #[test]
     fn unix_socket_round_trip_and_shutdown() {
-        let sock =
-            std::env::temp_dir().join(format!("eccparityd-sock-{}.sock", std::process::id()));
         let engine = Arc::new(Engine::start(EngineConfig {
             shards: 2,
             ..EngineConfig::default()
         }));
-        let e2 = Arc::clone(&engine);
-        let s2 = sock.clone();
-        let srv = std::thread::spawn(move || serve(e2, Listen::Unix(s2)));
+        let (sock, srv) = start_daemon(&engine, ServerConfig::default(), "sock");
 
         let stream = connect_with_retry(&sock);
         let mut writer = stream.try_clone().unwrap();
@@ -214,25 +467,202 @@ mod tests {
             .unwrap();
         writer.flush().unwrap();
         let mut resp = String::new();
-        std::io::BufRead::read_line(&mut reader, &mut resp).unwrap();
+        reader.read_line(&mut resp).unwrap();
         assert!(
             resp.contains("\"ok\":false"),
             "malformed line error first: {resp}"
         );
         resp.clear();
-        std::io::BufRead::read_line(&mut reader, &mut resp).unwrap();
+        reader.read_line(&mut resp).unwrap();
         assert!(resp.contains("\"op\":\"fleet\""), "{resp}");
         assert!(resp.contains("\"events\":100"), "{resp}");
+        assert!(resp.contains("\"degraded\":false"), "{resp}");
 
         writer
             .write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
             .unwrap();
         writer.flush().unwrap();
         resp.clear();
-        std::io::BufRead::read_line(&mut reader, &mut resp).unwrap();
+        reader.read_line(&mut resp).unwrap();
         assert!(resp.contains("\"op\":\"shutdown\""), "{resp}");
         srv.join().unwrap().unwrap();
         engine.shutdown();
         assert!(!sock.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_and_the_connection_survives() {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            shards: 1,
+            ..EngineConfig::default()
+        }));
+        let cfg = ServerConfig {
+            max_line_bytes: 4096,
+            ..ServerConfig::default()
+        };
+        let (sock, srv) = start_daemon(&engine, cfg, "oversized");
+
+        let stream = connect_with_retry(&sock);
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // A line far past the cap, streamed in pieces like a slow loris.
+        let blob = vec![b'x'; 64 * 1024];
+        for part in blob.chunks(1000) {
+            writer.write_all(part).unwrap();
+            writer.flush().unwrap();
+        }
+        writer.write_all(b"\n").unwrap();
+        // The connection must still serve real traffic afterwards.
+        writer
+            .write_all(b"{\"kind\":\"event\",\"node\":3,\"channel\":0,\"bank\":0,\"row\":1}\n")
+            .unwrap();
+        writer
+            .write_all(b"{\"kind\":\"query\",\"op\":\"stats\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"code\":\"oversized\""), "{resp}");
+        resp.clear();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"op\":\"stats\""), "{resp}");
+        assert!(resp.contains("\"rejected_oversized\":1"), "{resp}");
+        assert!(resp.contains("\"events_ingested\":1"), "{resp}");
+
+        writer
+            .write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        resp.clear();
+        reader.read_line(&mut resp).unwrap();
+        srv.join().unwrap().unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn admission_cap_refuses_with_structured_error() {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            shards: 1,
+            ..EngineConfig::default()
+        }));
+        let cfg = ServerConfig {
+            max_conns: 1,
+            ..ServerConfig::default()
+        };
+        let (sock, srv) = start_daemon(&engine, cfg, "cap");
+
+        let first = connect_with_retry(&sock);
+        // Prove the first connection is admitted (a query round-trips)
+        // before the second attempt, so the cap is actually occupied.
+        let mut w1 = first.try_clone().unwrap();
+        let mut r1 = BufReader::new(first);
+        w1.write_all(b"{\"kind\":\"query\",\"op\":\"stats\"}\n")
+            .unwrap();
+        w1.flush().unwrap();
+        let mut resp = String::new();
+        r1.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"op\":\"stats\""), "{resp}");
+
+        let second = UnixStream::connect(&sock).unwrap();
+        let mut r2 = BufReader::new(second);
+        resp.clear();
+        r2.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"code\":\"overloaded\""), "{resp}");
+        resp.clear();
+        assert_eq!(r2.read_line(&mut resp).unwrap(), 0, "refused conn closes");
+
+        w1.write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        w1.flush().unwrap();
+        resp.clear();
+        r1.read_line(&mut resp).unwrap();
+        srv.join().unwrap().unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_and_counted() {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            shards: 1,
+            ..EngineConfig::default()
+        }));
+        let cfg = ServerConfig {
+            idle_timeout_ms: 150,
+            ..ServerConfig::default()
+        };
+        let (sock, srv) = start_daemon(&engine, cfg, "idle");
+
+        let idle = connect_with_retry(&sock);
+        let mut r = BufReader::new(idle.try_clone().unwrap());
+        let mut resp = String::new();
+        // The server closes us without a response once the idle deadline
+        // (150 ms) passes; read_line returning 0 is that close.
+        assert_eq!(r.read_line(&mut resp).unwrap(), 0, "idle conn closed");
+        drop(idle);
+
+        let active = connect_with_retry(&sock);
+        let mut w = active.try_clone().unwrap();
+        let mut r = BufReader::new(active);
+        w.write_all(b"{\"kind\":\"query\",\"op\":\"stats\"}\n")
+            .unwrap();
+        w.flush().unwrap();
+        resp.clear();
+        r.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"idle_closed_conns\":1"), "{resp}");
+        w.write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        w.flush().unwrap();
+        resp.clear();
+        r.read_line(&mut resp).unwrap();
+        srv.join().unwrap().unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn truncated_final_line_is_still_processed() {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            shards: 1,
+            ..EngineConfig::default()
+        }));
+        let (sock, srv) = start_daemon(&engine, ServerConfig::default(), "trunc");
+
+        // One complete event, then a truncated event with no newline, EOF.
+        let stream = connect_with_retry(&sock);
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(b"{\"kind\":\"event\",\"node\":1,\"channel\":0,\"bank\":0,\"row\":1}\n")
+            .unwrap();
+        w.write_all(b"{\"kind\":\"event\",\"node\":2,\"channel\":0,\"bank\":0,\"row\":2}")
+            .unwrap();
+        w.flush().unwrap();
+        drop(w);
+        drop(stream);
+
+        // Poll stats on a second connection until both events landed.
+        let stream = connect_with_retry(&sock);
+        let mut w = stream.try_clone().unwrap();
+        let mut r = BufReader::new(stream);
+        let mut resp = String::new();
+        for _ in 0..100 {
+            w.write_all(b"{\"kind\":\"query\",\"op\":\"stats\"}\n")
+                .unwrap();
+            w.flush().unwrap();
+            resp.clear();
+            r.read_line(&mut resp).unwrap();
+            if resp.contains("\"events_ingested\":2") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            resp.contains("\"events_ingested\":2"),
+            "truncated final line must be applied: {resp}"
+        );
+        w.write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        w.flush().unwrap();
+        resp.clear();
+        r.read_line(&mut resp).unwrap();
+        srv.join().unwrap().unwrap();
+        engine.shutdown();
     }
 }

@@ -221,8 +221,13 @@ pub struct ShardAgg {
     pub at_risk_nodes: u64,
     /// Events applied by this shard this process-run (not persisted).
     pub applied: u64,
-    /// Events this shard rejected this process-run (not persisted).
+    /// Lines this shard rejected this process-run (not persisted).
     pub rejected: u64,
+    /// Rejected lines that failed to parse (⊆ `rejected`).
+    pub rejected_parse: u64,
+    /// Rejected events whose channel/bank fell outside the geometry
+    /// (⊆ `rejected`).
+    pub rejected_geometry: u64,
 }
 
 impl ShardAgg {
@@ -236,6 +241,8 @@ impl ShardAgg {
         self.at_risk_nodes += o.at_risk_nodes;
         self.applied += o.applied;
         self.rejected += o.rejected;
+        self.rejected_parse += o.rejected_parse;
+        self.rejected_geometry += o.rejected_geometry;
     }
 
     /// Fleet SDC posture from the merged aggregate: `"nominal"` (no
@@ -299,8 +306,17 @@ pub struct ShardState {
     nodes: HashMap<u64, NodeHealth>,
     /// Events applied this process-run.
     pub applied: u64,
-    /// Events rejected this process-run.
+    /// Lines applied successfully this process-run (an event line with
+    /// `count > 1` bumps `applied` by `count` but this by 1; the batch
+    /// retry logic needs line-granular progress).
+    pub lines_ok: u64,
+    /// Lines rejected this process-run.
     pub rejected: u64,
+    /// Rejected lines that failed to parse (garbage, bad JSON, queries
+    /// routed into a batch).
+    pub rejected_parse: u64,
+    /// Rejected events outside the configured geometry.
+    pub rejected_geometry: u64,
 }
 
 impl ShardState {
@@ -310,7 +326,10 @@ impl ShardState {
             geom,
             nodes: HashMap::new(),
             applied: 0,
+            lines_ok: 0,
             rejected: 0,
+            rejected_parse: 0,
+            rejected_geometry: 0,
         }
     }
 
@@ -337,18 +356,31 @@ impl ShardState {
     }
 
     /// Parse and apply one request line that was routed to this shard.
-    /// Queries and malformed lines are rejected (counted), never fatal.
+    /// Queries and malformed lines are rejected (counted, with the
+    /// rejection reason attributed), never fatal.
     pub fn apply_line(&mut self, line: &[u8]) {
         match crate::rpc::parse_line(line) {
             Ok(crate::rpc::Request::Event(ev)) => {
                 if self.apply_event(&ev) {
                     self.applied += u64::from(ev.count);
+                    self.lines_ok += 1;
                 } else {
                     self.rejected += 1;
+                    self.rejected_geometry += 1;
                 }
             }
-            _ => self.rejected += 1,
+            _ => {
+                self.rejected += 1;
+                self.rejected_parse += 1;
+            }
         }
+    }
+
+    /// Lines this shard has consumed (applied or rejected) — the batch
+    /// retry logic uses the delta to decide whether a panicked batch made
+    /// any progress.
+    pub fn lines_consumed(&self) -> u64 {
+        self.lines_ok + self.rejected
     }
 
     /// Apply a parsed event; `false` (rejected) when channel/bank fall
@@ -371,6 +403,8 @@ impl ShardState {
             nodes: self.nodes.len() as u64,
             applied: self.applied,
             rejected: self.rejected,
+            rejected_parse: self.rejected_parse,
+            rejected_geometry: self.rejected_geometry,
             ..ShardAgg::default()
         };
         for nh in self.nodes.values() {
@@ -495,7 +529,11 @@ mod tests {
         s.apply_line(b"{\"kind\":\"event\",\"node\":1,\"channel\":99,\"bank\":0,\"row\":0}");
         s.apply_line(b"utter garbage");
         assert_eq!(s.rejected, 2);
+        assert_eq!(s.rejected_geometry, 1, "out-of-range channel attributes");
+        assert_eq!(s.rejected_parse, 1, "garbage attributes");
         assert_eq!(s.applied, 0);
+        assert_eq!(s.lines_ok, 0);
+        assert_eq!(s.lines_consumed(), 2);
     }
 
     #[test]

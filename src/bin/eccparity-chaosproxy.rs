@@ -1,0 +1,249 @@
+//! `eccparity-chaosproxy` — deterministic network chaos between a client
+//! (usually `eccparity-loadgen`) and a running `eccparityd`.
+//!
+//! Two phases, both pure functions of `--seed` (see
+//! [`resilience::netchaos`] for the design):
+//!
+//! 1. **Abuse** (unless `--no-abuse`): dedicated sacrificial connections
+//!    flood the daemon with malformed JSON, invalid UTF-8,
+//!    out-of-geometry events, oversized lines, and mid-line disconnects.
+//!    None of it mutates fleet state; all of it must land in the
+//!    daemon's `service.reject.*` counters.
+//! 2. **Relay**: the proxy listens, and forwards each accepted client
+//!    connection to the daemon byte-for-byte — but torn into
+//!    deterministic partial writes with occasional 1–3 ms drip pauses.
+//!    A correct newline-delimited daemon produces byte-identical query
+//!    transcripts through this relay, which is what CI's `chaos-smoke`
+//!    job `cmp`s.
+//!
+//! ```text
+//! eccparity-chaosproxy (--listen-socket PATH | --listen-tcp HOST:PORT)
+//!                      (--upstream-socket PATH | --upstream-tcp HOST:PORT)
+//!                      [--seed N] [--abuse-lines N] [--oversized-bytes N]
+//!                      [--max-split N] [--drip-every N]
+//!                      [--torn-disconnects N] [--no-abuse]
+//!                      [--once] [--summary FILE]
+//! ```
+//!
+//! `--once` serves exactly one relay connection and exits (the CI mode);
+//! otherwise the proxy accepts until killed. `--summary FILE` writes one
+//! `eccparity-netchaos-v1` JSON line totalling everything injected, so
+//! the caller can assert the daemon attributed every hostile byte.
+//!
+//! Exit status: 0 success, 1 proxy/daemon I/O failure, 2 usage error.
+
+use resilience::netchaos::{
+    merge, run_abuse, run_relay, ChaosConfig, ChaosStream, ChaosSummary, Endpoint,
+};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::mpsc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eccparity-chaosproxy (--listen-socket PATH | --listen-tcp HOST:PORT)\n\
+         \x20                           (--upstream-socket PATH | --upstream-tcp HOST:PORT)\n\
+         \x20                           [--seed N] [--abuse-lines N] [--oversized-bytes N]\n\
+         \x20                           [--max-split N] [--drip-every N]\n\
+         \x20                           [--torn-disconnects N] [--no-abuse]\n\
+         \x20                           [--once] [--summary FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("eccparity-chaosproxy: {flag} needs an unsigned integer argument");
+            usage();
+        }
+    }
+}
+
+enum Acceptor {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Acceptor {
+    fn accept(&self) -> std::io::Result<ChaosStream> {
+        match self {
+            Acceptor::Unix(l, _) => l.accept().map(|(s, _)| ChaosStream::Unix(s)),
+            Acceptor::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                ChaosStream::Tcp(s)
+            }),
+        }
+    }
+}
+
+fn main() {
+    let mut listen: Option<Endpoint> = None;
+    let mut upstream: Option<Endpoint> = None;
+    let mut cfg = ChaosConfig::default();
+    let mut no_abuse = false;
+    let mut once = false;
+    let mut summary_out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen-socket" => {
+                let Some(p) = args.next() else { usage() };
+                listen = Some(Endpoint::Unix(PathBuf::from(p)));
+            }
+            "--listen-tcp" => {
+                let Some(a) = args.next() else { usage() };
+                listen = Some(Endpoint::Tcp(a));
+            }
+            "--upstream-socket" => {
+                let Some(p) = args.next() else { usage() };
+                upstream = Some(Endpoint::Unix(PathBuf::from(p)));
+            }
+            "--upstream-tcp" => {
+                let Some(a) = args.next() else { usage() };
+                upstream = Some(Endpoint::Tcp(a));
+            }
+            "--seed" => cfg.seed = parse_u64("--seed", args.next()),
+            "--abuse-lines" => cfg.abuse_lines = parse_u64("--abuse-lines", args.next()),
+            "--oversized-bytes" => {
+                cfg.oversized_bytes = parse_u64("--oversized-bytes", args.next()).max(2) as usize
+            }
+            "--max-split" => cfg.max_split = parse_u64("--max-split", args.next()).max(1) as usize,
+            "--drip-every" => cfg.drip_every = parse_u64("--drip-every", args.next()),
+            "--torn-disconnects" => {
+                cfg.torn_disconnects = parse_u64("--torn-disconnects", args.next())
+            }
+            "--no-abuse" => no_abuse = true,
+            "--once" => once = true,
+            "--summary" => {
+                let Some(f) = args.next() else { usage() };
+                summary_out = Some(PathBuf::from(f));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("eccparity-chaosproxy: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(listen) = listen else {
+        eprintln!("eccparity-chaosproxy: need --listen-socket or --listen-tcp");
+        usage();
+    };
+    let Some(upstream) = upstream else {
+        eprintln!("eccparity-chaosproxy: need --upstream-socket or --upstream-tcp");
+        usage();
+    };
+    if no_abuse {
+        cfg.abuse_lines = 0;
+        cfg.torn_disconnects = 0;
+    }
+
+    // Bind before the abuse phase so clients can connect while the
+    // daemon is absorbing garbage; their relayed bytes queue in the
+    // listener backlog.
+    let acceptor = match &listen {
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            match UnixListener::bind(path) {
+                Ok(l) => Acceptor::Unix(l, path.clone()),
+                Err(e) => {
+                    eprintln!("eccparity-chaosproxy: cannot bind {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Endpoint::Tcp(addr) => match TcpListener::bind(addr) {
+            Ok(l) => {
+                if let Ok(a) = l.local_addr() {
+                    eprintln!("eccparity-chaosproxy: listening on tcp://{a}");
+                }
+                Acceptor::Tcp(l)
+            }
+            Err(e) => {
+                eprintln!("eccparity-chaosproxy: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let mut total = match run_abuse(&upstream, &cfg) {
+        Ok(s) => {
+            eprintln!(
+                "eccparity-chaosproxy: abuse injected {} garbage / {} utf8 / {} geometry / \
+                 {} oversized lines, {} torn disconnects ({} responses drained)",
+                s.garbage_lines,
+                s.utf8_lines,
+                s.geometry_bad_lines,
+                s.oversized_lines,
+                s.torn_disconnects,
+                s.abuse_responses
+            );
+            s
+        }
+        Err(e) => {
+            eprintln!("eccparity-chaosproxy: abuse phase failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Relay phase. In --once mode one connection is served inline; in
+    // daemon mode each connection gets a thread and counters merge
+    // through a channel.
+    let (tx, rx) = mpsc::channel::<ChaosSummary>();
+    let mut stream_id = 0u64;
+    loop {
+        let client = match acceptor.accept() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("eccparity-chaosproxy: accept failed: {e}");
+                break;
+            }
+        };
+        stream_id += 1;
+        if once {
+            match run_relay(client, &upstream, &cfg, stream_id) {
+                Ok(s) => total = merge(total, s),
+                Err(e) => {
+                    eprintln!("eccparity-chaosproxy: relay failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            break;
+        }
+        let upstream = upstream.clone();
+        let tx = tx.clone();
+        let cfg_copy = cfg;
+        std::thread::spawn(
+            move || match run_relay(client, &upstream, &cfg_copy, stream_id) {
+                Ok(s) => {
+                    let _ = tx.send(s);
+                }
+                Err(e) => eprintln!("eccparity-chaosproxy: relay failed: {e}"),
+            },
+        );
+    }
+    drop(tx);
+    while let Ok(s) = rx.try_recv() {
+        total = merge(total, s);
+    }
+
+    if let Acceptor::Unix(_, path) = &acceptor {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!(
+        "eccparity-chaosproxy: relayed {} bytes in / {} bytes out over {} splits ({} drips)",
+        total.relay_bytes_in, total.relay_bytes_out, total.relay_splits, total.relay_drips
+    );
+    let json = total.to_json();
+    println!("{json}");
+    if let Some(out) = summary_out {
+        if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+            eprintln!("eccparity-chaosproxy: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

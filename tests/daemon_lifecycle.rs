@@ -229,3 +229,174 @@ fn malformed_events_are_rejected_not_fatal() {
     assert!(daemon.wait().expect("daemon exit").success());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn hostile_ingest_suite_attributes_every_rejection() {
+    let dir = scratch("hostile");
+    let sock = dir.join("d.sock");
+    let mut cmd = Command::new(daemon_bin());
+    cmd.arg("--socket")
+        .arg(&sock)
+        .arg("--shards")
+        .arg("2")
+        .arg("--max-line-bytes")
+        .arg("4096")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let mut daemon = cmd.spawn().expect("spawn eccparityd");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {sock:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stream = UnixStream::connect(&sock).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut expect_line = |what: &str| -> String {
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect(what);
+        assert!(!resp.is_empty(), "EOF while waiting for {what}");
+        resp
+    };
+
+    // Invalid UTF-8: parse reject with an error response.
+    writer.write_all(&[0xff, 0xfe, 0x80, b'{', b'\n']).unwrap();
+    // Garbage JSON: parse reject with an error response.
+    writer.write_all(b"{{{ nope\n").unwrap();
+    // Oversized: a 16 KiB line against the 4 KiB cap gets a structured
+    // refusal and is discarded without desyncing the stream.
+    let mut big = vec![b'x'; 16 * 1024];
+    big.push(b'\n');
+    writer.write_all(&big).unwrap();
+    // Interleaved garbage between valid events: both events must land.
+    writer
+        .write_all(b"{\"kind\":\"event\",\"node\":1,\"channel\":0,\"bank\":0,\"row\":7}\n")
+        .unwrap();
+    writer.write_all(b"interleaved garbage!\n").unwrap();
+    writer
+        .write_all(b"{\"kind\":\"event\",\"node\":2,\"channel\":1,\"bank\":1,\"row\":9}\n")
+        .unwrap();
+    // Geometry-bad event: shard-level reject, no response line.
+    writer
+        .write_all(b"{\"kind\":\"event\",\"node\":3,\"channel\":9999,\"bank\":0,\"row\":0}\n")
+        .unwrap();
+    writer.flush().unwrap();
+
+    for what in [
+        "utf8 error response",
+        "garbage error response",
+        "oversized refusal",
+        "interleaved error response",
+    ] {
+        let resp = expect_line(what);
+        assert!(resp.contains("\"ok\":false"), "{what}: {resp}");
+        if what == "oversized refusal" {
+            assert!(resp.contains("\"code\":\"oversized\""), "{resp}");
+        }
+    }
+
+    // A truncated final line on a second connection (mid-line disconnect)
+    // is processed at EOF and counted as one more parse reject.
+    let torn = UnixStream::connect(&sock).expect("connect torn");
+    let mut torn_w = torn.try_clone().expect("clone torn");
+    torn_w.write_all(b"{\"kind\":\"event\",\"no").unwrap();
+    torn_w.flush().unwrap();
+    drop(torn_w);
+    drop(torn);
+
+    // Poll until the torn connection's reject lands, then assert the
+    // full attribution: every hostile line is counted exactly once.
+    let poll_deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        writer
+            .write_all(b"{\"kind\":\"query\",\"op\":\"stats\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        let resp = expect_line("stats response");
+        if resp.contains("\"rejected_parse\":4") || Instant::now() >= poll_deadline {
+            break resp;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(stats.contains("\"events_ingested\":2"), "{stats}");
+    assert!(stats.contains("\"rejected_parse\":4"), "{stats}");
+    assert!(stats.contains("\"rejected_oversized\":1"), "{stats}");
+    assert!(stats.contains("\"rejected_geometry\":1"), "{stats}");
+    assert!(stats.contains("\"events_rejected\":6"), "{stats}");
+    assert!(stats.contains("\"degraded_shards\":0"), "{stats}");
+
+    writer
+        .write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+        .unwrap();
+    writer.flush().unwrap();
+    let bye = expect_line("shutdown response");
+    assert!(bye.contains("\"op\":\"shutdown\""), "{bye}");
+    assert!(daemon.wait().expect("daemon exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_inflight_events_into_final_checkpoint() {
+    let dir = scratch("drain");
+    let sock = dir.join("d.sock");
+    let state = dir.join("state");
+    let mut daemon = start_daemon(&sock, 4, Some(&state), false);
+
+    // Connection A: a burst of events with NO barrier query, then EOF —
+    // when the shutdown lands these may still be queued or buffered.
+    let total = 20_000u64;
+    {
+        let stream = UnixStream::connect(&sock).expect("connect burst");
+        let mut w = stream.try_clone().expect("clone burst");
+        let mut buf = Vec::with_capacity(total as usize * 64);
+        for i in 0..total {
+            buf.extend_from_slice(
+                format!(
+                    "{{\"kind\":\"event\",\"node\":{},\"channel\":{},\"bank\":{},\"row\":{}}}\n",
+                    i % 50,
+                    i % 8,
+                    i % 16,
+                    i % 1024
+                )
+                .as_bytes(),
+            );
+        }
+        w.write_all(&buf).unwrap();
+        w.flush().unwrap();
+    } // dropped: EOF
+
+    // Connection B: immediate shutdown. The drained final checkpoint
+    // must still contain every event from connection A.
+    let stream = UnixStream::connect(&sock).expect("connect ctl");
+    let mut w = stream.try_clone().expect("clone ctl");
+    let mut r = BufReader::new(stream);
+    w.write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+        .unwrap();
+    w.flush().unwrap();
+    let mut resp = String::new();
+    r.read_line(&mut resp).expect("shutdown response");
+    assert!(resp.contains("\"op\":\"shutdown\""), "{resp}");
+    assert!(daemon.wait().expect("daemon exit").success());
+
+    // Resume and count: all 20k events survived the shutdown race.
+    let mut daemon = start_daemon(&sock, 4, Some(&state), true);
+    let stream = UnixStream::connect(&sock).expect("connect resumed");
+    let mut w = stream.try_clone().expect("clone resumed");
+    let mut r = BufReader::new(stream);
+    w.write_all(b"{\"kind\":\"query\",\"op\":\"fleet\"}\n")
+        .unwrap();
+    w.write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+        .unwrap();
+    w.flush().unwrap();
+    let mut fleet = String::new();
+    r.read_line(&mut fleet).expect("fleet response");
+    assert!(
+        fleet.contains(&format!("\"events\":{total}")),
+        "shutdown lost in-flight events: {fleet}"
+    );
+    resp.clear();
+    r.read_line(&mut resp).expect("shutdown response");
+    assert!(daemon.wait().expect("daemon exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
