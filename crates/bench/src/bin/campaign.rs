@@ -9,180 +9,33 @@
 //!   one already migrated) or are **detected** uncorrectable;
 //! * silent corruption — a read returning wrong data as if clean — never
 //!   happens.
+//!
+//! The work plan itself lives in `eccparity_bench::faultcampaign` so the
+//! `eccparity-worker` binary can rebuild the identical shard list. With
+//! `ECC_PARITY_WORKERS` >= 2 this binary acts as the coordinator of a
+//! multi-process fleet (see `eccparity_bench::distrib`); otherwise it runs
+//! the shards in-process exactly as before. Either way stdout is
+//! byte-identical.
 
-use ecc_codes::lotecc::LotEcc;
-use ecc_parity::layout::LineLoc;
-use ecc_parity::memory::{MemError, ParityConfig, ParityMemory};
-use eccparity_bench::supervisor::{supervise, Shard, SupervisorConfig};
-use eccparity_bench::{fast_mode, print_table};
-use mem_faults::{ChipLocation, FaultInstance, FaultMode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
-
-#[derive(Default, Clone, Copy, Serialize, Deserialize)]
-struct Tally {
-    trials: u64,
-    clean_reads: u64,
-    corrected_reads: u64,
-    retired_pages: u64,
-    migrations: u64,
-    uncorrectable: u64,
-    silent: u64,
-}
-
-fn merge(a: Tally, b: Tally) -> Tally {
-    Tally {
-        trials: a.trials + b.trials,
-        clean_reads: a.clean_reads + b.clean_reads,
-        corrected_reads: a.corrected_reads + b.corrected_reads,
-        retired_pages: a.retired_pages + b.retired_pages,
-        migrations: a.migrations + b.migrations,
-        uncorrectable: a.uncorrectable + b.uncorrectable,
-        silent: a.silent + b.silent,
-    }
-}
-
-fn random_fault(
-    rng: &mut StdRng,
-    cfg: &ParityConfig,
-    mode: FaultMode,
-    channel: usize,
-) -> FaultInstance {
-    FaultInstance {
-        chip: ChipLocation {
-            channel,
-            rank: 0,
-            chip: rng.gen_range(0..5),
-        },
-        mode,
-        bank: rng.gen_range(0..cfg.banks_per_channel as u32),
-        row: rng.gen_range(0..cfg.data_rows),
-        line: rng.gen_range(0..cfg.lines_per_row),
-        pattern_seed: rng.gen(),
-    }
-}
-
-fn run_trial(seed: u64, mode: FaultMode, double: bool) -> Tally {
-    let cfg = ParityConfig::small(4);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut mem = ParityMemory::new(LotEcc::five(), cfg);
-    // Draw every line's contents in the original per-line order (writes
-    // consume no randomness), then push the whole fill through the batched
-    // write path so codec setup is amortized across the channel.
-    let mut shadow = vec![];
-    for c in 0..cfg.channels {
-        for bank in 0..cfg.banks_per_channel {
-            for row in 0..cfg.data_rows {
-                for line in 0..cfg.lines_per_row {
-                    let d: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
-                    let loc = LineLoc { bank, row, line };
-                    shadow.push((c, loc, d));
-                }
-            }
-        }
-    }
-    let batch: Vec<(usize, LineLoc, &[u8])> = shadow
-        .iter()
-        .map(|(c, loc, d)| (*c, *loc, d.as_slice()))
-        .collect();
-    for res in mem.write_lines(&batch) {
-        res.unwrap();
-    }
-    let c1 = rng.gen_range(0..cfg.channels);
-    mem.inject_fault(random_fault(&mut rng, &cfg, mode, c1));
-    if double {
-        let mut c2 = rng.gen_range(0..cfg.channels);
-        while c2 == c1 {
-            c2 = rng.gen_range(0..cfg.channels);
-        }
-        mem.inject_fault(random_fault(&mut rng, &cfg, mode, c2));
-    }
-    // Scrub twice (detection + post-migration steady state), then audit.
-    let rep1 = mem.scrub();
-    let rep2 = mem.scrub();
-    let mut t = Tally {
-        trials: 1,
-        migrations: rep1.pairs_migrated + rep2.pairs_migrated,
-        uncorrectable: rep1.uncorrectable + rep2.uncorrectable,
-        ..Default::default()
-    };
-    t.retired_pages = mem.health().retired_count() as u64;
-    let before_errors = mem.stats().detected_errors;
-    for (c, loc, d) in &shadow {
-        if mem.health().is_retired(*c, loc.bank, loc.row) {
-            continue;
-        }
-        match mem.read(*c, *loc) {
-            Ok(got) => {
-                if &got == d {
-                    t.clean_reads += 1;
-                } else {
-                    t.silent += 1; // must never happen
-                }
-            }
-            Err(MemError::Uncorrectable) => t.uncorrectable += 1,
-            Err(MemError::RetiredPage) => {}
-            // Locations come from the shadow copy of successful writes, so
-            // addressing errors are impossible here; surface loudly if not.
-            Err(e) => panic!("unexpected memory error during campaign read: {e}"),
-        }
-    }
-    t.corrected_reads = mem.stats().detected_errors - before_errors;
-    t
-}
+use eccparity_bench::distrib::supervise_distributed;
+use eccparity_bench::faultcampaign::{self, merge, Tally};
+use eccparity_bench::print_table;
+use eccparity_bench::supervisor::SupervisorConfig;
 
 fn main() {
-    let run_meter = eccparity_bench::RunMeter::start("campaign");
-    let trials: u64 = if fast_mode() { 40 } else { 150 };
-    // Supervised execution: each (fault mode, single/double) group is cut
-    // into trial chunks small enough that a SIGKILL loses at most one
-    // chunk's work; seeds depend only on the trial index, so the chunked
-    // tallies sum to exactly what the old monolithic loop produced.
-    let chunk: u64 = if fast_mode() { 10 } else { 25 };
-    let groups: Vec<(bool, FaultMode)> = [false, true]
-        .iter()
-        .flat_map(|&double| FaultMode::ALL.iter().map(move |&mode| (double, mode)))
-        .collect();
-    let mut shards: Vec<Shard<Tally>> = vec![];
-    let mut shard_group: Vec<usize> = vec![];
-    for (gi, &(double, mode)) in groups.iter().enumerate() {
-        for k in 0..trials.div_ceil(chunk) {
-            let lo = k * chunk;
-            let hi = (lo + chunk).min(trials);
-            shards.push(Shard::new(
-                format!(
-                    "campaign:{mode:?}{}:chunk{k}",
-                    if double { "+x2ch" } else { "" }
-                ),
-                move || {
-                    (lo..hi)
-                        .into_par_iter()
-                        .map(|i| run_trial(i * 31 + mode as u64 * 7 + double as u64, mode, double))
-                        .reduce(Tally::default, merge)
-                },
-            ));
-            shard_group.push(gi);
-        }
-    }
-    let sup_cfg = SupervisorConfig::from_env(
-        "campaign",
-        format!(
-            "campaign-v1|trials={trials}|chunk={chunk}|groups={}",
-            groups.len()
-        ),
-    );
-    let supervised = supervise(&sup_cfg, shards);
+    let run_meter = eccparity_bench::RunMeter::start(faultcampaign::CAMPAIGN_NAME);
+    let plan = faultcampaign::plan();
+    let sup_cfg = SupervisorConfig::from_env(faultcampaign::CAMPAIGN_NAME, plan.config_key());
+    let supervised = supervise_distributed(&sup_cfg, plan.shards);
     supervised.exit_if_incomplete();
 
-    let mut tallies = vec![Tally::default(); groups.len()];
-    for (t, &gi) in supervised.into_results().iter().zip(&shard_group) {
+    let mut tallies = vec![Tally::default(); plan.groups.len()];
+    for (t, &gi) in supervised.into_results().iter().zip(&plan.shard_group) {
         tallies[gi] = merge(tallies[gi], *t);
     }
     let mut rows = vec![];
     let mut total_silent = 0u64;
-    for (&(double, mode), tally) in groups.iter().zip(&tallies) {
+    for (&(double, mode), tally) in plan.groups.iter().zip(&tallies) {
         total_silent += tally.silent;
         rows.push(vec![
             format!("{mode:?}{}", if double { " x2ch" } else { "" }),

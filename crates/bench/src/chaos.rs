@@ -110,6 +110,40 @@ impl Chaos {
             None
         }
     }
+
+    /// Should the worker die (`kill -9` style, no cleanup) right after
+    /// claiming this shard's lease? Fires for ~1 in 8 shards when armed,
+    /// and only under the *first* lease generation (`token == 1`): the
+    /// stealer who bumps the fencing token is never re-killed, so a chaos
+    /// campaign always drains.
+    pub fn worker_kill_after_claim(&self, shard: &str, token: u64) -> bool {
+        token == 1 && self.roll("worker.kill", fnv1a64(shard.as_bytes()), 0, 8)
+    }
+
+    /// Should the worker holding this shard stop heartbeating (process
+    /// alive but wedged)? The lease then expires by TTL and is stolen.
+    /// First lease generation only, for the same convergence reason as
+    /// [`worker_kill_after_claim`](Self::worker_kill_after_claim). ~1 in 8
+    /// shards when armed.
+    pub fn worker_heartbeat_stall(&self, shard: &str, token: u64) -> bool {
+        token == 1 && self.roll("worker.stall", fnv1a64(shard.as_bytes()), 0, 8)
+    }
+
+    /// Should the worker attempt a deliberate second claim of a shard it
+    /// already owns (double-claim race probe)? The lease layer must refuse
+    /// it. ~1 in 8 shards when armed; fires at any token.
+    pub fn worker_double_claim(&self, shard: &str) -> bool {
+        self.roll("worker.doubleclaim", fnv1a64(shard.as_bytes()), 0, 8)
+    }
+
+    /// Should the worker forge a late publish under a *stale* fencing
+    /// token before its real one (zombie-writer probe)? Replay must pick
+    /// the higher-token record. Fires only once the token has been bumped
+    /// past the forged generation (`token > 1`), ~1 in 8 shards when
+    /// armed.
+    pub fn worker_stale_publish(&self, shard: &str, token: u64) -> bool {
+        token > 1 && self.roll("worker.stalepub", fnv1a64(shard.as_bytes()), 0, 8)
+    }
 }
 
 /// The process-wide chaos handle, armed by `ECC_PARITY_CHAOS=<seed>`.
@@ -143,7 +177,39 @@ mod tests {
             assert!(!c.fail_journal_write(i));
             assert!(!c.shard_panic(&format!("s{i}"), 1));
             assert!(c.shard_delay_ms(&format!("s{i}"), 1).is_none());
+            assert!(!c.worker_kill_after_claim(&format!("s{i}"), 1));
+            assert!(!c.worker_heartbeat_stall(&format!("s{i}"), 1));
+            assert!(!c.worker_double_claim(&format!("s{i}")));
+            assert!(!c.worker_stale_publish(&format!("s{i}"), 2));
         }
+    }
+
+    #[test]
+    fn worker_faults_respect_token_gates() {
+        let c = Chaos::from_seed(7);
+        let mut kills = 0;
+        let mut stalls = 0;
+        let mut stale = 0;
+        for i in 0..400u64 {
+            let shard = format!("campaign:shard{i}");
+            if c.worker_kill_after_claim(&shard, 1) {
+                kills += 1;
+            }
+            if c.worker_heartbeat_stall(&shard, 1) {
+                stalls += 1;
+            }
+            if c.worker_stale_publish(&shard, 2) {
+                stale += 1;
+            }
+            // Steal generations are never re-killed or re-stalled, and a
+            // stale publish can only be forged once a steal happened.
+            assert!(!c.worker_kill_after_claim(&shard, 2));
+            assert!(!c.worker_heartbeat_stall(&shard, 3));
+            assert!(!c.worker_stale_publish(&shard, 1));
+        }
+        assert!(kills > 5, "kill-after-claim must fire somewhere ({kills})");
+        assert!(stalls > 5, "heartbeat stall must fire somewhere ({stalls})");
+        assert!(stale > 5, "stale publish must fire somewhere ({stale})");
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Crash-safe shard leases for multi-process campaign workers.
+//!
+//! A distributed campaign (see [`crate::distrib`]) runs several
+//! `eccparity-worker` processes against one checkpoint journal. Before a
+//! worker executes a shard it must *claim* it here: a lease file in
+//! `<ckpt-dir>/<campaign>.leases/` names the owner (pid + per-claim
+//! nonce), proves liveness (heartbeat mtime), and carries a **monotonic
+//! fencing token** that makes zombie writers harmless.
+//!
+//! The protocol:
+//!
+//! * **Acquire** ([`try_claim`]): write the lease body to a unique temp
+//!   file, fsync, then `hard_link` it to the lease path. `link(2)` fails
+//!   with `EEXIST` if anyone else got there first, so acquisition is a
+//!   true atomic test-and-set on every POSIX filesystem — no
+//!   read-modify-write window. A fresh claim starts at fencing token 1.
+//! * **Heartbeat** ([`Lease::heartbeat`]): bump the lease file's mtime
+//!   (after re-verifying the nonce, so a stolen lease is detected rather
+//!   than resurrected). A lease whose mtime is older than
+//!   `ECC_PARITY_LEASE_TTL_MS` is *expired*.
+//! * **Steal**: a claimant finding an existing lease checks staleness —
+//!   owner pid dead (`/proc/<pid>` gone) or heartbeat expired. Stale
+//!   leases are overwritten via tmp+fsync+rename with `token + 1`, then
+//!   read back: only the claimant whose nonce survived the rename race
+//!   holds the lease. The token bump is what fences the previous owner: a
+//!   zombie that wakes up and publishes its result does so under the old
+//!   token, and journal distillation keeps the highest-token record
+//!   (`supervisor.journal.superseded`).
+//! * **Release** ([`Lease::release`]): verify nonce, remove the file.
+//!
+//! Two stealers can race the rename and transiently both believe they
+//! won with the same token; the next heartbeat or the pre-publish
+//! [`Lease::still_owned`] check demotes the loser
+//! (`supervisor.lease.lost`), and because shard work is deterministic an
+//! equal-token double publish is byte-identical anyway — journal replay
+//! resolves it last-valid-wins.
+//!
+//! Every transition is attributed through `obs`: `supervisor.lease.
+//! {claimed, stolen_dead_pid, stolen_expired, claim_conflicts,
+//! heartbeats, lost, released, requeued}`.
+
+use crate::hash::fnv1a64;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// Schema stamped into every lease file.
+pub const LEASE_SCHEMA: &str = "eccparity-lease-v1";
+
+/// Timing knobs for the lease protocol, read from the environment once
+/// per call site via [`LeaseConfig::from_env`].
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// A lease whose mtime is older than this is stealable even if the
+    /// owner pid is alive (wedged worker). `ECC_PARITY_LEASE_TTL_MS`,
+    /// default 2000.
+    pub ttl: Duration,
+    /// How often owners refresh the lease mtime. Must be well under
+    /// `ttl` or healthy workers get robbed. `ECC_PARITY_HEARTBEAT_MS`,
+    /// default 300.
+    pub heartbeat: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            ttl: Duration::from_millis(2000),
+            heartbeat: Duration::from_millis(300),
+        }
+    }
+}
+
+impl LeaseConfig {
+    /// Build from `ECC_PARITY_LEASE_TTL_MS` / `ECC_PARITY_HEARTBEAT_MS`,
+    /// falling back to the defaults on unset or unparsable values.
+    pub fn from_env() -> LeaseConfig {
+        fn ms(var: &str, default: u64) -> Duration {
+            let v = std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(default);
+            Duration::from_millis(v.max(1))
+        }
+        LeaseConfig {
+            ttl: ms("ECC_PARITY_LEASE_TTL_MS", 2000),
+            heartbeat: ms("ECC_PARITY_HEARTBEAT_MS", 300),
+        }
+    }
+}
+
+/// On-disk lease body (`eccparity-lease-v1`), one JSON object per file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeaseFile {
+    /// Always [`LEASE_SCHEMA`].
+    pub schema: String,
+    /// Shard name the lease covers (journal shard key, unsanitized).
+    pub shard: String,
+    /// Owner process id, used for dead-owner detection via `/proc`.
+    pub pid: u32,
+    /// Per-claim unique value; distinguishes two claims by the same pid
+    /// (worker threads in tests) and arbitrates rename races on steal.
+    pub nonce: u64,
+    /// Monotonic fencing token: 1 on first claim, +1 per steal. Journal
+    /// records published under a lower token than a later record for the
+    /// same shard are superseded at replay.
+    pub token: u64,
+}
+
+/// A successfully claimed lease, held by this process.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// Path of the lease file in the campaign's lease directory.
+    pub path: PathBuf,
+    /// Shard name the lease covers.
+    pub shard: String,
+    /// Fencing token this claim holds; stamp it into the journal record.
+    pub token: u64,
+    nonce: u64,
+}
+
+/// Outcome of a [`try_claim`] attempt.
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// We hold the lease; execute the shard and publish under its token.
+    Claimed(Lease),
+    /// Someone else holds a live lease; pick another shard.
+    Busy,
+    /// The lease looked stale but another claimant won the steal race;
+    /// back off before rescanning.
+    Conflict,
+}
+
+/// Directory holding one lease file per in-flight shard of `campaign`.
+pub fn lease_dir(ckpt_dir: &Path, campaign: &str) -> PathBuf {
+    ckpt_dir.join(format!("{campaign}.leases"))
+}
+
+/// Lease-file path for `shard`. Shard names carry `:`/`[`/`+` freely, so
+/// the filename is a sanitized prefix plus a hash for uniqueness.
+pub fn lease_path(dir: &Path, shard: &str) -> PathBuf {
+    let safe: String = shard
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .take(48)
+        .collect();
+    dir.join(format!("{safe}-{:016x}.lease", fnv1a64(shard.as_bytes())))
+}
+
+/// Is `pid` an existing process? Linux answers via `/proc`; elsewhere we
+/// conservatively say yes, so only heartbeat expiry steals leases.
+pub fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Process-global claim sequence; combined with the pid it makes every
+/// claim's nonce unique across the fleet.
+fn next_nonce() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    ((std::process::id() as u64) << 32) ^ seq
+}
+
+fn counter_inc(name: &str) {
+    match name {
+        "claimed" => obs::counter!("supervisor.lease.claimed").inc(),
+        "stolen_dead_pid" => obs::counter!("supervisor.lease.stolen_dead_pid").inc(),
+        "stolen_expired" => obs::counter!("supervisor.lease.stolen_expired").inc(),
+        "claim_conflicts" => obs::counter!("supervisor.lease.claim_conflicts").inc(),
+        "heartbeats" => obs::counter!("supervisor.lease.heartbeats").inc(),
+        "lost" => obs::counter!("supervisor.lease.lost").inc(),
+        "released" => obs::counter!("supervisor.lease.released").inc(),
+        "requeued" => obs::counter!("supervisor.lease.requeued").inc(),
+        _ => unreachable!("unknown lease counter {name}"),
+    }
+}
+
+/// Write `body` to a unique temp file in `dir`, fsync, return its path.
+fn write_tmp(dir: &Path, body: &LeaseFile) -> std::io::Result<PathBuf> {
+    let tmp = dir.join(format!(".tmp-{}-{:x}", std::process::id(), body.nonce));
+    let json = serde_json::to_string(body).map_err(std::io::Error::other)?;
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(json.as_bytes())?;
+    f.sync_all()?;
+    Ok(tmp)
+}
+
+fn read_lease(path: &Path) -> Option<LeaseFile> {
+    let raw = fs::read_to_string(path).ok()?;
+    let lease: LeaseFile = serde_json::from_str(&raw).ok()?;
+    (lease.schema == LEASE_SCHEMA).then_some(lease)
+}
+
+fn mtime_age(path: &Path) -> Option<Duration> {
+    let meta = fs::metadata(path).ok()?;
+    let mtime = meta.modified().ok()?;
+    SystemTime::now().duration_since(mtime).ok()
+}
+
+/// Attempt to claim `shard` in `dir`, creating the directory if needed.
+///
+/// Returns [`ClaimOutcome::Claimed`] when this process now holds the
+/// lease (fresh claim at token 1, or a steal at the previous token + 1),
+/// [`ClaimOutcome::Busy`] when a live owner holds it, and
+/// [`ClaimOutcome::Conflict`] when a steal race was lost.
+pub fn try_claim(dir: &Path, shard: &str, cfg: &LeaseConfig) -> std::io::Result<ClaimOutcome> {
+    fs::create_dir_all(dir)?;
+    let path = lease_path(dir, shard);
+    let nonce = next_nonce();
+    let fresh = LeaseFile {
+        schema: LEASE_SCHEMA.to_string(),
+        shard: shard.to_string(),
+        pid: std::process::id(),
+        nonce,
+        token: 1,
+    };
+
+    if !path.exists() {
+        let tmp = write_tmp(dir, &fresh)?;
+        match fs::hard_link(&tmp, &path) {
+            Ok(()) => {
+                let _ = fs::remove_file(&tmp);
+                counter_inc("claimed");
+                return Ok(ClaimOutcome::Claimed(Lease {
+                    path,
+                    shard: shard.to_string(),
+                    token: 1,
+                    nonce,
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // Lost the create race; fall through to the staleness
+                // check against whoever won.
+                let _ = fs::remove_file(&tmp);
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
+        }
+    }
+
+    // An unreadable lease can only come from outside interference (the
+    // write path is tmp+fsync+rename/link); treat it as token-1 stale so
+    // the steal below fences whatever wrote it.
+    let current = read_lease(&path);
+    let (cur_token, stale_reason) = match &current {
+        Some(l) => {
+            if !pid_alive(l.pid) {
+                (l.token, Some("stolen_dead_pid"))
+            } else if mtime_age(&path).is_some_and(|age| age > cfg.ttl) {
+                (l.token, Some("stolen_expired"))
+            } else {
+                (l.token, None)
+            }
+        }
+        None => {
+            if !path.exists() {
+                // Released between our exists() check and the read;
+                // retry from the top on the caller's next scan.
+                return Ok(ClaimOutcome::Conflict);
+            }
+            (1, Some("stolen_expired"))
+        }
+    };
+    let Some(reason) = stale_reason else {
+        return Ok(ClaimOutcome::Busy);
+    };
+
+    let stolen = LeaseFile {
+        token: cur_token + 1,
+        ..fresh
+    };
+    let tmp = write_tmp(dir, &stolen)?;
+    fs::rename(&tmp, &path)?;
+    // Read back: if another stealer renamed after us, its body is what
+    // the file now holds and it owns the lease.
+    match read_lease(&path) {
+        Some(l) if l.nonce == nonce => {
+            counter_inc(reason);
+            Ok(ClaimOutcome::Claimed(Lease {
+                path,
+                shard: shard.to_string(),
+                token: stolen.token,
+                nonce,
+            }))
+        }
+        _ => {
+            counter_inc("claim_conflicts");
+            Ok(ClaimOutcome::Conflict)
+        }
+    }
+}
+
+impl Lease {
+    /// Refresh the lease mtime, proving liveness. Returns `false` (and
+    /// counts `supervisor.lease.lost`) if the lease was stolen — the
+    /// caller must stop work on the shard and not publish.
+    pub fn heartbeat(&self) -> bool {
+        if !self.still_owned() {
+            return false;
+        }
+        let now = SystemTime::now();
+        let ok = fs::File::options()
+            .append(true)
+            .open(&self.path)
+            .and_then(|f| f.set_modified(now))
+            .is_ok();
+        if ok {
+            counter_inc("heartbeats");
+        }
+        ok
+    }
+
+    /// Does the lease file still carry our nonce? Checked before every
+    /// heartbeat and before publishing the shard result.
+    pub fn still_owned(&self) -> bool {
+        match read_lease(&self.path) {
+            Some(l) if l.nonce == self.nonce => true,
+            _ => {
+                counter_inc("lost");
+                false
+            }
+        }
+    }
+
+    /// Drop the claim after publishing: verify ownership, remove the
+    /// file. Releasing a stolen lease is a no-op.
+    pub fn release(self) {
+        if let Some(l) = read_lease(&self.path) {
+            if l.nonce == self.nonce {
+                let _ = fs::remove_file(&self.path);
+                counter_inc("released");
+            }
+        }
+    }
+}
+
+/// Coordinator-side attribution of a dead worker's in-flight shards.
+/// Returns the shard names whose lease `pid` still holds and counts them
+/// as re-queued — but deliberately does NOT remove the lease files:
+/// deleting one would reset its fencing token to 1 on the next claim,
+/// erasing the history that fences zombie publishes (and re-arming
+/// token-gated chaos faults into a kill loop). The dead pid alone makes
+/// each lease instantly stealable, so the next scanning worker picks the
+/// shard up with a token bump and no TTL wait.
+pub fn requeue_leases_of(dir: &Path, pid: u32) -> Vec<String> {
+    let mut requeued = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return requeued;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("lease") {
+            continue;
+        }
+        if let Some(l) = read_lease(&path) {
+            if l.pid == pid {
+                counter_inc("requeued");
+                requeued.push(l.shard);
+            }
+        }
+    }
+    requeued
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "eccparity-lease-{tag}-{}-{:x}",
+            std::process::id(),
+            next_nonce()
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fresh_claim_then_busy_then_release() {
+        let d = tmpdir("fresh");
+        let cfg = LeaseConfig::default();
+        let lease = match try_claim(&d, "campaign:shardA", &cfg).unwrap() {
+            ClaimOutcome::Claimed(l) => l,
+            other => panic!("expected claim, got {other:?}"),
+        };
+        assert_eq!(lease.token, 1);
+        assert!(matches!(
+            try_claim(&d, "campaign:shardA", &cfg).unwrap(),
+            ClaimOutcome::Busy
+        ));
+        assert!(lease.heartbeat());
+        let path = lease.path.clone();
+        lease.release();
+        assert!(!path.exists());
+        // Released shard is claimable again, fresh token.
+        match try_claim(&d, "campaign:shardA", &cfg).unwrap() {
+            ClaimOutcome::Claimed(l) => assert_eq!(l.token, 1),
+            other => panic!("expected re-claim, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn distinct_shards_do_not_collide() {
+        let d = tmpdir("distinct");
+        let cfg = LeaseConfig::default();
+        let a = try_claim(&d, "campaign:Mode[+x2ch]:chunk0", &cfg).unwrap();
+        let b = try_claim(&d, "campaign:Mode[+x2ch]:chunk1", &cfg).unwrap();
+        assert!(matches!(a, ClaimOutcome::Claimed(_)));
+        assert!(matches!(b, ClaimOutcome::Claimed(_)));
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -96,6 +96,12 @@ pub enum JournalRecord {
         checksum: u64,
         /// Serialized shard result (empty for failure classes).
         payload: String,
+        /// Fencing token of the lease under which the record was
+        /// published (0 = single-process supervision, no lease). When two
+        /// workers publish records for the same shard — a zombie whose
+        /// lease was stolen plus the thief — the higher token wins and the
+        /// lower is discarded as superseded (see [`distill_records`]).
+        token: u64,
     },
     /// Every shard reached a terminal class; the campaign finished.
     RunComplete {
@@ -104,15 +110,18 @@ pub enum JournalRecord {
     },
 }
 
-/// Parse a journal file, tolerating a torn tail: records after the first
-/// unparsable line are dropped. Returns the parsed prefix and whether a
-/// torn/damaged tail was skipped.
+/// Parse a journal file, tolerating damage anywhere: unparsable lines are
+/// skipped and replay continues with the next line. A lone writer only
+/// ever tears the tail (the whole file is republished atomically), but a
+/// distributed campaign has many workers appending concurrently, so a torn
+/// or interleaved line mid-file must not cost the records after it.
+/// Returns the parsed records and whether any damaged line was skipped.
 pub fn replay_journal(path: &Path) -> (Vec<JournalRecord>, bool) {
     let Ok(text) = std::fs::read_to_string(path) else {
         return (Vec::new(), false);
     };
     let mut records = Vec::new();
-    let mut torn = false;
+    let mut damaged = false;
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
@@ -120,21 +129,44 @@ pub fn replay_journal(path: &Path) -> (Vec<JournalRecord>, bool) {
         match serde_json::from_str::<JournalRecord>(line) {
             Ok(rec) => records.push(rec),
             Err(_) => {
-                torn = true;
-                break;
+                damaged = true;
+                obs::counter!("supervisor.journal.damaged_lines").inc();
             }
         }
     }
-    (records, torn)
+    (records, damaged)
+}
+
+/// Append one record to a journal as a single `O_APPEND` line write plus
+/// fsync. This is the multi-writer publish path: every worker process of a
+/// distributed campaign appends to the shared journal, and a one-line
+/// append (unlike the whole-file republish of single-process supervision)
+/// cannot clobber a concurrent writer's records. [`replay_journal`]'s
+/// skip-damaged-lines tolerance covers the residual risk of two appends
+/// interleaving bytes.
+pub fn append_record(path: &Path, rec: &JournalRecord) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut line = serde_json::to_string(rec)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.sync_all()
 }
 
 /// The append-only checkpoint journal with atomic whole-file publishes.
-struct Journal {
-    path: Option<PathBuf>,
-    records: Vec<JournalRecord>,
-    chaos: Chaos,
-    persists: u64,
-    write_failures: u64,
+pub(crate) struct Journal {
+    pub(crate) path: Option<PathBuf>,
+    pub(crate) records: Vec<JournalRecord>,
+    pub(crate) chaos: Chaos,
+    pub(crate) persists: u64,
+    pub(crate) write_failures: u64,
 }
 
 impl Journal {
@@ -149,7 +181,7 @@ impl Journal {
     /// continues — the journal is a durability optimization, never a
     /// correctness dependency; the records stay in memory, so the next
     /// successful persist publishes everything.
-    fn persist(&mut self) {
+    pub(crate) fn persist(&mut self) {
         let Some(path) = self.path.clone() else {
             return;
         };
@@ -292,10 +324,11 @@ impl SupervisorConfig {
         }
     }
 
-    fn journal_path(&self) -> Option<PathBuf> {
-        let dir = self.dir.as_ref()?;
-        let stem: String = self
-            .campaign
+    /// Filesystem-safe stem derived from the campaign name; every
+    /// checkpoint-directory artifact (journal, lease dir, progress stamp)
+    /// shares it so coordinator and workers agree on paths.
+    fn stem(&self) -> String {
+        self.campaign
             .chars()
             .map(|c| {
                 if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
@@ -304,8 +337,28 @@ impl SupervisorConfig {
                     '_'
                 }
             })
-            .collect();
-        Some(dir.join(format!("{stem}.journal.jsonl")))
+            .collect()
+    }
+
+    /// The journal file this configuration reads and writes, if
+    /// journaling is enabled. Worker processes of a distributed campaign
+    /// attach to the same path the coordinator publishes.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        Some(dir.join(format!("{}.journal.jsonl", self.stem())))
+    }
+
+    /// Directory of per-shard lease files for distributed workers.
+    pub fn lease_dir(&self) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        Some(dir.join(format!("{}.leases", self.stem())))
+    }
+
+    /// Live progress stamp (`eccparity-progress-v1`) the coordinator
+    /// republishes while a distributed campaign runs.
+    pub fn progress_path(&self) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        Some(dir.join(format!("{}.progress.json", self.stem())))
     }
 }
 
@@ -327,6 +380,28 @@ impl<T> Shard<T> {
         Shard {
             name: name.into(),
             work: Arc::new(work),
+        }
+    }
+
+    /// Run the shard's work once, in the calling thread. Worker processes
+    /// use this (under their own catch_unwind + watchdog machinery); the
+    /// in-process scheduler below goes through the crate-private
+    /// `work_arc` accessor instead so the closure can outlive an
+    /// abandoned attempt thread.
+    pub fn run(&self) -> T {
+        (self.work)()
+    }
+
+    pub(crate) fn work_arc(&self) -> Arc<dyn Fn() -> T + Send + Sync + 'static> {
+        Arc::clone(&self.work)
+    }
+}
+
+impl<T> Clone for Shard<T> {
+    fn clone(&self) -> Shard<T> {
+        Shard {
+            name: self.name.clone(),
+            work: Arc::clone(&self.work),
         }
     }
 }
@@ -416,15 +491,30 @@ impl<T> SupervisedRun<T> {
     }
 
     /// Successful results in submission order, consuming the run.
-    /// Panics if any shard failed — call [`Self::exit_if_incomplete`] (or
-    /// check [`Self::all_succeeded`]) first.
+    ///
+    /// A shard without a result is an infrastructure failure, not a bug in
+    /// the caller, so this never panics: it reports every failed shard to
+    /// stderr, flushes observability artifacts, and exits with status 3 —
+    /// the same exit-code discipline as [`Self::exit_if_incomplete`]
+    /// (1 validation failure / 2 usage error / 3 shard failure).
     pub fn into_results(self) -> Vec<T> {
+        self.exit_if_incomplete();
         self.outcomes
             .into_iter()
-            .map(|o| {
-                o.result.unwrap_or_else(|| {
-                    panic!("shard {} produced no result ({})", o.name, o.class.as_str())
-                })
+            .map(|o| match o.result {
+                Some(v) => v,
+                None => {
+                    // Unreachable after exit_if_incomplete, but keep the
+                    // structured path rather than a panic if an outcome
+                    // class and its result ever disagree.
+                    eprintln!(
+                        "supervisor: shard {} classified {} but carries no result",
+                        o.name,
+                        o.class.as_str()
+                    );
+                    obs::trace::flush();
+                    std::process::exit(3);
+                }
             })
             .collect()
     }
@@ -447,14 +537,152 @@ impl<T> SupervisedRun<T> {
     }
 }
 
-// ---- execution -------------------------------------------------------------
+// ---- journal distillation --------------------------------------------------
 
-struct DoneRecord {
-    class: OutcomeClass,
-    attempts: u32,
-    wall_ms: u64,
-    payload: String,
+/// One shard's settled state, distilled from its (possibly many) journal
+/// records.
+#[derive(Debug, Clone)]
+pub struct DoneRecord {
+    /// Terminal classification the publishing worker recorded.
+    pub class: OutcomeClass,
+    /// Attempts the publishing worker consumed.
+    pub attempts: u32,
+    /// Wall time of the deciding attempt, milliseconds.
+    pub wall_ms: u64,
+    /// Serialized result (empty for failure classes).
+    pub payload: String,
+    /// Fencing token the record was published under.
+    pub token: u64,
 }
+
+/// A journal's records distilled into per-shard terminal state, tolerating
+/// everything a fleet of crash-prone workers can leave behind: duplicate
+/// done-records for one shard, zombie publishes from a superseded fencing
+/// token, and payloads that fail their checksum.
+#[derive(Debug, Default)]
+pub struct JournalView {
+    /// Shard name -> winning terminal record (any class). The winner among
+    /// duplicates is the record with the highest fencing token;
+    /// ties go to the latest record in file order (last-valid-wins).
+    pub done: HashMap<String, DoneRecord>,
+    /// Shard name -> `ShardStart`s with no matching `ShardDone` (times the
+    /// shard was in flight at a process death).
+    pub crash_counts: HashMap<String, u32>,
+    /// Valid-but-losing duplicates discarded (stale fencing token or
+    /// superseded by a later equal-token record).
+    pub superseded: u64,
+    /// Records whose payload failed its checksum, quarantined rather than
+    /// trusted.
+    pub quarantined: u64,
+}
+
+/// Distill journal records into per-shard terminal state. Duplicate
+/// done-records resolve by fencing token (highest wins; equal tokens:
+/// last-valid-wins), counted in `supervisor.journal.superseded`. A record
+/// whose payload fails its FNV-1a checksum is never trusted: it is counted
+/// in `supervisor.journal.quarantined` and, when `quarantine` names a
+/// path, appended there as one JSON line for post-mortems.
+pub fn distill_records(records: &[JournalRecord], quarantine: Option<&Path>) -> JournalView {
+    let mut view = JournalView::default();
+    for rec in records {
+        match rec {
+            JournalRecord::ShardStart { shard } => {
+                *view.crash_counts.entry(shard.clone()).or_insert(0) += 1;
+            }
+            JournalRecord::ShardDone {
+                shard,
+                class,
+                attempts,
+                wall_ms,
+                checksum,
+                payload,
+                token,
+            } => {
+                view.crash_counts
+                    .entry(shard.clone())
+                    .and_modify(|n| *n = n.saturating_sub(1));
+                let Some(class) = OutcomeClass::from_str(class) else {
+                    continue;
+                };
+                if *checksum != fnv1a64(payload.as_bytes()) {
+                    view.quarantined += 1;
+                    obs::counter!("supervisor.journal.quarantined").inc();
+                    if let Some(qpath) = quarantine {
+                        if let Ok(line) = serde_json::to_string(rec) {
+                            let _ = append_line(qpath, &line);
+                        }
+                    }
+                    continue;
+                }
+                let incoming = DoneRecord {
+                    class,
+                    attempts: *attempts,
+                    wall_ms: *wall_ms,
+                    payload: payload.clone(),
+                    token: *token,
+                };
+                match view.done.get_mut(shard) {
+                    Some(existing) if existing.token > incoming.token => {
+                        // Zombie publish from a stolen lease: the thief's
+                        // higher-token record already landed.
+                        view.superseded += 1;
+                        obs::counter!("supervisor.journal.superseded").inc();
+                    }
+                    Some(existing) => {
+                        *existing = incoming;
+                        view.superseded += 1;
+                        obs::counter!("supervisor.journal.superseded").inc();
+                    }
+                    None => {
+                        view.done.insert(shard.clone(), incoming);
+                    }
+                }
+            }
+            JournalRecord::Header { .. } | JournalRecord::RunComplete { .. } => {}
+        }
+    }
+    view.crash_counts.retain(|_, n| *n > 0);
+    view
+}
+
+fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.write_all(b"\n")
+}
+
+/// The sidecar path where [`distill_records`] quarantines
+/// checksum-mismatched journal records.
+pub fn quarantine_path(journal: &Path) -> PathBuf {
+    let mut name = journal
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "journal".to_string());
+    name.push_str(".quarantine");
+    journal.with_file_name(name)
+}
+
+/// Does the journal's first record identify exactly this campaign?
+pub fn header_matches(
+    records: &[JournalRecord],
+    cfg: &SupervisorConfig,
+    total_shards: u64,
+) -> bool {
+    matches!(
+        records.first(),
+        Some(JournalRecord::Header { schema, campaign, config_key, total_shards: t })
+            if schema == JOURNAL_SCHEMA
+                && *campaign == cfg.campaign
+                && *config_key == cfg.config_key
+                && *t == total_shards
+    )
+}
+
+// ---- execution -------------------------------------------------------------
 
 /// Journal replay distilled into resume state.
 struct ResumeState {
@@ -471,23 +699,15 @@ fn load_resume_state(
     path: &Path,
     total_shards: u64,
 ) -> Option<ResumeState> {
-    let (records, torn) = replay_journal(path);
-    if torn {
+    let (records, damaged) = replay_journal(path);
+    if damaged {
         obs::counter!("supervisor.journal_torn_tail").inc();
         eprintln!(
-            "supervisor: {}: journal tail was torn/damaged; replaying the intact prefix",
+            "supervisor: {}: journal had torn/damaged lines; replaying the intact records",
             cfg.campaign
         );
     }
-    let header_ok = matches!(
-        records.first(),
-        Some(JournalRecord::Header { schema, campaign, config_key, total_shards: t })
-            if schema == JOURNAL_SCHEMA
-                && *campaign == cfg.campaign
-                && *config_key == cfg.config_key
-                && *t == total_shards
-    );
-    if !header_ok {
+    if !header_matches(&records, cfg, total_shards) {
         obs::counter!("supervisor.journal_discarded").inc();
         eprintln!(
             "supervisor: {}: existing journal does not match this campaign's configuration; starting fresh",
@@ -495,50 +715,16 @@ fn load_resume_state(
         );
         return None;
     }
-    let mut done = HashMap::new();
-    let mut open: HashMap<String, u32> = HashMap::new();
-    for rec in &records {
-        match rec {
-            JournalRecord::ShardStart { shard } => {
-                *open.entry(shard.clone()).or_insert(0) += 1;
-            }
-            JournalRecord::ShardDone {
-                shard,
-                class,
-                attempts,
-                wall_ms,
-                checksum,
-                payload,
-            } => {
-                if let Some(n) = open.get_mut(shard) {
-                    *n = n.saturating_sub(1);
-                }
-                let Some(class) = OutcomeClass::from_str(class) else {
-                    continue;
-                };
-                // Terminal failures are re-executed on resume (fresh retry
-                // budget); only checksummed successes short-circuit.
-                if class.is_success() && *checksum == fnv1a64(payload.as_bytes()) {
-                    done.insert(
-                        shard.clone(),
-                        DoneRecord {
-                            class,
-                            attempts: *attempts,
-                            wall_ms: *wall_ms,
-                            payload: payload.clone(),
-                        },
-                    );
-                } else if class.is_success() {
-                    obs::counter!("supervisor.journal_corrupt_payloads").inc();
-                }
-            }
-            JournalRecord::Header { .. } | JournalRecord::RunComplete { .. } => {}
-        }
+    let mut view = distill_records(&records, Some(&quarantine_path(path)));
+    // Terminal failures are re-executed on resume (fresh retry budget);
+    // only checksummed successes short-circuit.
+    view.done.retain(|_, rec| rec.class.is_success());
+    if view.quarantined > 0 {
+        obs::counter!("supervisor.journal_corrupt_payloads").add(view.quarantined);
     }
-    let crash_counts = open.into_iter().filter(|(_, n)| *n > 0).collect();
     Some(ResumeState {
-        done,
-        crash_counts,
+        done: view.done,
+        crash_counts: view.crash_counts,
         records,
     })
 }
@@ -777,6 +963,7 @@ where
                 wall_ms: 0,
                 checksum: fnv1a64(b""),
                 payload: String::new(),
+                token: 0,
             });
             outcomes[idx] = Some(ShardOutcome {
                 name: shard.name.clone(),
@@ -886,6 +1073,7 @@ where
                         wall_ms,
                         checksum: fnv1a64(payload.as_bytes()),
                         payload,
+                        token: 0,
                     });
                     tally.record(class, false);
                     ledger.outcome(&cfg.campaign, name, class, run.attempt, false, wall_ms);
@@ -921,6 +1109,7 @@ where
                             wall_ms,
                             checksum: fnv1a64(b""),
                             payload: String::new(),
+                            token: 0,
                         });
                         tally.record(class, false);
                         ledger.outcome(&cfg.campaign, name, class, run.attempt, false, wall_ms);
@@ -994,7 +1183,7 @@ where
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = e.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = e.downcast_ref::<String>() {

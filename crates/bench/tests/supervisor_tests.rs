@@ -7,8 +7,10 @@
 //! environment and to each other.
 
 use eccparity_bench::chaos::Chaos;
+use eccparity_bench::hash::fnv1a64;
 use eccparity_bench::supervisor::{
-    replay_journal, supervise, JournalRecord, OutcomeClass, Shard, SupervisorConfig, JOURNAL_SCHEMA,
+    distill_records, replay_journal, supervise, JournalRecord, OutcomeClass, Shard,
+    SupervisorConfig, JOURNAL_SCHEMA,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -80,6 +82,7 @@ fn journal_records_round_trip() {
             wall_ms: 1234,
             checksum: 0xdead_beef_cafe_f00d,
             payload: "{\"cycles\":42,\"note\":\"quoted \\\"string\\\"\"}".to_string(),
+            token: 3,
         },
         JournalRecord::RunComplete { succeeded: 56 },
     ];
@@ -112,6 +115,7 @@ fn replay_tolerates_torn_tail() {
             wall_ms: 5,
             checksum: 0,
             payload: String::new(),
+            token: 0,
         },
     ];
     let mut text = good
@@ -512,4 +516,122 @@ fn duplicate_shard_names_are_rejected() {
         &test_cfg("dup", &temp_dir()),
         vec![Shard::new("x", || 1u64), Shard::new("x", || 2u64)],
     );
+}
+
+// ---- multi-writer journal hardening (distributed campaigns) ----------------
+
+#[test]
+fn replay_keeps_records_after_interior_damage() {
+    // A fleet of appending workers can interleave or tear a line in the
+    // *middle* of the journal; everything after it must still replay.
+    let dir = temp_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("interior.journal.jsonl");
+    let a = JournalRecord::ShardStart {
+        shard: "a".to_string(),
+    };
+    let b = JournalRecord::ShardStart {
+        shard: "b".to_string(),
+    };
+    let text = format!(
+        "{}\n{{\"ShardDone\":{{\"shard\":\"x\",\"cla GARBAGE\n{}\n",
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+    );
+    std::fs::write(&path, text).unwrap();
+    let (records, damaged) = replay_journal(&path);
+    assert!(damaged);
+    assert_eq!(records, vec![a, b], "records after the damage must survive");
+}
+
+fn done(shard: &str, payload: &str, token: u64) -> JournalRecord {
+    JournalRecord::ShardDone {
+        shard: shard.to_string(),
+        class: "completed".to_string(),
+        attempts: 1,
+        wall_ms: 1,
+        checksum: fnv1a64(payload.as_bytes()),
+        payload: payload.to_string(),
+        token,
+    }
+}
+
+#[test]
+fn distill_rejects_zombie_publish_with_stale_token() {
+    // The thief (token 2) published first; the fenced-out zombie's later
+    // token-1 record must be discarded, not trusted.
+    let records = vec![done("s", "2", 2), done("s", "1", 1)];
+    let view = distill_records(&records, None);
+    assert_eq!(view.done["s"].payload, "2");
+    assert_eq!(view.done["s"].token, 2);
+    assert_eq!(view.superseded, 1);
+    assert_eq!(view.quarantined, 0);
+}
+
+#[test]
+fn distill_prefers_higher_token_regardless_of_order() {
+    // Zombie landed first, thief second: higher token still wins.
+    let records = vec![done("s", "1", 1), done("s", "2", 2)];
+    let view = distill_records(&records, None);
+    assert_eq!(view.done["s"].payload, "2");
+    assert_eq!(view.superseded, 1);
+}
+
+#[test]
+fn distill_equal_tokens_last_valid_wins() {
+    // Two stealers that raced to the same token: deterministic work makes
+    // the payloads identical in practice, but the rule is last-valid-wins.
+    let records = vec![done("s", "first", 1), done("s", "second", 1)];
+    let view = distill_records(&records, None);
+    assert_eq!(view.done["s"].payload, "second");
+    assert_eq!(view.superseded, 1);
+}
+
+#[test]
+fn distill_quarantines_checksum_mismatch() {
+    let dir = temp_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let qpath = dir.join("j.journal.jsonl.quarantine");
+    let mut bad = done("s", "honest", 1);
+    if let JournalRecord::ShardDone { checksum, .. } = &mut bad {
+        *checksum ^= 1;
+    }
+    let good = done("s", "honest", 1);
+    let view = distill_records(&[bad.clone(), good], Some(&qpath));
+    assert_eq!(view.quarantined, 1);
+    assert_eq!(
+        view.done["s"].payload, "honest",
+        "the valid record must still win"
+    );
+    // A corrupt record is never silently dropped: it lands in the
+    // quarantine sidecar for post-mortems.
+    let q = std::fs::read_to_string(&qpath).unwrap();
+    assert_eq!(
+        serde_json::from_str::<JournalRecord>(q.trim()).unwrap(),
+        bad
+    );
+
+    // Quarantined-only shards stay unsettled (they must re-execute).
+    let view = distill_records(&[bad], None);
+    assert!(view.done.is_empty());
+    assert_eq!(view.quarantined, 1);
+}
+
+#[test]
+fn distill_tracks_unmatched_starts_as_crashes() {
+    let records = vec![
+        JournalRecord::ShardStart {
+            shard: "dead".to_string(),
+        },
+        JournalRecord::ShardStart {
+            shard: "dead".to_string(),
+        },
+        JournalRecord::ShardStart {
+            shard: "fine".to_string(),
+        },
+        done("fine", "ok", 1),
+    ];
+    let view = distill_records(&records, None);
+    assert_eq!(view.crash_counts.get("dead"), Some(&2));
+    assert_eq!(view.crash_counts.get("fine"), None);
 }

@@ -142,8 +142,8 @@ impl EngineConfig {
 }
 
 /// Messages a shard worker consumes from its mailbox. Public because
-/// [`ShardQueue`](crate::queue::ShardQueue) stores them; constructed only
-/// inside this crate.
+/// [`crate::queue::ShardQueue`] stores them; constructed only inside
+/// this crate.
 #[derive(Debug)]
 pub enum ShardMsg {
     /// Newline-separated raw request lines owned by this shard.
@@ -491,6 +491,7 @@ impl EngineInner {
                 wall_ms: 0,
                 checksum: fnv1a64(payload.as_bytes()),
                 payload,
+                token: 0,
             });
         }
         records.push(JournalRecord::RunComplete {
