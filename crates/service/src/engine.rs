@@ -36,6 +36,7 @@
 //! to exactly the state of its last checkpoint.
 
 use crate::chaos::ServiceChaos;
+use crate::push::PushHub;
 use crate::queue::{OverloadPolicy, Popped, Pushed, ShardQueue};
 use crate::rpc::{self, Query};
 use crate::state::{
@@ -99,6 +100,9 @@ pub struct EngineConfig {
     /// Retries for a batch whose application panicked before consuming
     /// any line (injected chaos panics always qualify).
     pub batch_retries: u32,
+    /// Lines one `subscribe`d connection may have queued before further
+    /// pushes to it are shed (counted in `service.push.shed`).
+    pub push_queue: usize,
     /// Deterministic fault injection for this engine's own machinery.
     pub chaos: ServiceChaos,
 }
@@ -117,6 +121,7 @@ impl Default for EngineConfig {
             checkpoint_interval_ms: 0,
             quarantine_backoff_ms: 50,
             batch_retries: 2,
+            push_queue: crate::push::DEFAULT_PUSH_QUEUE,
             chaos: ServiceChaos::off(),
         }
     }
@@ -247,6 +252,8 @@ struct EngineInner {
     auto_checkpoints: AtomicU64,
     checkpoint_failures: AtomicU64,
     resumed_nodes: u64,
+    /// Posture-transition fan-out to `subscribe`d connections.
+    push: PushHub,
 }
 
 /// The running engine: shard workers, monitor/timer maintenance threads,
@@ -254,6 +261,27 @@ struct EngineInner {
 pub struct Engine {
     inner: Arc<EngineInner>,
     maint: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// `(Threads, VmRSS-in-kB)` of this process from `/proc/self/status`,
+/// `(0, 0)` where procfs is unavailable. Surfaced by the `stats` query so
+/// the evented front-end's thread economy is observable (CI gates the
+/// idle-fleet run on `os_threads`); like every `stats` field it is
+/// process-local and excluded from determinism transcripts.
+fn proc_thread_and_rss() -> (u64, u64) {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let mut threads = 0;
+    let mut rss = 0;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("Threads:") {
+            threads = rest.trim().parse().unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+        }
+    }
+    (threads, rss)
 }
 
 fn count_lines(bytes: &[u8]) -> u64 {
@@ -621,7 +649,16 @@ fn run_worker(inner: &EngineInner, shard: usize, my_gen: u64, nodes: Vec<NodeSna
                 slot.busy_since_ms
                     .store(inner.now_ms().max(1), Ordering::SeqCst);
                 let poison = match msg {
-                    ShardMsg::Batch(bytes) => apply_batch(inner, shard, &mut state, bytes),
+                    ShardMsg::Batch(bytes) => {
+                        let poison = apply_batch(inner, shard, &mut state, bytes);
+                        let transitions = state.take_transitions();
+                        if !transitions.is_empty() && inner.push.has_subscribers() {
+                            for t in &transitions {
+                                inner.push.publish(t);
+                            }
+                        }
+                        poison
+                    }
                     ShardMsg::Barrier(tx) => {
                         let _ = tx.send(shard as u64);
                         false
@@ -814,6 +851,7 @@ impl Engine {
             })
             .collect();
         let timer_enabled = cfg.checkpoint_interval_ms > 0 && cfg.state_dir.is_some();
+        let push_queue = cfg.push_queue;
         let inner = Arc::new(EngineInner {
             cfg,
             slots,
@@ -836,6 +874,7 @@ impl Engine {
             auto_checkpoints: AtomicU64::new(0),
             checkpoint_failures: AtomicU64::new(0),
             resumed_nodes,
+            push: PushHub::new(push_queue),
         });
         for i in 0..inner.cfg.shards {
             let nodes = inner.checkpoint_partition(i);
@@ -959,31 +998,55 @@ impl Engine {
     }
 
     /// Answer one query. The caller is responsible for flushing its
-    /// router and calling [`Engine::barrier`] first. `Checkpoint` and
-    /// `Shutdown` are *not* answered here — the server owns their side
-    /// effects — and render as errors if they reach this path.
+    /// router and calling [`Engine::barrier`] first. `Checkpoint`,
+    /// `Shutdown`, and `Subscribe` are *not* answered here — the server
+    /// owns their side effects — and render as errors if they reach this
+    /// path.
     pub fn query(&self, q: &Query) -> String {
+        let mut out = String::with_capacity(256);
+        self.query_into(q, &mut out);
+        out
+    }
+
+    /// [`Engine::query`], appending the response line (no newline) to a
+    /// caller-owned buffer — the connection loops clear and reuse one
+    /// buffer per connection instead of allocating a `String` per reply.
+    pub fn query_into(&self, q: &Query, out: &mut String) {
+        use std::fmt::Write as _;
         obs::counter!("service.queries").inc();
         let inner = &self.inner;
         let degraded = inner.degraded();
         match *q {
-            Query::Ping => rpc::ok_response("ping", degraded, "\"pong\""),
+            Query::Ping => {
+                rpc::ok_response_open(out, "ping", degraded);
+                out.push_str("\"pong\"");
+                rpc::ok_response_close(out);
+            }
             Query::NodeRisk { node } => {
-                let result = match inner.node_view_of(node) {
-                    Some(v) => format!(
-                        "{{\"node\":{},\"known\":true,\"risk_ppm\":{},\"events\":{},\"faulty_pairs\":{},\"retired_pages\":{},\"active_counter_sum\":{}}}",
-                        v.node, v.risk_ppm, v.events, v.faulty_pairs, v.retired_pages,
-                        v.active_counter_sum
-                    ),
-                    None => format!(
-                        "{{\"node\":{node},\"known\":false,\"risk_ppm\":0,\"events\":0,\"faulty_pairs\":0,\"retired_pages\":0,\"active_counter_sum\":0}}"
-                    ),
-                };
-                rpc::ok_response("node_risk", degraded, &result)
+                rpc::ok_response_open(out, "node_risk", degraded);
+                match inner.node_view_of(node) {
+                    Some(v) => {
+                        let _ = write!(
+                            out,
+                            "{{\"node\":{},\"known\":true,\"risk_ppm\":{},\"events\":{},\"faulty_pairs\":{},\"retired_pages\":{},\"active_counter_sum\":{}}}",
+                            v.node, v.risk_ppm, v.events, v.faulty_pairs, v.retired_pages,
+                            v.active_counter_sum
+                        );
+                    }
+                    None => {
+                        let _ = write!(
+                            out,
+                            "{{\"node\":{node},\"known\":false,\"risk_ppm\":0,\"events\":0,\"faulty_pairs\":0,\"retired_pages\":0,\"active_counter_sum\":0}}"
+                        );
+                    }
+                }
+                rpc::ok_response_close(out);
             }
             Query::Fleet => {
                 let a = inner.merged_agg();
-                let result = format!(
+                rpc::ok_response_open(out, "fleet", degraded);
+                let _ = write!(
+                    out,
                     "{{\"nodes\":{},\"events\":{},\"faulty_pairs\":{},\"retired_pages\":{},\"active_counter_sum\":{},\"at_risk_nodes\":{},\"posture\":\"{}\"}}",
                     a.nodes,
                     a.events,
@@ -993,7 +1056,7 @@ impl Engine {
                     a.at_risk_nodes,
                     a.posture()
                 );
-                rpc::ok_response("fleet", degraded, &result)
+                rpc::ok_response_close(out);
             }
             Query::TopPages { k } => {
                 let lists: Vec<Vec<PageRisk>> = inner
@@ -1002,56 +1065,62 @@ impl Engine {
                     .map(|(_, l)| l)
                     .collect();
                 let top = merge_top_pages(lists, k);
-                let mut pages = String::from("[");
+                rpc::ok_response_open(out, "top_pages", degraded);
+                let _ = write!(out, "{{\"k\":{k},\"pages\":[");
                 for (i, p) in top.iter().enumerate() {
                     if i > 0 {
-                        pages.push(',');
+                        out.push(',');
                     }
-                    pages.push_str(&format!(
+                    let _ = write!(
+                        out,
                         "{{\"node\":{},\"channel\":{},\"bank\":{},\"row\":{},\"ce\":{},\"retired\":{}}}",
                         p.node, p.channel, p.bank, p.row, p.ce, p.retired
-                    ));
+                    );
                 }
-                pages.push(']');
-                rpc::ok_response(
-                    "top_pages",
-                    degraded,
-                    &format!("{{\"k\":{k},\"pages\":{pages}}}"),
-                )
+                out.push_str("]}");
+                rpc::ok_response_close(out);
             }
             Query::Recommend { node } => {
-                let result = match inner.recommend_of(node) {
+                rpc::ok_response_open(out, "recommend", degraded);
+                match inner.recommend_of(node) {
                     Some(recs) => {
-                        let mut regions = String::from("[");
+                        let _ = write!(
+                            out,
+                            "{{\"node\":{node},\"known\":true,\"threshold\":{},\"regions\":[",
+                            inner.cfg.geom.threshold
+                        );
                         for (i, r) in recs.iter().enumerate() {
                             if i > 0 {
-                                regions.push(',');
+                                out.push(',');
                             }
-                            regions.push_str(&format!(
+                            let _ = write!(
+                                out,
                                 "{{\"channel\":{},\"action\":\"{}\"}}",
                                 r.channel, r.action
-                            ));
+                            );
                         }
-                        regions.push(']');
-                        format!(
-                            "{{\"node\":{node},\"known\":true,\"threshold\":{},\"regions\":{regions}}}",
-                            inner.cfg.geom.threshold
-                        )
+                        out.push_str("]}");
                     }
-                    None => format!(
-                        "{{\"node\":{node},\"known\":false,\"threshold\":{},\"regions\":[]}}",
-                        inner.cfg.geom.threshold
-                    ),
-                };
-                rpc::ok_response("recommend", degraded, &result)
+                    None => {
+                        let _ = write!(
+                            out,
+                            "{{\"node\":{node},\"known\":false,\"threshold\":{},\"regions\":[]}}",
+                            inner.cfg.geom.threshold
+                        );
+                    }
+                }
+                rpc::ok_response_close(out);
             }
             Query::Stats => {
                 let a = inner.merged_agg();
                 let rejected_total = a.rejected
                     + inner.reader_parse_rejects.load(Ordering::Relaxed)
                     + inner.oversized_rejects.load(Ordering::Relaxed);
-                let result = format!(
-                    "{{\"shards\":{},\"nodes\":{},\"events_ingested\":{},\"events_rejected\":{},\"rejected_parse\":{},\"rejected_geometry\":{},\"rejected_oversized\":{},\"rejected_conn_limit\":{},\"shed_batches\":{},\"shed_lines\":{},\"panic_lost_lines\":{},\"quarantine_lost_events\":{},\"batch_panics\":{},\"quarantines\":{},\"shard_restarts\":{},\"degraded_shards\":{},\"idle_closed_conns\":{},\"checkpoints\":{},\"auto_checkpoints\":{},\"checkpoint_failures\":{},\"resumed_nodes\":{}}}",
+                let (os_threads, rss_kb) = proc_thread_and_rss();
+                rpc::ok_response_open(out, "stats", degraded);
+                let _ = write!(
+                    out,
+                    "{{\"shards\":{},\"nodes\":{},\"events_ingested\":{},\"events_rejected\":{},\"rejected_parse\":{},\"rejected_geometry\":{},\"rejected_oversized\":{},\"rejected_conn_limit\":{},\"shed_batches\":{},\"shed_lines\":{},\"panic_lost_lines\":{},\"quarantine_lost_events\":{},\"batch_panics\":{},\"quarantines\":{},\"shard_restarts\":{},\"degraded_shards\":{},\"idle_closed_conns\":{},\"checkpoints\":{},\"auto_checkpoints\":{},\"checkpoint_failures\":{},\"resumed_nodes\":{},\"push_subscribers\":{},\"push_shed\":{},\"os_threads\":{os_threads},\"rss_kb\":{rss_kb}}}",
                     inner.cfg.shards,
                     a.nodes,
                     a.applied,
@@ -1072,14 +1141,24 @@ impl Engine {
                     inner.checkpoints.load(Ordering::Relaxed),
                     inner.auto_checkpoints.load(Ordering::Relaxed),
                     inner.checkpoint_failures.load(Ordering::Relaxed),
-                    inner.resumed_nodes
+                    inner.resumed_nodes,
+                    inner.push.subscriber_count(),
+                    inner.push.shed_total(),
                 );
-                rpc::ok_response("stats", degraded, &result)
+                rpc::ok_response_close(out);
             }
-            Query::Checkpoint | Query::Shutdown => {
-                rpc::error_response("checkpoint/shutdown must be handled by the server")
+            Query::Checkpoint | Query::Shutdown | Query::Subscribe => {
+                rpc::error_response_into(
+                    out,
+                    "checkpoint/shutdown/subscribe must be handled by the server",
+                );
             }
         }
+    }
+
+    /// The posture-transition fan-out hub (for the server front-ends).
+    pub fn push_hub(&self) -> &PushHub {
+        &self.inner.push
     }
 
     /// Checkpoint every shard's partition to the journal (see

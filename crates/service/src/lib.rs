@@ -28,9 +28,20 @@
 //!   bounded mailboxes, deterministic merged queries), degraded-shard
 //!   quarantine/respawn, timer-driven self-checkpointing, and the
 //!   `eccparity-journal-v1` checkpoint/resume discipline.
-//! - [`server`] — Unix-socket / TCP front-end, one router per
-//!   connection, read-your-writes barrier before every query, bounded
-//!   line reads, connection admission caps, and idle timeouts.
+//! - [`push`] — the `eccparity-push-v1` posture-transition channel: a
+//!   fan-out hub from shard workers to `subscribe`d operator
+//!   connections, with per-subscriber bounded queues and counted
+//!   shedding (`service.push.shed`).
+//! - [`server`] — the socket front-ends (Unix-domain or TCP) behind a
+//!   shared per-line state machine: the default `evented` mode (in
+//!   [`evented`]) multiplexes every connection over a handful of
+//!   readiness-driven event-loop shards; the `threads` mode keeps one
+//!   blocking thread per connection. Both enforce read-your-writes
+//!   barriers before queries, bounded line reads, connection admission
+//!   caps, and idle timeouts.
+//! - [`evented`] — the nonblocking readiness loop itself: per-connection
+//!   read reassembly and write outboxes with watermark backpressure and
+//!   interest re-arming over the vendored `mio`-style poller.
 //!
 //! Determinism is load-bearing: the same event stream produces
 //! byte-identical query responses regardless of shard count, thread
@@ -43,6 +54,8 @@
 
 pub mod chaos;
 pub mod engine;
+pub mod evented;
+pub mod push;
 pub mod queue;
 pub mod rpc;
 pub mod server;

@@ -80,6 +80,10 @@ pub enum Query {
     Shutdown,
     /// Liveness probe.
     Ping,
+    /// Turn this connection into an `eccparity-push-v1` posture-
+    /// transition stream (see [`crate::push`]). After the ok response the
+    /// connection receives push lines only, until the client closes it.
+    Subscribe,
 }
 
 /// A parsed request line.
@@ -260,6 +264,7 @@ fn query_from_value(v: &Value) -> Result<Query, String> {
         "checkpoint" => Query::Checkpoint,
         "shutdown" => Query::Shutdown,
         "ping" => Query::Ping,
+        "subscribe" => Query::Subscribe,
         other => return Err(format!("unknown op {other:?}")),
     })
 }
@@ -315,6 +320,7 @@ pub fn render_query(q: &Query) -> String {
         Query::Checkpoint => "{\"kind\":\"query\",\"op\":\"checkpoint\"}".to_string(),
         Query::Shutdown => "{\"kind\":\"query\",\"op\":\"shutdown\"}".to_string(),
         Query::Ping => "{\"kind\":\"query\",\"op\":\"ping\"}".to_string(),
+        Query::Subscribe => "{\"kind\":\"query\",\"op\":\"subscribe\"}".to_string(),
     }
 }
 
@@ -341,29 +347,67 @@ pub fn push_json_str(out: &mut String, s: &str) {
 /// after the last checkpoint on those shards (see
 /// `docs/OPERATIONS.md` § Failure modes and degraded operation).
 pub fn ok_response(op: &str, degraded: bool, result_json: &str) -> String {
-    format!(
-        "{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":true,\"op\":\"{op}\",\"degraded\":{degraded},\"result\":{result_json}}}"
-    )
+    let mut s = String::with_capacity(96 + result_json.len());
+    ok_response_open(&mut s, op, degraded);
+    s.push_str(result_json);
+    ok_response_close(&mut s);
+    s
+}
+
+/// Append a success envelope up to (and including) `"result":` — the
+/// caller renders the result JSON straight into `out` and finishes with
+/// [`ok_response_close`]. This open/render/close split is what lets the
+/// per-connection response buffer be reused without an intermediate
+/// `String` per reply.
+pub fn ok_response_open(out: &mut String, op: &str, degraded: bool) {
+    out.push_str("{\"schema\":\"");
+    out.push_str(RPC_SCHEMA);
+    out.push_str("\",\"ok\":true,\"op\":\"");
+    out.push_str(op);
+    out.push_str("\",\"degraded\":");
+    out.push_str(if degraded { "true" } else { "false" });
+    out.push_str(",\"result\":");
+}
+
+/// Close a success envelope opened by [`ok_response_open`].
+pub fn ok_response_close(out: &mut String) {
+    out.push('}');
 }
 
 /// An error response.
 pub fn error_response(msg: &str) -> String {
-    let mut s = format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":false,\"error\":");
-    push_json_str(&mut s, msg);
-    s.push('}');
+    let mut s = String::with_capacity(64 + msg.len());
+    error_response_into(&mut s, msg);
     s
+}
+
+/// Append an error response to a reused buffer.
+pub fn error_response_into(out: &mut String, msg: &str) {
+    out.push_str("{\"schema\":\"");
+    out.push_str(RPC_SCHEMA);
+    out.push_str("\",\"ok\":false,\"error\":");
+    push_json_str(out, msg);
+    out.push('}');
 }
 
 /// A structured refusal: an error response carrying a machine-readable
 /// `code` (`"oversized"`, `"overloaded"`, …) so abuse-defense rejections
 /// can be asserted on without string-matching the human text.
 pub fn refusal_response(code: &str, msg: &str) -> String {
-    let mut s = format!("{{\"schema\":\"{RPC_SCHEMA}\",\"ok\":false,\"code\":");
-    push_json_str(&mut s, code);
-    s.push_str(",\"error\":");
-    push_json_str(&mut s, msg);
-    s.push('}');
+    let mut s = String::with_capacity(80 + msg.len());
+    refusal_response_into(&mut s, code, msg);
     s
+}
+
+/// Append a structured refusal to a reused buffer.
+pub fn refusal_response_into(out: &mut String, code: &str, msg: &str) {
+    out.push_str("{\"schema\":\"");
+    out.push_str(RPC_SCHEMA);
+    out.push_str("\",\"ok\":false,\"code\":");
+    push_json_str(out, code);
+    out.push_str(",\"error\":");
+    push_json_str(out, msg);
+    out.push('}');
 }
 
 #[cfg(test)]
@@ -462,6 +506,7 @@ mod tests {
             Query::Checkpoint,
             Query::Shutdown,
             Query::Ping,
+            Query::Subscribe,
         ];
         for q in qs {
             let line = render_query(&q);

@@ -7,6 +7,7 @@
 //! so per-node event ordering is total and the merged fleet state is
 //! independent of the shard count.
 
+use crate::push::{Tier, Transition};
 use crate::rpc::Event;
 use ecc_parity::health::{HealthAction, HealthTable};
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,10 @@ pub struct NodeHealth {
     /// Per-page corrected-error counts, keyed `(channel, bank, row)`.
     /// BTreeMap so snapshots and top-K walks are deterministically ordered.
     pages: BTreeMap<(u32, u32, u32), u32>,
+    /// Posture tier after the last applied event — the push channel's
+    /// transition edge detector. Derived state: never persisted, and
+    /// re-derived from `risk_ppm` on restore.
+    tier: Tier,
 }
 
 impl NodeHealth {
@@ -66,6 +71,7 @@ impl NodeHealth {
             table: HealthTable::new(geom.channels as usize, geom.banks as usize, geom.threshold),
             events: 0,
             pages: BTreeMap::new(),
+            tier: Tier::Nominal,
         }
     }
 
@@ -317,6 +323,10 @@ pub struct ShardState {
     pub rejected_parse: u64,
     /// Rejected events outside the configured geometry.
     pub rejected_geometry: u64,
+    /// Posture transitions detected since the last
+    /// [`ShardState::take_transitions`] — the shard worker drains these
+    /// into the push hub after every batch.
+    pending_transitions: Vec<Transition>,
 }
 
 impl ShardState {
@@ -330,6 +340,7 @@ impl ShardState {
             rejected: 0,
             rejected_parse: 0,
             rejected_geometry: 0,
+            pending_transitions: Vec::new(),
         }
     }
 
@@ -345,6 +356,9 @@ impl ShardState {
                 .into_iter()
                 .map(|p| ((p.channel, p.bank, p.row), p.count))
                 .collect();
+            // Tier is derived state: recompute so a resumed daemon only
+            // pushes transitions caused by post-resume events.
+            nh.tier = Tier::of_risk(nh.risk_ppm());
             s.nodes.insert(snap.node, nh);
         }
         s
@@ -384,17 +398,36 @@ impl ShardState {
     }
 
     /// Apply a parsed event; `false` (rejected) when channel/bank fall
-    /// outside the configured geometry.
+    /// outside the configured geometry. A tier boundary crossed by the
+    /// event is recorded for [`ShardState::take_transitions`].
     pub fn apply_event(&mut self, ev: &Event) -> bool {
         if ev.channel >= self.geom.channels || ev.bank >= self.geom.banks {
             return false;
         }
         let geom = self.geom;
-        self.nodes
+        let nh = self
+            .nodes
             .entry(ev.node)
-            .or_insert_with(|| NodeHealth::new(geom))
-            .apply(ev);
+            .or_insert_with(|| NodeHealth::new(geom));
+        nh.apply(ev);
+        let risk_ppm = nh.risk_ppm();
+        let to = Tier::of_risk(risk_ppm);
+        if to != nh.tier {
+            let from = std::mem::replace(&mut nh.tier, to);
+            self.pending_transitions.push(Transition {
+                node: ev.node,
+                from,
+                to,
+                risk_ppm,
+                events: nh.events,
+            });
+        }
         true
+    }
+
+    /// Drain the posture transitions recorded since the last call.
+    pub fn take_transitions(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.pending_transitions)
     }
 
     /// This shard's additive fleet aggregate.

@@ -13,6 +13,7 @@
 //!            [--max-conns N] [--idle-timeout-ms MS] [--max-line-bytes N]
 //!            [--checkpoint-interval-ms MS] [--queue-depth N]
 //!            [--overload-policy block|shed] [--watchdog-ms MS]
+//!            [--io-mode threads|evented] [--io-shards N] [--push-queue N]
 //! ```
 //!
 //! Defaults: `--socket eccparityd.sock` in the working directory, shard
@@ -22,8 +23,10 @@
 //! `ECC_PARITY_SERVICE_MAX_CONNS`, `ECC_PARITY_SERVICE_IDLE_TIMEOUT_MS`,
 //! `ECC_PARITY_SERVICE_MAX_LINE`, `ECC_PARITY_SERVICE_CHECKPOINT_MS`,
 //! `ECC_PARITY_SERVICE_QUEUE_DEPTH`, `ECC_PARITY_SERVICE_OVERLOAD`
-//! (`block` | `shed`), and `ECC_PARITY_SERVICE_WATCHDOG_MS`; flags win
-//! over environment. `ECC_PARITY_SERVICE_CHAOS=<seed>` arms deterministic
+//! (`block` | `shed`), `ECC_PARITY_SERVICE_WATCHDOG_MS`,
+//! `ECC_PARITY_SERVICE_IO_MODE` (`threads` | `evented`),
+//! `ECC_PARITY_SERVICE_IO_SHARDS`, and `ECC_PARITY_SERVICE_PUSH_QUEUE`;
+//! flags win over environment. `ECC_PARITY_SERVICE_CHAOS=<seed>` arms deterministic
 //! fault injection against the daemon's own shard workers (CI only).
 //!
 //! With a state dir, a `checkpoint` query (and clean shutdown) publishes
@@ -39,7 +42,7 @@
 use eccparity_service::chaos;
 use eccparity_service::engine::{Engine, EngineConfig};
 use eccparity_service::queue::OverloadPolicy;
-use eccparity_service::server::{serve, Listen, ServerConfig};
+use eccparity_service::server::{serve, IoMode, Listen, ServerConfig};
 use eccparity_service::state::Geometry;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -52,7 +55,8 @@ fn usage() -> ! {
          \x20                 [--max-conns N] [--idle-timeout-ms MS]\n\
          \x20                 [--max-line-bytes N] [--checkpoint-interval-ms MS]\n\
          \x20                 [--queue-depth N] [--overload-policy block|shed]\n\
-         \x20                 [--watchdog-ms MS]\n\
+         \x20                 [--watchdog-ms MS] [--io-mode threads|evented]\n\
+         \x20                 [--io-shards N] [--push-queue N]\n\
          \n\
          env: ECC_PARITY_SERVICE_SHARDS (default shard count)\n\
          \x20    ECC_PARITY_SERVICE_DIR    (default state dir)\n\
@@ -128,6 +132,20 @@ fn main() {
     if let Some(n) = env_u64("ECC_PARITY_SERVICE_MAX_LINE") {
         srv.max_line_bytes = n.max(1024) as usize;
     }
+    if let Ok(raw) = std::env::var("ECC_PARITY_SERVICE_IO_MODE") {
+        match IoMode::parse(raw.trim()) {
+            Some(m) => srv.io_mode = m,
+            None => eprintln!(
+                "eccparityd: ignoring ECC_PARITY_SERVICE_IO_MODE={raw} (want threads|evented)"
+            ),
+        }
+    }
+    if let Some(n) = env_u64("ECC_PARITY_SERVICE_IO_SHARDS") {
+        srv.io_shards = n.max(1) as usize;
+    }
+    if let Some(n) = env_u64("ECC_PARITY_SERVICE_PUSH_QUEUE") {
+        cfg.push_queue = n.max(1) as usize;
+    }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -176,6 +194,16 @@ fn main() {
                 cfg.overload = p;
             }
             "--watchdog-ms" => cfg.watchdog_ms = parse_u64("--watchdog-ms", args.next()),
+            "--io-mode" => {
+                let Some(raw) = args.next() else { usage() };
+                let Some(m) = IoMode::parse(raw.trim()) else {
+                    eprintln!("eccparityd: --io-mode wants threads|evented, got `{raw}`");
+                    usage();
+                };
+                srv.io_mode = m;
+            }
+            "--io-shards" => srv.io_shards = parse_u64("--io-shards", args.next()).max(1) as usize,
+            "--push-queue" => cfg.push_queue = parse_u64("--push-queue", args.next()).max(1) as usize,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("eccparityd: unknown flag `{other}`");
@@ -194,8 +222,9 @@ fn main() {
     let listen = listen.unwrap_or_else(|| Listen::Unix(PathBuf::from("eccparityd.sock")));
     let geom: Geometry = cfg.geom;
     eprintln!(
-        "eccparityd: {} shards, geometry {}x{} threshold {}, state {}",
+        "eccparityd: {} shards, io {}, geometry {}x{} threshold {}, state {}",
         cfg.shards,
+        srv.io_mode.name(),
         geom.channels,
         geom.banks,
         geom.threshold,

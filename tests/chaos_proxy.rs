@@ -45,12 +45,15 @@ fn start_daemon(
     state: Option<&Path>,
     resume: bool,
     chaos: bool,
+    io_mode: &str,
 ) -> Child {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_eccparityd"));
     cmd.arg("--socket")
         .arg(sock)
         .arg("--shards")
         .arg(shards.to_string())
+        .arg("--io-mode")
+        .arg(io_mode)
         .arg("--name")
         .arg("chaos-smoke")
         .stdout(Stdio::null())
@@ -105,15 +108,17 @@ fn field(json: &serde_json::Value, name: &str) -> u64 {
         .unwrap_or_else(|| panic!("field {name} missing: {json:?}"))
 }
 
-#[test]
-fn chaosproxy_run_matches_golden_and_attributes_every_reject() {
-    let dir = scratch("smoke");
+/// The full chaos smoke, parameterized over the victim daemon's io
+/// mode. The golden daemon is always `threads`, so the `evented` leg
+/// additionally proves cross-io-mode transcript equality under chaos.
+fn chaos_smoke(io_mode: &str) {
+    let dir = scratch(&format!("smoke-{io_mode}"));
     let ingest: &[&str] = &["--events", "30000", "--nodes", "64", "--seed", "33"];
 
-    // Golden: direct socket, no chaos anywhere, 4 shards.
+    // Golden: direct socket, no chaos anywhere, 4 shards, threaded io.
     let golden_sock = dir.join("golden.sock");
     let golden_out = dir.join("golden.txt");
-    let mut daemon = start_daemon(&golden_sock, 4, None, false, false);
+    let mut daemon = start_daemon(&golden_sock, 4, None, false, false, "threads");
     let mut args = ingest.to_vec();
     args.extend(["--queries", golden_out.to_str().unwrap(), "--shutdown"]);
     loadgen(&golden_sock, &args);
@@ -125,7 +130,7 @@ fn chaosproxy_run_matches_golden_and_attributes_every_reject() {
     let proxy_sock = dir.join("proxy.sock");
     let summary_file = dir.join("summary.json");
     let chaos_out = dir.join("chaos.txt");
-    let mut daemon = start_daemon(&sock, 3, Some(&state), false, true);
+    let mut daemon = start_daemon(&sock, 3, Some(&state), false, true, io_mode);
     let mut proxy = Command::new(env!("CARGO_BIN_EXE_eccparity-chaosproxy"))
         .arg("--listen-socket")
         .arg(&proxy_sock)
@@ -206,7 +211,7 @@ fn chaosproxy_run_matches_golden_and_attributes_every_reject() {
     daemon.kill().expect("SIGKILL daemon");
     daemon.wait().expect("reap daemon");
     let resumed_out = dir.join("resumed.txt");
-    let mut daemon = start_daemon(&sock, 5, Some(&state), true, false);
+    let mut daemon = start_daemon(&sock, 5, Some(&state), true, false, io_mode);
     loadgen(
         &sock,
         &[
@@ -225,4 +230,14 @@ fn chaosproxy_run_matches_golden_and_attributes_every_reject() {
         "post-chaos resume answers differently from the golden"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaosproxy_run_matches_golden_and_attributes_every_reject_threaded() {
+    chaos_smoke("threads");
+}
+
+#[test]
+fn chaosproxy_run_matches_golden_and_attributes_every_reject_evented() {
+    chaos_smoke("evented");
 }

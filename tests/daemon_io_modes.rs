@@ -1,0 +1,215 @@
+//! Cross-io-mode equivalence tests: `--io-mode threads` and
+//! `--io-mode evented` must be observationally identical at the protocol
+//! level — same responses, same transcripts, same push streams — no
+//! matter how the request bytes are framed on the wire.
+//!
+//! The evented path reassembles lines from arbitrary read-chunk
+//! boundaries, so the adversarial framing here is a byte-at-a-time drip:
+//! every line of the script crosses a chunk boundary at every position.
+//! The threaded leg gets the same script as one bulk write; the response
+//! byte streams must match exactly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn daemon_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_eccparityd")
+}
+
+fn loadgen_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_eccparity-loadgen")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eccparityd-iomode-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn start_daemon(sock: &Path, io_mode: &str, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(daemon_bin());
+    cmd.arg("--socket")
+        .arg(sock)
+        .arg("--shards")
+        .arg("2")
+        .arg("--io-mode")
+        .arg(io_mode)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn eccparityd");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {sock:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+/// The request script: events (no response), a parse error (error
+/// response), queries (one response each). Deterministic end to end.
+const SCRIPT: &[&str] = &[
+    "{\"kind\":\"event\",\"node\":1,\"channel\":0,\"bank\":0,\"row\":7}",
+    "this line is not json",
+    "{\"kind\":\"event\",\"node\":2,\"channel\":1,\"bank\":1,\"row\":9}",
+    "{\"kind\":\"query\",\"op\":\"node_risk\",\"node\":1}",
+    "{\"kind\":\"query\",\"op\":\"fleet\"}",
+    "{\"kind\":\"query\",\"op\":\"shutdown\"}",
+];
+const SCRIPT_RESPONSES: usize = 4; // error + node_risk + fleet + shutdown
+
+/// Run the script against one daemon; `drip` writes it one byte at a
+/// time (flushing each byte) instead of as a single bulk write.
+fn run_script(io_mode: &str, drip: bool, tag: &str) -> String {
+    let dir = scratch(tag);
+    let sock = dir.join("d.sock");
+    let mut daemon = start_daemon(&sock, io_mode, &[]);
+
+    let stream = UnixStream::connect(&sock).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut bytes = Vec::new();
+    for line in SCRIPT {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+    }
+    if drip {
+        for b in &bytes {
+            writer.write_all(std::slice::from_ref(b)).unwrap();
+            writer.flush().unwrap();
+        }
+    } else {
+        writer.write_all(&bytes).unwrap();
+        writer.flush().unwrap();
+    }
+
+    let mut responses = String::new();
+    for i in 0..SCRIPT_RESPONSES {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "{io_mode}: EOF before response {i}");
+        responses.push_str(&line);
+    }
+    assert!(daemon.wait().expect("daemon exit").success());
+    let _ = std::fs::remove_dir_all(&dir);
+    responses
+}
+
+#[test]
+fn byte_dripped_evented_responses_match_threaded_bulk() {
+    let threaded = run_script("threads", false, "drip-t");
+    let evented = run_script("evented", true, "drip-e");
+    assert!(threaded.contains("\"ok\":false"), "{threaded}");
+    assert!(threaded.contains("\"op\":\"fleet\""), "{threaded}");
+    assert_eq!(
+        threaded, evented,
+        "byte-dripped evented responses differ from threaded bulk"
+    );
+    // And the evented path is also insensitive to its own framing.
+    let evented_bulk = run_script("evented", false, "bulk-e");
+    assert_eq!(evented, evented_bulk);
+}
+
+#[test]
+fn multiconn_loadgen_transcripts_identical_across_modes() {
+    let dir = scratch("transcripts");
+    let mut transcripts = Vec::new();
+    for mode in ["threads", "evented"] {
+        let sock = dir.join(format!("{mode}.sock"));
+        let out = dir.join(format!("{mode}.txt"));
+        let mut daemon = start_daemon(&sock, mode, &["--max-conns", "64"]);
+        let status = Command::new(loadgen_bin())
+            .arg("--socket")
+            .arg(&sock)
+            .args([
+                "--events",
+                "20000",
+                "--nodes",
+                "64",
+                "--seed",
+                "7",
+                "--connections",
+                "4",
+                "--queries",
+                out.to_str().unwrap(),
+                "--shutdown",
+            ])
+            .stdout(Stdio::null())
+            .status()
+            .expect("run loadgen");
+        assert!(status.success(), "loadgen failed against {mode}");
+        assert!(daemon.wait().expect("daemon exit").success());
+        transcripts.push(std::fs::read_to_string(&out).expect("read transcript"));
+    }
+    assert!(!transcripts[0].is_empty());
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "query transcripts differ between io modes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn subscribe_push_stream_identical_across_modes() {
+    let dir = scratch("subscribe");
+    let mut pushes = Vec::new();
+    for mode in ["threads", "evented"] {
+        let sock = dir.join(format!("{mode}.sock"));
+        let mut daemon = start_daemon(&sock, mode, &[]);
+
+        // Subscriber first: reading the ack guarantees registration, so
+        // the transition below cannot be missed.
+        let sub = UnixStream::connect(&sock).expect("connect subscriber");
+        let mut sub_w = sub.try_clone().expect("clone subscriber");
+        let mut sub_r = BufReader::new(sub);
+        sub_w
+            .write_all(b"{\"kind\":\"query\",\"op\":\"subscribe\"}\n")
+            .unwrap();
+        sub_w.flush().unwrap();
+        let mut ack = String::new();
+        sub_r.read_line(&mut ack).expect("subscribe ack");
+        assert!(ack.contains("\"streaming\":true"), "{mode}: {ack}");
+
+        // One threshold-reaching event migrates a pair: Nominal -> Watch.
+        let feeder = UnixStream::connect(&sock).expect("connect feeder");
+        let mut fw = feeder.try_clone().expect("clone feeder");
+        let mut fr = BufReader::new(feeder);
+        // The trailing query is the barrier: events are fire-and-forget
+        // and ride the connection router's batch buffer, so a lone event
+        // would not flush until EOF.
+        fw.write_all(
+            b"{\"kind\":\"event\",\"node\":9,\"channel\":0,\"bank\":0,\"row\":1,\"count\":4}\n\
+              {\"kind\":\"query\",\"op\":\"stats\"}\n",
+        )
+        .unwrap();
+        fw.flush().unwrap();
+        let mut stats = String::new();
+        fr.read_line(&mut stats).expect("stats barrier");
+        assert!(stats.contains("\"push_subscribers\":1"), "{mode}: {stats}");
+
+        let mut push = String::new();
+        sub_r.read_line(&mut push).expect("push line");
+        assert!(push.contains("\"kind\":\"push\""), "{mode}: {push}");
+        assert!(push.contains("\"node\":9"), "{mode}: {push}");
+        pushes.push(push);
+
+        fw.write_all(b"{\"kind\":\"query\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        fw.flush().unwrap();
+        let mut bye = String::new();
+        fr.read_line(&mut bye).expect("shutdown response");
+        assert!(bye.contains("\"op\":\"shutdown\""), "{mode}: {bye}");
+        drop(sub_r);
+        drop(sub_w);
+        assert!(daemon.wait().expect("daemon exit").success());
+    }
+    assert_eq!(
+        pushes[0], pushes[1],
+        "push transition lines differ between io modes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
